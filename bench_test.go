@@ -1,0 +1,157 @@
+// Benchmarks, one per table and figure of the paper's evaluation, plus
+// micro-benchmarks of the core primitives.
+//
+// Two layers:
+//
+//   - BenchmarkQueryTable3/... time individual SSRWR queries per dataset and
+//     algorithm — these ARE the numbers of Table III, reported as ns/op.
+//   - BenchmarkTable*/BenchmarkFig* run the corresponding experiment of
+//     internal/bench end to end (at a reduced scale, output discarded);
+//     `go run ./cmd/benchtab -exp <id>` prints the same experiment as the
+//     paper's rows/series at full scale.
+package resacc
+
+import (
+	"io"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/forward"
+	"resacc/internal/bench"
+	"resacc/internal/core"
+	"resacc/internal/dataset"
+	"resacc/internal/rng"
+)
+
+const (
+	benchScale   = 0.05
+	benchSources = 2
+)
+
+// benchExperiment runs one experiment of the harness per iteration.
+func benchExperiment(b *testing.B, id string, datasets ...string) {
+	b.Helper()
+	cfg := bench.Config{Scale: benchScale, Sources: benchSources, Seed: 1, Out: io.Discard}
+	if len(datasets) > 0 {
+		cfg.Datasets = datasets
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "T3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "T4") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "F4", "dblp-s", "twitter-s") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "F5", "dblp-s", "twitter-s") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "F6", "dblp-s") }
+func BenchmarkFig7to10(b *testing.B) {
+	benchExperiment(b, "F7", "dblp-s")
+}
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "T5", "facebook-s") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "T6", "facebook-s") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "F11") }
+func BenchmarkFig12to13(b *testing.B) {
+	benchExperiment(b, "F12", "dblp-s")
+}
+func BenchmarkFig14to15(b *testing.B) {
+	benchExperiment(b, "F14", "dblp-s")
+}
+func BenchmarkFig16to17(b *testing.B) {
+	benchExperiment(b, "F16", "dblp-s")
+}
+func BenchmarkFig18to20(b *testing.B) {
+	benchExperiment(b, "F18", "dblp-s")
+}
+func BenchmarkFig21(b *testing.B)  { benchExperiment(b, "F21", "webstan-s") }
+func BenchmarkFig22(b *testing.B)  { benchExperiment(b, "F22") }
+func BenchmarkFig23(b *testing.B)  { benchExperiment(b, "F23", "dblp-s") }
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "T7") }
+func BenchmarkFig24(b *testing.B)  { benchExperiment(b, "F24", "dblp-s", "twitter-s") }
+func BenchmarkExtParallel(b *testing.B) {
+	benchExperiment(b, "X1", "webstan-s")
+}
+func BenchmarkExtTopK(b *testing.B) {
+	benchExperiment(b, "X2", "webstan-s")
+}
+func BenchmarkExtHubPPR(b *testing.B) {
+	benchExperiment(b, "X3", "webstan-s")
+}
+
+// --- per-query benchmarks: the raw numbers behind Table III ---------------
+
+func benchQuery(b *testing.B, ds string, mk func(g *Graph) Solver) {
+	b.Helper()
+	g, info, err := dataset.Build(ds, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams(g)
+	p.H = info.H
+	s := mk(g)
+	srcs := []int32{1, int32(g.N() / 3), int32(g.N() / 2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SingleSource(g, srcs[i%len(srcs)], p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryTable3(b *testing.B) {
+	for _, ds := range []string{"dblp-s", "webstan-s", "pokec-s", "twitter-s"} {
+		ds := ds
+		for _, alg := range []string{AlgPower, AlgForward, AlgMonteCarlo, AlgFORA, AlgResAcc} {
+			alg := alg
+			b.Run(ds+"/"+alg, func(b *testing.B) {
+				benchQuery(b, ds, func(g *Graph) Solver {
+					s, err := NewSolver(alg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return s
+				})
+			})
+		}
+	}
+}
+
+// --- primitive micro-benchmarks --------------------------------------------
+
+func BenchmarkForwardPush(b *testing.B) {
+	g := dataset.MustBuild("twitter-s", 0.1)
+	p := algo.DefaultParams(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := forward.NewState(g.N(), 1)
+		forward.Run(g, p.Alpha, p.RMaxF, st)
+	}
+}
+
+func BenchmarkRandomWalk(b *testing.B) {
+	g := dataset.MustBuild("twitter-s", 0.1)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algo.Walk(g, int32(i%g.N()), 0.2, r)
+	}
+}
+
+func BenchmarkHHopFWDPhase(b *testing.B) {
+	g := dataset.MustBuild("twitter-s", 0.1)
+	p := algo.DefaultParams(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := (core.Solver{}).Query(g, 1, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommunityDetection(b *testing.B) {
+	benchExperiment(b, "T6", "facebook-s")
+}

@@ -1,0 +1,53 @@
+package resacc
+
+import "math"
+
+// Bounds gives per-node error intervals for a query answered under
+// parameters p, derived from the Definition 1 guarantee: with probability
+// at least 1−p_f, every node with π(s,t) > δ satisfies
+// |π̂ − π| ≤ ε·π, and every node at or below δ satisfies π̂ ≤ (1+ε)·δ.
+type Bounds struct {
+	epsilon float64
+	delta   float64
+}
+
+// BoundsFor returns the interval calculator for parameters p.
+func BoundsFor(p Params) Bounds {
+	return Bounds{epsilon: p.Epsilon, delta: p.Delta}
+}
+
+// Interval returns the implied [lo, hi] interval for a single estimated
+// value. Inverting the relative guarantee: if the true value exceeds δ
+// then π ∈ [π̂/(1+ε), π̂/(1−ε)]; values whose upper bound falls below δ are
+// only known to be ≤ δ, so their interval is [0, max(δ, π̂/(1−ε))].
+func (b Bounds) Interval(estimate float64) (lo, hi float64) {
+	if estimate < 0 {
+		estimate = 0
+	}
+	hi = math.Inf(1)
+	if b.epsilon < 1 {
+		hi = estimate / (1 - b.epsilon)
+	}
+	lo = estimate / (1 + b.epsilon)
+	if lo <= b.delta {
+		// The guarantee does not separate this node from the δ floor.
+		lo = 0
+		if hi < b.delta {
+			hi = b.delta
+		}
+	}
+	return lo, hi
+}
+
+// Significant reports whether the estimate certifies π(s,t) > δ under the
+// guarantee (its whole interval sits above δ).
+func (b Bounds) Significant(estimate float64) bool {
+	lo, _ := b.Interval(estimate)
+	return lo > b.delta
+}
+
+// Interval returns the guaranteed [lo, hi] interval of node v's true RWR
+// value, under the parameters the query ran with.
+func (r *Result) Interval(v int32, p Params) (lo, hi float64) {
+	return BoundsFor(p).Interval(r.Scores[v])
+}

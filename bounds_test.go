@@ -1,0 +1,71 @@
+package resacc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundsIntervalShape(t *testing.T) {
+	p := Params{Epsilon: 0.5, Delta: 0.01}
+	b := BoundsFor(p)
+	lo, hi := b.Interval(0.3)
+	if math.Abs(lo-0.2) > 1e-12 || math.Abs(hi-0.6) > 1e-12 {
+		t.Fatalf("interval [%v,%v], want [0.2,0.6]", lo, hi)
+	}
+	if !b.Significant(0.3) {
+		t.Fatal("0.3 should certify significance at δ=0.01")
+	}
+	// A tiny estimate cannot be separated from the δ floor.
+	lo, hi = b.Interval(0.001)
+	if lo != 0 || hi < p.Delta {
+		t.Fatalf("sub-δ interval [%v,%v]", lo, hi)
+	}
+	if b.Significant(0.001) {
+		t.Fatal("0.001 must not certify significance")
+	}
+}
+
+func TestBoundsEpsilonOne(t *testing.T) {
+	b := BoundsFor(Params{Epsilon: 1, Delta: 1e-3})
+	_, hi := b.Interval(0.5)
+	if !math.IsInf(hi, 1) {
+		t.Fatal("ε≥1 gives no upper bound")
+	}
+	if lo, _ := b.Interval(-0.2); lo != 0 {
+		t.Fatal("negative estimates clamp to zero")
+	}
+}
+
+func TestIntervalCoversTruth(t *testing.T) {
+	// End-to-end: the intervals must contain the true values for nodes
+	// the guarantee covers.
+	g := GenerateErdosRenyi(300, 1800, 9)
+	p := DefaultParams(g)
+	p.Seed = 4
+	res, err := Query(g, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerSolver, _ := NewSolver(AlgPower)
+	truth, err := powerSolver.SingleSource(g, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, total := 0, 0
+	for v := range truth {
+		if truth[v] <= p.Delta {
+			continue
+		}
+		total++
+		lo, hi := res.Interval(int32(v), p)
+		if truth[v] >= lo && truth[v] <= hi {
+			covered++
+		}
+	}
+	if total == 0 {
+		t.Skip("no significant nodes at this size")
+	}
+	if covered < total {
+		t.Fatalf("intervals cover %d/%d significant nodes", covered, total)
+	}
+}

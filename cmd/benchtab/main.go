@@ -1,0 +1,73 @@
+// Command benchtab regenerates the tables and figures of the paper's
+// evaluation on the scaled synthetic datasets. Each experiment ID matches
+// DESIGN.md §5:
+//
+//	benchtab -list
+//	benchtab -exp T3                 # Table III: index-free query time
+//	benchtab -exp F4 -scale 0.1      # Fig 4 at a tenth of the base size
+//	benchtab -all -scale 0.25 -sources 5
+//
+// Output is plain aligned text, one block per table/figure, suitable for
+// pasting into EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"resacc/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment ID to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment in paper order")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		scale    = flag.Float64("scale", 0.25, "dataset scale factor (1 = registry base size)")
+		sources  = flag.Int("sources", 5, "query nodes per dataset")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		datasets = flag.String("datasets", "", "comma-separated dataset override (default: per experiment)")
+		cacheDir = flag.String("cache", "", "directory for the ground-truth disk cache (speeds up repeated runs)")
+		csv      = flag.Bool("csv", false, "emit comma-separated values instead of aligned text")
+		plot     = flag.Bool("plot", false, "render series experiments as ASCII bar charts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Scale:    *scale,
+		Sources:  *sources,
+		Seed:     *seed,
+		Out:      os.Stdout,
+		CacheDir: *cacheDir,
+		CSV:      *csv,
+		Plot:     *plot,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	var err error
+	switch {
+	case *all:
+		err = bench.RunAll(cfg)
+	case *exp != "":
+		err = bench.Run(*exp, cfg)
+	default:
+		fmt.Fprintln(os.Stderr, "benchtab: need -exp <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}

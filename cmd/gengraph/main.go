@@ -1,0 +1,104 @@
+// Command gengraph writes synthetic benchmark graphs as edge lists.
+//
+//	gengraph -dataset twitter-s -scale 0.25 -out twitter.txt
+//	gengraph -model rmat -n 65536 -deg 35 -out rmat.txt
+//	gengraph -model ba -n 10000 -deg 4 -seed 7 -out ba.txt
+//
+// Either a named dataset from the registry (matching the paper's Table II
+// shapes) or a raw generator model: rmat, ba, er, ws, grid, communities.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"resacc/internal/dataset"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "", "named dataset (see -list)")
+		model  = flag.String("model", "", "raw model: rmat|ba|er|ws|grid|communities")
+		scale  = flag.Float64("scale", 1.0, "dataset scale factor")
+		n      = flag.Int("n", 10000, "node count (raw models)")
+		deg    = flag.Int("deg", 8, "average degree / attachment count")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output file (default stdout)")
+		list   = flag.Bool("list", false, "list dataset names and exit")
+		stats  = flag.Bool("stats", false, "print degree statistics instead of edges")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range dataset.Names() {
+			info, _ := dataset.Lookup(name)
+			fmt.Printf("%-14s paper=%s  m/n=%.1f  h=%d  baseN=%d\n",
+				name, info.PaperName, info.MNRatio, info.H, info.BaseN)
+		}
+		return
+	}
+
+	g, err := build(*dsName, *model, *scale, *n, *deg, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		s := graph.ComputeStats(g)
+		fmt.Printf("nodes        %d\n", s.Nodes)
+		fmt.Printf("edges        %d\n", s.Edges)
+		fmt.Printf("m/n          %.2f\n", s.MeanOutDegree)
+		fmt.Printf("out-degree   p50=%d p90=%d p99=%d max=%d (skew %.1fx)\n",
+			s.OutDegreeP50, s.OutDegreeP90, s.OutDegreeP99, s.MaxOutDegree, s.SkewRatio)
+		fmt.Printf("max in-deg   %d\n", s.MaxInDegree)
+		fmt.Printf("dead ends    %d\n", s.DeadEnds)
+		fmt.Printf("reciprocity  %.3f\n", s.Reciprocity)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d nodes, %d edges\n", g.N(), g.M())
+}
+
+func build(ds, model string, scale float64, n, deg int, seed uint64) (*graph.Graph, error) {
+	if ds != "" {
+		g, _, err := dataset.Build(ds, scale)
+		return g, err
+	}
+	switch model {
+	case "rmat":
+		return gen.RMAT(int(math.Ceil(math.Log2(float64(n)))), deg, seed), nil
+	case "ba":
+		return gen.BarabasiAlbert(n, deg, seed), nil
+	case "er":
+		return gen.ErdosRenyi(n, n*deg, seed), nil
+	case "ws":
+		return gen.WattsStrogatz(n, deg, 0.1, seed), nil
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return gen.Grid(side, side), nil
+	case "communities":
+		g, _ := gen.PlantedCommunities(n, 50, deg, 1, seed)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("need -dataset or -model (rmat|ba|er|ws|grid|communities)")
+	}
+}

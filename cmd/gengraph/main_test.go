@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestBuildModels(t *testing.T) {
+	cases := []struct {
+		model string
+		n     int
+	}{
+		{"rmat", 256},
+		{"ba", 200},
+		{"er", 100},
+		{"ws", 100},
+		{"grid", 100},
+		{"communities", 200},
+	}
+	for _, tc := range cases {
+		g, err := build("", tc.model, 1, tc.n, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.model, err)
+		}
+		if g.N() == 0 || g.M() == 0 {
+			t.Fatalf("%s: degenerate graph n=%d m=%d", tc.model, g.N(), g.M())
+		}
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	g, err := build("dblp-s", "", 0.02, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 {
+		t.Fatal("empty dataset")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("", "", 1, 100, 4, 1); err == nil {
+		t.Error("want usage error")
+	}
+	if _, err := build("", "unknown-model", 1, 100, 4, 1); err == nil {
+		t.Error("want unknown model error")
+	}
+	if _, err := build("unknown-ds", "", 1, 0, 0, 1); err == nil {
+		t.Error("want unknown dataset error")
+	}
+}

@@ -1,0 +1,171 @@
+// Command rwr answers single-source RWR queries from the command line.
+//
+//	rwr -graph edges.txt -source 42 -top 10
+//	rwr -graph edges.txt -undirected -source 42 -algo fora -epsilon 0.25
+//	rwr -dataset twitter-s -scale 0.25 -source 7 -algo resacc -stats
+//
+// The graph is either an edge-list file ("u v" per line, '#' comments) or a
+// named synthetic dataset from the registry (see -dataset with an empty
+// value for the list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"resacc"
+	"resacc/internal/dataset"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "edge-list file to load")
+		undirected = flag.Bool("undirected", false, "treat each edge as bidirectional")
+		remap      = flag.Bool("remap", false, "remap arbitrary node ids to 0..n-1")
+		dsName     = flag.String("dataset", "", "named synthetic dataset instead of -graph (empty value lists names)")
+		scale      = flag.Float64("scale", 0.25, "synthetic dataset scale")
+		source     = flag.Int("source", 0, "query source node")
+		algoName   = flag.String("algo", "resacc", "algorithm: "+strings.Join(resacc.Algorithms(), ", "))
+		top        = flag.Int("top", 10, "print the top-k nodes")
+		epsilon    = flag.Float64("epsilon", 0, "relative error override")
+		alpha      = flag.Float64("alpha", 0, "restart probability override")
+		hops       = flag.Int("h", 0, "h-HopFWD hop count override")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		stats      = flag.Bool("stats", false, "print ResAcc phase breakdown")
+		compare    = flag.Bool("compare", false, "run every index-free algorithm on the query and compare")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *dsName, *scale, *undirected, *remap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rwr:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("graph: %d nodes, %d edges (%.1f avg out-degree)\n", g.N(), g.M(), g.AvgDegree())
+
+	p := resacc.DefaultParams(g)
+	p.Seed = *seed
+	if *epsilon > 0 {
+		p.Epsilon = *epsilon
+	}
+	if *alpha > 0 {
+		p.Alpha = *alpha
+	}
+	if *hops > 0 {
+		p.H = *hops
+	}
+
+	if *compare {
+		if err := runComparison(g, int32(*source), p, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "rwr:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	var scores []float64
+	var result *resacc.Result
+	if *algoName == resacc.AlgResAcc {
+		result, err = resacc.Query(g, int32(*source), p)
+		if err == nil {
+			scores = result.Scores
+		}
+	} else {
+		var solver resacc.Solver
+		solver, err = resacc.NewSolver(*algoName)
+		if err == nil {
+			scores, err = solver.SingleSource(g, int32(*source), p)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rwr:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("query: source=%d algo=%s time=%v\n", *source, *algoName, elapsed.Round(time.Microsecond))
+	if *stats && result != nil {
+		st := result.Stats
+		fmt.Printf("phases: h-HopFWD=%v (pushes=%d, |V_h|=%d, |L_h+1|=%d, T=%d)\n",
+			st.HopFWD.Round(time.Microsecond), st.HopPushes, st.SubgraphSize, st.FrontierSize, st.T)
+		fmt.Printf("        OMFWD=%v (pushes=%d)  Remedy=%v (walks=%d, r_sum=%.3g)\n",
+			st.OMFWD.Round(time.Microsecond), st.OMFWDPushes,
+			st.Remedy.Round(time.Microsecond), st.Walks, st.RSumAfterOMFWD)
+	}
+	res := resacc.Result{Source: int32(*source), Scores: scores}
+	for i, r := range res.TopK(*top) {
+		fmt.Printf("%3d. node %-8d π̂ = %.6g\n", i+1, r.Node, r.Score)
+	}
+}
+
+// runComparison answers the same query with every fast index-free
+// algorithm and reports time plus agreement with the slowest-but-exact
+// Power baseline.
+func runComparison(g *resacc.Graph, source int32, p resacc.Params, top int) error {
+	powerSolver, err := resacc.NewSolver(resacc.AlgPower)
+	if err != nil {
+		return err
+	}
+	truthStart := time.Now()
+	truth, err := powerSolver.SingleSource(g, source, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-12s %-12s %s\n", "algo", "time", "max abs err", "top-matches")
+	fmt.Printf("%-8s %-12v %-12s -\n", "power", time.Since(truthStart).Round(time.Microsecond), "exact")
+	ideal := (&resacc.Result{Scores: truth}).TopK(top)
+	idealSet := make(map[int32]bool, len(ideal))
+	for _, r := range ideal {
+		idealSet[r.Node] = true
+	}
+	for _, name := range []string{resacc.AlgResAcc, resacc.AlgFORA, resacc.AlgMonteCarlo, resacc.AlgForward, resacc.AlgTopPPR, resacc.AlgPF} {
+		s, err := resacc.NewSolver(name)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		est, err := s.SingleSource(g, source, p)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		worst := 0.0
+		for v := range truth {
+			if d := est[v] - truth[v]; d > worst {
+				worst = d
+			} else if -d > worst {
+				worst = -d
+			}
+		}
+		hits := 0
+		for _, r := range (&resacc.Result{Scores: est}).TopK(top) {
+			if idealSet[r.Node] {
+				hits++
+			}
+		}
+		fmt.Printf("%-8s %-12v %-12.3g %d/%d\n", name, elapsed.Round(time.Microsecond), worst, hits, top)
+	}
+	return nil
+}
+
+func loadGraph(path, ds string, scale float64, undirected, remap bool) (*resacc.Graph, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return resacc.LoadEdgeList(f, resacc.LoadOptions{Undirected: undirected, Remap: remap})
+	case ds != "":
+		g, _, err := dataset.Build(ds, scale)
+		return g, err
+	default:
+		return nil, fmt.Errorf("need -graph <file> or -dataset <name>; datasets: %s",
+			strings.Join(dataset.Names(), ", "))
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, "", 1, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	// Undirected flag doubles edges.
+	g2, err := loadGraph(path, "", 1, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != 4 {
+		t.Fatalf("undirected m=%d", g2.M())
+	}
+}
+
+func TestLoadGraphFromDataset(t *testing.T) {
+	g, err := loadGraph("", "webstan-s", 0.02, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 {
+		t.Fatal("empty dataset graph")
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	if _, err := loadGraph("", "", 1, false, false); err == nil {
+		t.Error("want usage error with no inputs")
+	}
+	if _, err := loadGraph("/does/not/exist", "", 1, false, false); err == nil {
+		t.Error("want file error")
+	}
+	if _, err := loadGraph("", "bogus", 1, false, false); err == nil {
+		t.Error("want dataset error")
+	}
+}

@@ -1,0 +1,70 @@
+// Command rwrd serves SSRWR queries over HTTP — the "real-time
+// recommendation service" deployment the paper's introduction motivates.
+// The graph is loaded (or generated) once at startup; queries are
+// index-free, so the server needs no warm-up or rebuild phase.
+//
+//	rwrd -graph edges.txt -undirected -addr :8080
+//	rwrd -dataset twitter-s -scale 0.25 -addr :8080
+//
+//	GET /v1/query?source=42&k=10            top-k ranking
+//	GET /v1/pair?source=42&target=7         single pair estimate
+//	GET /v1/stats                            graph + server statistics
+//	GET /healthz                             liveness
+//
+// Responses are JSON. Concurrency is safe: the graph is immutable and each
+// query owns its state.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"resacc"
+	"resacc/internal/dataset"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "edge-list file to load")
+		undirected = flag.Bool("undirected", false, "treat each edge as bidirectional")
+		dsName     = flag.String("dataset", "", "named synthetic dataset instead of -graph")
+		scale      = flag.Float64("scale", 0.25, "synthetic dataset scale")
+		addr       = flag.String("addr", ":8080", "listen address")
+		epsilon    = flag.Float64("epsilon", 0, "relative error override")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *dsName, *scale, *undirected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rwrd:", err)
+		os.Exit(1)
+	}
+	p := resacc.DefaultParams(g)
+	if *epsilon > 0 {
+		p.Epsilon = *epsilon
+	}
+
+	srv := newServer(g, p)
+	log.Printf("rwrd: serving %d nodes / %d edges on %s", g.N(), g.M(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func loadGraph(path, ds string, scale float64, undirected bool) (*resacc.Graph, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return resacc.LoadEdgeList(f, resacc.LoadOptions{Undirected: undirected})
+	case ds != "":
+		g, _, err := dataset.Build(ds, scale)
+		return g, err
+	default:
+		return nil, fmt.Errorf("need -graph <file> or -dataset <name>")
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"resacc"
+)
+
+// server holds the immutable graph and default parameters; handlers are
+// safe for concurrent use.
+type server struct {
+	mux     *http.ServeMux
+	g       *resacc.Graph
+	params  resacc.Params
+	queries atomic.Int64
+	started time.Time
+}
+
+func newServer(g *resacc.Graph, p resacc.Params) *server {
+	s := &server{
+		mux:     http.NewServeMux(),
+		g:       g,
+		params:  p,
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type rankedJSON struct {
+	Node  int32   `json:"node"`
+	Score float64 `json:"score"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	source, err := s.nodeParam(r, "source")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "k must be a positive integer"})
+			return
+		}
+	}
+	start := time.Now()
+	res, err := resacc.Query(s.g, source, s.params)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	s.queries.Add(1)
+	top := res.TopK(k)
+	out := struct {
+		Source  int32        `json:"source"`
+		K       int          `json:"k"`
+		Results []rankedJSON `json:"results"`
+		Millis  float64      `json:"query_ms"`
+	}{Source: source, K: k, Millis: float64(time.Since(start).Microseconds()) / 1000}
+	for _, t := range top {
+		out.Results = append(out.Results, rankedJSON{t.Node, t.Score})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
+	source, err := s.nodeParam(r, "source")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	target, err := s.nodeParam(r, "target")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	est, err := resacc.QueryPair(s.g, source, target, s.params)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"source": source, "target": target, "estimate": est,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":          s.g.N(),
+		"edges":          s.g.M(),
+		"avg_out_degree": s.g.AvgDegree(),
+		"queries_served": s.queries.Load(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"epsilon":        s.params.Epsilon,
+		"alpha":          s.params.Alpha,
+	})
+}
+
+func (s *server) nodeParam(r *http.Request, name string) (int32, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing %q parameter", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("%q must be an integer node id", name)
+	}
+	if v < 0 || int(v) >= s.g.N() {
+		return 0, fmt.Errorf("node %d out of range [0,%d)", v, s.g.N())
+	}
+	return int32(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

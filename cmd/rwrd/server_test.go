@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"resacc"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	g := resacc.GenerateBarabasiAlbert(200, 3, 7)
+	return newServer(g, resacc.DefaultParams(g))
+}
+
+func get(t *testing.T, s *server, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s: non-JSON body %q", path, rec.Body.String())
+	}
+	return rec, body
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("health: %d %v", rec.Code, body)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/v1/query?source=5&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["score"].(float64) <= 0 {
+		t.Fatal("top result has non-positive score")
+	}
+	if body["query_ms"].(float64) <= 0 {
+		t.Fatal("missing query timing")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{
+		"/v1/query",               // missing source
+		"/v1/query?source=abc",    // non-integer
+		"/v1/query?source=99999",  // out of range
+		"/v1/query?source=1&k=0",  // bad k
+		"/v1/query?source=1&k=-3", // bad k
+		"/v1/query?source=-1&k=5", // negative node
+		"/v1/pair?source=1",       // missing target
+		"/v1/pair?source=1&target=x",
+	} {
+		rec, _ := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestPairEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/v1/pair?source=0&target=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if _, ok := body["estimate"].(float64); !ok {
+		t.Fatalf("missing estimate: %v", body)
+	}
+}
+
+func TestStatsEndpointCountsQueries(t *testing.T) {
+	s := testServer(t)
+	get(t, s, "/v1/query?source=1")
+	get(t, s, "/v1/query?source=2")
+	_, body := get(t, s, "/v1/stats")
+	if body["queries_served"].(float64) != 2 {
+		t.Fatalf("queries_served=%v, want 2", body["queries_served"])
+	}
+	if body["nodes"].(float64) != 200 {
+		t.Fatalf("nodes=%v", body["nodes"])
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/v1/query?source=1", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	s := testServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodGet, "/v1/query?source=1&k=5", nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("concurrent query failed: %d", rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestLoadGraphHelpers(t *testing.T) {
+	if _, err := loadGraph("", "", 1, false); err == nil {
+		t.Error("want usage error")
+	}
+	g, err := loadGraph("", "webstan-s", 0.02, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 {
+		t.Fatal("empty graph")
+	}
+}

@@ -1,0 +1,102 @@
+package resacc_test
+
+import (
+	"fmt"
+	"strings"
+
+	"resacc"
+)
+
+// ExampleQuery runs the approximate SSRWR query of the paper's
+// Definition 1 on a small graph and prints the ranking.
+func ExampleQuery() {
+	edges := "0 1\n1 2\n2 0\n2 3\n3 2\n"
+	g, err := resacc.LoadEdgeList(strings.NewReader(edges), resacc.LoadOptions{})
+	if err != nil {
+		panic(err)
+	}
+	p := resacc.DefaultParams(g)
+	p.Epsilon = 0.1 // tighter relative error than the paper default
+	res, err := resacc.Query(g, 0, p)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res.TopK(2) {
+		fmt.Printf("node %d ~ %.2f\n", r.Node, r.Score)
+	}
+	// Output:
+	// node 0 ~ 0.32
+	// node 2 ~ 0.30
+}
+
+// ExampleNewSolver selects one of the paper's baselines by name.
+func ExampleNewSolver() {
+	g := resacc.GenerateErdosRenyi(100, 500, 1)
+	p := resacc.DefaultParams(g)
+	s, err := resacc.NewSolver(resacc.AlgPower)
+	if err != nil {
+		panic(err)
+	}
+	scores, err := s.SingleSource(g, 0, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d scores, source holds %.0f%% of the mass ceiling α\n",
+		len(scores), 100*p.Alpha)
+	// Output:
+	// 100 scores, source holds 20% of the mass ceiling α
+}
+
+// ExampleQueryMulti answers a multiple-sources RWR query.
+func ExampleQueryMulti() {
+	g := resacc.GenerateBarabasiAlbert(200, 3, 7)
+	p := resacc.DefaultParams(g)
+	results, err := resacc.QueryMulti(g, []int32{1, 2, 3}, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(results), "results")
+	// Output:
+	// 3 results
+}
+
+// ExampleNewDynamicGraph edits a live graph and queries the new snapshot
+// immediately — the index-free workflow.
+func ExampleNewDynamicGraph() {
+	g := resacc.GenerateErdosRenyi(100, 500, 1)
+	d := resacc.NewDynamicGraph(g)
+	newbie := d.AddNode()
+	if err := d.AddEdge(newbie, 0); err != nil {
+		panic(err)
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	res, err := resacc.Query(snap, newbie, resacc.DefaultParams(snap))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("new node %d, %d nodes scored\n", newbie, len(res.Scores))
+	// Output:
+	// new node 100, 101 nodes scored
+}
+
+// ExampleBoundsFor turns an estimate into a guaranteed interval.
+func ExampleBoundsFor() {
+	p := resacc.Params{Epsilon: 0.5, Delta: 0.01}
+	b := resacc.BoundsFor(p)
+	lo, hi := b.Interval(0.3)
+	fmt.Printf("π ∈ [%.2f, %.2f], significant=%v\n", lo, hi, b.Significant(0.3))
+	// Output:
+	// π ∈ [0.20, 0.60], significant=true
+}
+
+// ExampleSuggestH picks the hop parameter for an unfamiliar graph.
+func ExampleSuggestH() {
+	g := resacc.GenerateRMAT(12, 20, 42)
+	h := resacc.SuggestH(g, 1, 0)
+	fmt.Println(h >= 1 && h <= 6)
+	// Output:
+	// true
+}

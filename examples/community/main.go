@@ -1,0 +1,69 @@
+// Overlapping community detection with NISE (paper §VII-H): plant
+// communities in a synthetic graph, detect them with SSRWR-driven seed
+// expansion, and report the paper's quality metrics (average normalized
+// cut and average conductance) for ResAcc-driven NISE, FORA-driven NISE,
+// and the distance-ordered control.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resacc"
+	"resacc/internal/algo/fora"
+	"resacc/internal/community"
+	"resacc/internal/core"
+)
+
+func main() {
+	g, planted := resacc.GenerateCommunities(2000, 50, 10, 1, 7)
+	fmt.Printf("graph: %d nodes, %d edges, %d planted communities\n",
+		g.N(), g.M(), len(planted))
+
+	p := resacc.DefaultParams(g)
+	base := community.Config{
+		NumCommunities: len(planted),
+		Params:         p,
+	}
+
+	run := func(label string, cfg community.Config) *community.Result {
+		res, err := community.Detect(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s time=%-12v ANC=%.4f AC=%.4f (%d communities)\n",
+			label, res.Elapsed.Round(1e6), res.ANC, res.AC, len(res.Communities))
+		return res
+	}
+
+	withResAcc := base
+	withResAcc.Solver = core.Solver{}
+	res := run("NISE + ResAcc", withResAcc)
+
+	withFora := base
+	withFora.Solver = fora.Solver{}
+	run("NISE + FORA", withFora)
+
+	withoutSSRWR := base
+	withoutSSRWR.Ordering = community.ByDistance
+	run("NISE without SSRWR", withoutSSRWR)
+
+	// Show one detected community against the planted ground truth.
+	if len(res.Communities) > 0 {
+		comm := res.Communities[0]
+		seed := res.Seeds[0]
+		want := planted[int(seed)/50]
+		overlap := 0
+		in := map[int32]bool{}
+		for _, v := range want {
+			in[v] = true
+		}
+		for _, v := range comm {
+			if in[v] {
+				overlap++
+			}
+		}
+		fmt.Printf("\nseed %d: detected %d members, %d/%d overlap with its planted community\n",
+			seed, len(comm), overlap, len(want))
+	}
+}

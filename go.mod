@@ -1,0 +1,3 @@
+module resacc
+
+go 1.22

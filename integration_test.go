@@ -1,0 +1,196 @@
+package resacc
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/eval"
+)
+
+// integration_test.go exercises every guaranteed solver against ground
+// truth on every graph family the generators produce — the cross-product
+// sweep that pins the shared dead-end semantics and the facade wiring.
+
+type familyCase struct {
+	name string
+	g    *Graph
+}
+
+func families() []familyCase {
+	planted, _ := GenerateCommunities(300, 30, 8, 1, 5)
+	line := func(n int) *Graph {
+		b := NewGraphBuilder(n)
+		for i := 0; i < n-1; i++ {
+			b.AddEdge(int32(i), int32(i+1))
+		}
+		return b.MustBuild()
+	}
+	return []familyCase{
+		{"er", GenerateErdosRenyi(250, 1500, 11)},
+		{"ba", GenerateBarabasiAlbert(250, 3, 13)},
+		{"rmat", GenerateRMAT(8, 5, 17)}, // dead ends
+		{"planted", planted},
+		{"line", line(60)},
+	}
+}
+
+// guaranteedSolvers are the algorithms that promise the Definition 1
+// relative-error bound.
+func guaranteedSolvers() []string {
+	return []string{AlgResAcc, AlgFORA, AlgMonteCarlo, AlgBiPPR}
+}
+
+func TestGuaranteedSolversMeetBoundOnAllFamilies(t *testing.T) {
+	for _, fc := range families() {
+		fc := fc
+		t.Run(fc.name, func(t *testing.T) {
+			p := DefaultParams(fc.g)
+			p.Seed = 9
+			powerSolver, _ := NewSolver(AlgPower)
+			truth, err := powerSolver.SingleSource(fc.g, 0, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range guaranteedSolvers() {
+				if name == AlgBiPPR && fc.g.N() > 300 {
+					continue // quadratic adapter; keep the sweep fast
+				}
+				s, err := NewSolver(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				est, err := s.SingleSource(fc.g, 0, p)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				// BiPPR's backward threshold leaves an additive δ-scale
+				// floor; judge it above 10δ like its package tests do.
+				delta := p.Delta
+				if name == AlgBiPPR {
+					delta = 10 * p.Delta
+				}
+				if rel := eval.MaxRelErrAbove(truth, est, delta); rel > p.Epsilon {
+					t.Errorf("%s on %s: max rel err %v > ε=%v", name, fc.name, rel, p.Epsilon)
+				}
+			}
+		})
+	}
+}
+
+func TestExactSolversAgreeOnAllFamilies(t *testing.T) {
+	for _, fc := range families() {
+		if fc.g.N() > 1000 {
+			continue
+		}
+		p := DefaultParams(fc.g)
+		powerSolver, _ := NewSolver(AlgPower)
+		inverseSolver, _ := NewSolver(AlgInverse)
+		for _, src := range []int32{0, int32(fc.g.N() - 1)} {
+			a, err := powerSolver.SingleSource(fc.g, src, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := inverseSolver.SingleSource(fc.g, src, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range a {
+				if math.Abs(a[v]-b[v]) > 1e-8 {
+					t.Fatalf("%s src %d node %d: power %v vs inverse %v", fc.name, src, v, a[v], b[v])
+				}
+			}
+		}
+	}
+}
+
+func TestAllSolversReturnDistributions(t *testing.T) {
+	// Weaker check covering the non-guaranteed methods too: output sums
+	// to ≈1 and has no negative entries. FWD is exempt from the sum check
+	// (it deliberately discards residues) and TopPPR refines the head
+	// upward, so both get a one-sided check.
+	for _, fc := range families() {
+		p := DefaultParams(fc.g)
+		for _, name := range Algorithms() {
+			if name == AlgBackward || name == AlgBiPPR || name == AlgInverse {
+				if fc.g.N() > 300 {
+					continue
+				}
+			}
+			s, err := NewSolver(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := s.SingleSource(fc.g, 0, p)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, fc.name, err)
+			}
+			sum := 0.0
+			for v, x := range est {
+				if x < -1e-12 {
+					t.Fatalf("%s on %s: negative estimate at node %d", name, fc.name, v)
+				}
+				sum += x
+			}
+			switch name {
+			case AlgForward, AlgBackward:
+				// Local-update baselines discard residues, so they
+				// underestimate; only the upper side is checked.
+				if sum > 1+1e-9 {
+					t.Errorf("%s on %s: mass %v exceeds 1", name, fc.name, sum)
+				}
+			case AlgTopPPR:
+				if sum > 1.5 || sum < 0.5 {
+					t.Errorf("%s on %s: mass %v implausible", name, fc.name, sum)
+				}
+			default:
+				if math.Abs(sum-1) > 0.1 {
+					t.Errorf("%s on %s: mass %v, want ≈1", name, fc.name, sum)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryDeterministicAcrossFamilies(t *testing.T) {
+	for _, fc := range families() {
+		p := DefaultParams(fc.g)
+		p.Seed = 21
+		a, err := Query(fc.g, 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Query(fc.g, 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a.Scores {
+			if a.Scores[v] != b.Scores[v] {
+				t.Fatalf("%s: non-deterministic at node %d", fc.name, v)
+			}
+		}
+	}
+}
+
+func TestEpsilonSweepTightensError(t *testing.T) {
+	g := GenerateErdosRenyi(200, 1200, 19)
+	p := DefaultParams(g)
+	powerSolver, _ := NewSolver(AlgPower)
+	truth, err := powerSolver.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = math.Inf(1)
+	for _, epsilon := range []float64{0.5, 0.1} {
+		q := p
+		q.Epsilon = epsilon
+		res, err := Query(g, 0, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := eval.MeanAbsErr(truth, res.Scores)
+		if e > prev*1.5 {
+			t.Fatalf("error grew when ε tightened: %v -> %v", prev, e)
+		}
+		prev = e
+	}
+}

@@ -1,0 +1,140 @@
+// Package algo defines the contract shared by every SSRWR solver in this
+// repository: the parameter set of the approximate SSRWR query
+// (Definition 1 of the paper) and the SingleSource interface each algorithm
+// implements, plus the random-walk primitive they share.
+package algo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resacc/internal/graph"
+)
+
+// Params carries the query parameters of Definition 1 plus the tuning knobs
+// of the individual algorithms. The zero value is not valid; start from
+// DefaultParams.
+type Params struct {
+	// Alpha is the restart (termination) probability of the walk. The
+	// paper fixes α = 0.2 throughout (§VII-A).
+	Alpha float64
+	// Epsilon is the relative error bound ε of Definition 1.
+	Epsilon float64
+	// Delta is the significance threshold δ: the guarantee applies to
+	// nodes with π(s,t) > δ. The paper uses δ = 1/n.
+	Delta float64
+	// PFail is the failure probability p_f. The paper uses p_f = 1/n.
+	PFail float64
+
+	// RMaxF is the forward-push residue threshold r_max^f used by Forward
+	// Search, FORA and ResAcc's OMFWD phase. The paper uses 1/(10m) for
+	// ResAcc.
+	RMaxF float64
+	// RMaxHop is the residue threshold r_max^hop of the h-HopFWD phase
+	// (paper default 1e-14).
+	RMaxHop float64
+	// H is the hop count h of the h-hop induced subgraph (paper: 2 or 3,
+	// see Table II).
+	H int
+	// RMaxB is the backward-push residue threshold used by Backward
+	// Search, BiPPR and TopPPR.
+	RMaxB float64
+
+	// Seed makes every randomized phase deterministic.
+	Seed uint64
+
+	// NScale multiplies the remedy-phase walk count n_r; the paper's fair
+	// comparison (Appendix F) sweeps it over {0,0.2,...,1.0}. Zero means 1
+	// (the formula value); it must otherwise be in (0, +inf).
+	NScale float64
+	// MaxWalks caps the total number of random walks an algorithm may
+	// simulate (0 = unlimited). Used to emulate the paper's equal-time
+	// truncation of FORA/TopPPR (Fig 6, Fig 20).
+	MaxWalks int
+}
+
+// DefaultParams returns the paper's default setting (§VII-A) for graph g:
+// α=0.2, ε=0.5, δ=p_f=1/n, r_max^f=1/(10m), r_max^hop=1e-14, h=2, and a
+// backward threshold matched to δ.
+func DefaultParams(g *graph.Graph) Params {
+	n := g.N()
+	if n < 1 {
+		n = 1
+	}
+	m := g.M()
+	if m < 1 {
+		m = 1
+	}
+	return Params{
+		Alpha:   0.2,
+		Epsilon: 0.5,
+		Delta:   1.0 / float64(n),
+		PFail:   1.0 / float64(n),
+		RMaxF:   1.0 / (10.0 * float64(m)),
+		RMaxHop: 1e-14,
+		H:       2,
+		RMaxB:   1.0 / float64(n),
+		Seed:    1,
+	}
+}
+
+// Validate reports whether the parameters are usable for graph g.
+func (p Params) Validate(g *graph.Graph) error {
+	switch {
+	case g == nil || g.N() == 0:
+		return errors.New("algo: empty graph")
+	case !(p.Alpha > 0 && p.Alpha < 1):
+		return fmt.Errorf("algo: alpha %v outside (0,1)", p.Alpha)
+	case !(p.Epsilon > 0):
+		return fmt.Errorf("algo: epsilon %v must be positive", p.Epsilon)
+	case !(p.Delta > 0):
+		return fmt.Errorf("algo: delta %v must be positive", p.Delta)
+	case !(p.PFail > 0 && p.PFail < 1):
+		return fmt.Errorf("algo: pfail %v outside (0,1)", p.PFail)
+	case !(p.RMaxF > 0):
+		return fmt.Errorf("algo: rmaxf %v must be positive", p.RMaxF)
+	case !(p.RMaxHop > 0):
+		return fmt.Errorf("algo: rmaxhop %v must be positive", p.RMaxHop)
+	case p.H < 0:
+		return fmt.Errorf("algo: h %d must be non-negative", p.H)
+	case p.NScale < 0:
+		return fmt.Errorf("algo: nscale %v must be non-negative", p.NScale)
+	case math.IsNaN(p.Alpha + p.Epsilon + p.Delta + p.PFail + p.RMaxF + p.RMaxHop):
+		return errors.New("algo: NaN parameter")
+	}
+	return nil
+}
+
+// WalkCoefficient returns c = (2ε/3+2)·ln(2/p_f)/(ε²·δ), the per-unit-residue
+// walk count of Theorem 3; n_r = r_sum · c.
+func (p Params) WalkCoefficient() float64 {
+	return (2*p.Epsilon/3 + 2) * math.Log(2/p.PFail) / (p.Epsilon * p.Epsilon * p.Delta)
+}
+
+// EffectiveNScale returns NScale with the zero-value default of 1 applied.
+func (p Params) EffectiveNScale() float64 {
+	if p.NScale == 0 {
+		return 1
+	}
+	return p.NScale
+}
+
+// CheckSource validates a source node id against g.
+func CheckSource(g *graph.Graph, s int32) error {
+	if s < 0 || int(s) >= g.N() {
+		return fmt.Errorf("algo: source %d out of range [0,%d)", s, g.N())
+	}
+	return nil
+}
+
+// SingleSource is the contract every SSRWR solver implements: estimate
+// π(s,t) for all t. Implementations must be safe for concurrent use on the
+// same immutable graph.
+type SingleSource interface {
+	// Name returns the algorithm's short name as used in the paper's
+	// tables ("ResAcc", "FORA", "MC", ...).
+	Name() string
+	// SingleSource returns the estimated RWR vector of length g.N().
+	SingleSource(g *graph.Graph, s int32, p Params) ([]float64, error)
+}

@@ -1,0 +1,257 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resacc/internal/graph"
+	"resacc/internal/rng"
+)
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	g := cycle(10)
+	p := DefaultParams(g)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if p.Alpha != 0.2 || p.Epsilon != 0.5 {
+		t.Errorf("defaults drifted: %+v", p)
+	}
+	if p.Delta != 0.1 || p.PFail != 0.1 {
+		t.Errorf("δ and p_f should be 1/n: %+v", p)
+	}
+	if math.Abs(p.RMaxF-1.0/(10*float64(g.M()))) > 1e-18 {
+		t.Errorf("RMaxF should be 1/(10m), got %v", p.RMaxF)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	g := cycle(5)
+	base := DefaultParams(g)
+	mutations := []func(*Params){
+		func(p *Params) { p.Alpha = 0 },
+		func(p *Params) { p.Alpha = 1 },
+		func(p *Params) { p.Epsilon = 0 },
+		func(p *Params) { p.Delta = 0 },
+		func(p *Params) { p.PFail = 0 },
+		func(p *Params) { p.PFail = 1 },
+		func(p *Params) { p.RMaxF = 0 },
+		func(p *Params) { p.RMaxHop = -1 },
+		func(p *Params) { p.H = -1 },
+		func(p *Params) { p.NScale = -0.5 },
+		func(p *Params) { p.Alpha = math.NaN() },
+	}
+	for i, mut := range mutations {
+		p := base
+		mut(&p)
+		if err := p.Validate(g); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+	if err := base.Validate(nil); err == nil {
+		t.Error("nil graph should fail")
+	}
+}
+
+func TestWalkCoefficient(t *testing.T) {
+	g := cycle(100)
+	p := DefaultParams(g)
+	want := (2*p.Epsilon/3 + 2) * math.Log(2/p.PFail) / (p.Epsilon * p.Epsilon * p.Delta)
+	if got := p.WalkCoefficient(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("WalkCoefficient=%v, want %v", got, want)
+	}
+}
+
+func TestEffectiveNScale(t *testing.T) {
+	p := Params{}
+	if p.EffectiveNScale() != 1 {
+		t.Fatal("zero NScale must mean 1")
+	}
+	p.NScale = 0.3
+	if p.EffectiveNScale() != 0.3 {
+		t.Fatal("NScale not honoured")
+	}
+}
+
+func TestWalkTerminatesAndStaysInGraph(t *testing.T) {
+	g := cycle(7)
+	r := rng.New(5)
+	for i := 0; i < 1000; i++ {
+		end := Walk(g, 0, 0.2, r)
+		if end < 0 || int(end) >= g.N() {
+			t.Fatalf("walk escaped graph: %d", end)
+		}
+	}
+}
+
+func TestWalkDeadEnd(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	r := rng.New(5)
+	for i := 0; i < 100; i++ {
+		end := Walk(g, 1, 0.2, r)
+		if end != 1 {
+			t.Fatal("walk from dead end must stay")
+		}
+	}
+}
+
+func TestWalkLengthDistribution(t *testing.T) {
+	// On a cycle the walk advances Geometric(α) steps; the expected
+	// terminal offset is (1-α)/α = 4 at α = 0.2.
+	g := cycle(1000) // long enough that wrap-around is negligible
+	r := rng.New(9)
+	const n = 50000
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += float64(Walk(g, 0, 0.2, r))
+	}
+	mean := total / n
+	if math.Abs(mean-4) > 0.1 {
+		t.Fatalf("mean walk length %v, want ≈4", mean)
+	}
+}
+
+func TestWalkCounter(t *testing.T) {
+	g := cycle(5)
+	wc := NewWalkCounter(g, 0.2, rng.New(3))
+	wc.Run(0, 1000)
+	if wc.Total != 1000 {
+		t.Fatalf("Total=%d", wc.Total)
+	}
+	sum := int64(0)
+	for _, c := range wc.Count {
+		sum += c
+	}
+	if sum != 1000 {
+		t.Fatalf("counts sum to %d", sum)
+	}
+}
+
+func TestRemedyUnbiased(t *testing.T) {
+	// E[remedy estimate of t] = Σ_v r(v)·π(v,t). On a 2-cycle with
+	// residue only at node 0, the closed-form π(0,0) = α/(1-(1-α)²).
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g := b.MustBuild()
+	alpha := 0.2
+	pi00 := alpha / (1 - (1-alpha)*(1-alpha))
+	p := DefaultParams(g)
+	p.Alpha = alpha
+
+	const trials = 300
+	acc := 0.0
+	for seed := uint64(0); seed < trials; seed++ {
+		pi := make([]float64, 2)
+		residue := []float64{0.5, 0}
+		Remedy(g, p, pi, residue, rng.New(seed))
+		acc += pi[0]
+	}
+	got := acc / trials
+	want := 0.5 * pi00
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("mean remedy estimate %v, want %v", got, want)
+	}
+}
+
+func TestRemedyStatsAndBudget(t *testing.T) {
+	g := cycle(50)
+	p := DefaultParams(g)
+	pi := make([]float64, g.N())
+	residue := make([]float64, g.N())
+	residue[0], residue[10] = 0.3, 0.2
+	st := Remedy(g, p, pi, residue, rng.New(1))
+	if math.Abs(st.RSum-0.5) > 1e-12 {
+		t.Fatalf("RSum=%v", st.RSum)
+	}
+	if st.Walks <= 0 {
+		t.Fatal("no walks")
+	}
+	// Budgeted run walks fewer.
+	p.MaxWalks = 10
+	pi2 := make([]float64, g.N())
+	st2 := Remedy(g, p, pi2, residue, rng.New(1))
+	if st2.Walks > 10 {
+		t.Fatalf("budget exceeded: %d", st2.Walks)
+	}
+}
+
+func TestRemedyZeroResidue(t *testing.T) {
+	g := cycle(5)
+	p := DefaultParams(g)
+	pi := make([]float64, g.N())
+	st := Remedy(g, p, pi, make([]float64, g.N()), rng.New(1))
+	if st.Walks != 0 || st.RSum != 0 {
+		t.Fatal("remedy on zero residue should be a no-op")
+	}
+}
+
+func TestRemedyMassConservation(t *testing.T) {
+	// Property: the mass added by remedy equals r_sum exactly (each walk
+	// deposits r(v)/n_r(v), and n_r(v) walks run per v).
+	check := func(seed uint64) bool {
+		g := cycle(20)
+		p := DefaultParams(g)
+		p.Seed = seed
+		pi := make([]float64, g.N())
+		residue := make([]float64, g.N())
+		r := rng.New(seed)
+		total := 0.0
+		for i := 0; i < 5; i++ {
+			residue[r.Intn(g.N())] = r.Float64() * 0.1
+		}
+		for _, rv := range residue {
+			total += rv
+		}
+		Remedy(g, p, pi, residue, rng.New(seed))
+		added := 0.0
+		for _, x := range pi {
+			added += x
+		}
+		return math.Abs(added-total) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedRemedyUsesPools(t *testing.T) {
+	g := cycle(4)
+	p := DefaultParams(g)
+	pi := make([]float64, 4)
+	residue := []float64{0.4, 0, 0, 0}
+	// A pool that always "terminates" at node 2.
+	endpoints := make([][]int32, 4)
+	endpoints[0] = []int32{2}
+	st := IndexedRemedy(g, p, pi, residue, endpoints, rng.New(1))
+	if st.Walks == 0 {
+		t.Fatal("no walks")
+	}
+	if math.Abs(pi[2]-0.4) > 1e-12 {
+		t.Fatalf("pool endpoints ignored: pi=%v", pi)
+	}
+}
+
+func TestCheckSource(t *testing.T) {
+	g := cycle(3)
+	if err := CheckSource(g, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSource(g, 3); err == nil {
+		t.Fatal("want error")
+	}
+	if err := CheckSource(g, -1); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,101 @@
+package backward
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+func TestBackwardReserveApproximatesContribution(t *testing.T) {
+	// With a tiny threshold, Reserve[u] ≈ π(u,t) for every u.
+	g := gen.Grid(6, 6)
+	p := algo.DefaultParams(g)
+	target := int32(14)
+	res := Run(g, p.Alpha, 1e-12, target)
+	for u := int32(0); int(u) < g.N(); u++ {
+		truth, err := power.GroundTruth(g, u, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Reserve[u]-truth[target]) > 1e-7 {
+			t.Fatalf("π(%d,%d): backward %v vs truth %v", u, target, res.Reserve[u], truth[target])
+		}
+	}
+}
+
+func TestBackwardWithDeadEnds(t *testing.T) {
+	// Dead-end target: π(u,t) gets the 1/α-amplified upstream shares.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2) // 2 is a dead end
+	g := b.MustBuild()
+	p := algo.DefaultParams(g)
+	res := Run(g, p.Alpha, 1e-12, 2)
+	for u := int32(0); u < 3; u++ {
+		truth, err := power.GroundTruth(g, u, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Reserve[u]-truth[2]) > 1e-9 {
+			t.Fatalf("π(%d,2): backward %v vs truth %v", u, res.Reserve[u], truth[2])
+		}
+	}
+}
+
+func TestBackwardTouchedCoversNonZero(t *testing.T) {
+	g := gen.ErdosRenyi(100, 600, 3)
+	res := Run(g, 0.2, 1e-6, 5)
+	inTouched := make(map[int32]bool)
+	for _, v := range res.Touched {
+		inTouched[v] = true
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		if (res.Reserve[v] != 0 || res.Residue[v] != 0) && !inTouched[v] {
+			t.Fatalf("node %d has mass but is not in Touched", v)
+		}
+	}
+}
+
+func TestBackwardResidueBelowThreshold(t *testing.T) {
+	g := gen.RMAT(8, 4, 5)
+	rmax := 1e-5
+	res := Run(g, 0.2, rmax, 9)
+	for v, r := range res.Residue {
+		if r >= rmax {
+			t.Fatalf("node %d residue %v ≥ rmax", v, r)
+		}
+	}
+}
+
+func TestBackwardSolverSSRWR(t *testing.T) {
+	g := gen.Grid(4, 4)
+	p := algo.DefaultParams(g)
+	est, err := Solver{RMaxB: 1e-10}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > 1e-6 {
+			t.Fatalf("node %d: %v vs %v", v, est[v], truth[v])
+		}
+	}
+}
+
+func TestBackwardSolverValidation(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p := algo.DefaultParams(g)
+	if _, err := (Solver{}).SingleSource(g, 100, p); err == nil {
+		t.Error("want source error")
+	}
+	if (Solver{}).Name() != "BWD" {
+		t.Error("name drifted")
+	}
+}

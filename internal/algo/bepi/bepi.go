@@ -1,0 +1,381 @@
+// Package bepi implements BePI-lite, this repository's stand-in for BePI
+// (Jung et al., SIGMOD'17), the best matrix-based index-oriented baseline
+// in the paper's Table IV. Real BePI reorders the graph around hubs and
+// precomputes a block-elimination (Schur complement) of the RWR linear
+// system; BePI-lite keeps exactly that structure at reduced engineering
+// scale (see DESIGN.md §4):
+//
+//   - hubs = the nHub highest-degree nodes, spokes = the rest;
+//   - the system (I − (1−α)·M̃)·π = α·e_s is partitioned into 2×2 blocks;
+//   - preprocessing solves one spoke system per hub to form the dense hub
+//     Schur complement and inverts it (the index);
+//   - a query needs two iterative spoke solves plus one dense hub solve.
+//
+// M̃ is the column-stochastic walk matrix with dead ends encoded as
+// (1−α)-weighted self-loops, which makes the solution equal π under this
+// repository's dead-end semantics (see internal/algo/inverse).
+//
+// Like real BePI the preprocessing is superlinear and the index is dense in
+// the hub dimension, so a byte budget reproduces the paper's out-of-memory
+// rows on the largest graphs.
+package bepi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resacc/internal/algo"
+	"resacc/internal/graph"
+)
+
+// Index is the precomputed block-elimination structure.
+type Index struct {
+	g       *graph.Graph
+	alpha   float64
+	hubs    []int32
+	hubPos  []int32 // node -> index into hubs, or -1
+	schur   []float64
+	iters   int
+	indexed int64 // bytes
+	// order lists the spoke nodes in SCC-topological order (predecessors
+	// first), the reordering real BePI applies to make the non-hub block
+	// block-triangular; the spoke solve sweeps in this order
+	// (Gauss-Seidel), which is exact on acyclic parts after one pass.
+	order []int32
+}
+
+// Bytes returns the index size in bytes.
+func (ix *Index) Bytes() int64 { return ix.indexed }
+
+// Options configures BuildIndex.
+type Options struct {
+	// NHub is the hub count; 0 means min(256, max(16, √n)).
+	NHub int
+	// SpokeIters is the Neumann iteration count for spoke solves; the
+	// residual mass after k iterations is (1−α)^k. 0 means 60.
+	SpokeIters int
+	// MaxBytes bounds the index size (0 = unlimited); exceeding it fails,
+	// reproducing the paper's o.o.m. policy.
+	MaxBytes int64
+}
+
+// BuildIndex runs BePI-lite preprocessing.
+func BuildIndex(g *graph.Graph, alpha float64, opt Options) (*Index, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("bepi: empty graph")
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("bepi: alpha %v outside (0,1)", alpha)
+	}
+	nHub := opt.NHub
+	if nHub <= 0 {
+		nHub = int(math.Sqrt(float64(n)))
+		if nHub < 16 {
+			nHub = 16
+		}
+		if nHub > 256 {
+			nHub = 256
+		}
+	}
+	if nHub > n {
+		nHub = n
+	}
+	iters := opt.SpokeIters
+	if iters <= 0 {
+		iters = 60
+	}
+	estBytes := int64(nHub)*int64(nHub)*8 + int64(n)*4
+	if opt.MaxBytes > 0 && estBytes > opt.MaxBytes {
+		return nil, fmt.Errorf("bepi: index of %d bytes exceeds budget %d (out of memory by policy)", estBytes, opt.MaxBytes)
+	}
+
+	ix := &Index{g: g, alpha: alpha, iters: iters, indexed: estBytes}
+	// Hub selection: by total degree (in+out), the nodes whose rows/cols
+	// make the spoke block hardest to solve.
+	ix.hubs = topDegree(g, nHub)
+	ix.hubPos = make([]int32, n)
+	for i := range ix.hubPos {
+		ix.hubPos[i] = -1
+	}
+	for i, h := range ix.hubs {
+		ix.hubPos[h] = int32(i)
+	}
+	for _, v := range graph.TopoOrderBySCC(g) {
+		if ix.hubPos[v] < 0 {
+			ix.order = append(ix.order, v)
+		}
+	}
+	ix.indexed += int64(len(ix.order)) * 4
+
+	// Schur complement S = B_HH − B_HS·B_SS⁻¹·B_SH, built column by column.
+	s := make([]float64, nHub*nHub)
+	spoke := make([]float64, n)
+	solved := make([]float64, n)
+	tmp := make([]float64, n)
+	col := make([]float64, nHub)
+	for j, hj := range ix.hubs {
+		// Column j of B_SH: −(1−α)·M restricted to spoke rows, from hub j.
+		for i := range spoke {
+			spoke[i] = 0
+		}
+		ix.scatter(hj, 1, spoke, false)
+		for i := range spoke {
+			spoke[i] = -spoke[i]
+		}
+		ix.solveSpoke(spoke, solved, tmp)
+		// z = B_HS·solved (hub rows from spoke columns), then column j of
+		// S is B_HH·e_j − z.
+		for i := range col {
+			col[i] = 0
+		}
+		ix.gatherHub(solved, col, -1)
+		// B_HH e_j = e_j − (1−α)·M_HH e_j.
+		col[j] += 1
+		for i := range tmp {
+			tmp[i] = 0
+		}
+		ix.scatter(hj, 1, tmp, true)
+		for i, h := range ix.hubs {
+			col[i] -= tmp[h]
+		}
+		// Store row-major: entry (i,j).
+		for i, v := range col {
+			s[i*nHub+j] = v
+		}
+	}
+	inv, err := invertDense(s, nHub)
+	if err != nil {
+		return nil, fmt.Errorf("bepi: schur complement: %w", err)
+	}
+	ix.schur = inv
+	return ix, nil
+}
+
+// scatter adds w·(1−α)·M·e_v into dst: it distributes weight from node v to
+// its out-neighbours (or to itself if v is a dead end). When hubRows is
+// false, entries landing on hub rows are discarded (spoke-restricted);
+// when true, all rows are written.
+func (ix *Index) scatter(v int32, w float64, dst []float64, hubRows bool) {
+	g := ix.g
+	d := g.OutDegree(v)
+	if d == 0 {
+		if hubRows || ix.hubPos[v] < 0 {
+			dst[v] += w * (1 - ix.alpha)
+		}
+		return
+	}
+	share := w * (1 - ix.alpha) / float64(d)
+	for _, t := range g.Out(v) {
+		if hubRows || ix.hubPos[t] < 0 {
+			dst[t] += share
+		}
+	}
+}
+
+// gatherHub accumulates sign·B_HS·x into hub-indexed dst, where x is a
+// spoke vector (entries on hub positions are ignored).
+func (ix *Index) gatherHub(x []float64, dst []float64, sign float64) {
+	g := ix.g
+	for u := int32(0); int(u) < g.N(); u++ {
+		if ix.hubPos[u] >= 0 || x[u] == 0 {
+			continue
+		}
+		d := g.OutDegree(u)
+		if d == 0 {
+			continue // dead-end self-loop stays in the spoke block
+		}
+		share := sign * -(1 - ix.alpha) * x[u] / float64(d)
+		for _, t := range g.Out(u) {
+			if hp := ix.hubPos[t]; hp >= 0 {
+				dst[hp] += share
+			}
+		}
+	}
+}
+
+// solveSpoke solves B_SS·x = b with Gauss-Seidel sweeps in SCC-topological
+// order: x[u] = b[u] + (1−α)·Σ_{v→u, v spoke} x[v]/d_out(v) (dead ends
+// divide by α for their synthetic self-loop). Acyclic stretches converge
+// in a single sweep; cycles converge geometrically, and iteration stops
+// early once a sweep changes nothing beyond 1e-16. b and x are full-length
+// vectors with zeros on hub positions; tmp is accepted for signature
+// stability but unused.
+func (ix *Index) solveSpoke(b, x, tmp []float64) {
+	_ = tmp
+	g := ix.g
+	for i := range x {
+		x[i] = 0
+	}
+	for it := 0; it < ix.iters; it++ {
+		maxDelta := 0.0
+		for _, u := range ix.order {
+			inflow := 0.0
+			for _, v := range g.In(u) {
+				if ix.hubPos[v] >= 0 {
+					continue
+				}
+				if xv := x[v]; xv != 0 {
+					inflow += xv / float64(g.OutDegree(v))
+				}
+			}
+			nu := b[u] + (1-ix.alpha)*inflow
+			if g.OutDegree(u) == 0 {
+				nu /= ix.alpha
+			}
+			if d := math.Abs(nu - x[u]); d > maxDelta {
+				maxDelta = d
+			}
+			x[u] = nu
+		}
+		if maxDelta < 1e-16 {
+			break
+		}
+	}
+}
+
+// Solver answers SSRWR queries from a BePI-lite index.
+type Solver struct {
+	Index *Index
+}
+
+// Name implements algo.SingleSource.
+func (Solver) Name() string { return "BePI" }
+
+// SingleSource implements algo.SingleSource.
+func (s Solver) SingleSource(g *graph.Graph, src int32, p algo.Params) ([]float64, error) {
+	ix := s.Index
+	if ix == nil {
+		return nil, errors.New("bepi: requires a prebuilt index")
+	}
+	if ix.g != g {
+		return nil, errors.New("bepi: index built for a different graph")
+	}
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := algo.CheckSource(g, src); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	nHub := len(ix.hubs)
+	rhsS := make([]float64, n)
+	rhsH := make([]float64, nHub)
+	if hp := ix.hubPos[src]; hp >= 0 {
+		rhsH[hp] = p.Alpha
+	} else {
+		rhsS[src] = p.Alpha
+	}
+	y := make([]float64, n)
+	tmp := make([]float64, n)
+	ix.solveSpoke(rhsS, y, tmp)
+	// Hub system: S·π_H = rhs_H − B_HS·y.
+	hubRHS := make([]float64, nHub)
+	copy(hubRHS, rhsH)
+	ix.gatherHub(y, hubRHS, -1)
+	piH := make([]float64, nHub)
+	for i := 0; i < nHub; i++ {
+		acc := 0.0
+		for j := 0; j < nHub; j++ {
+			acc += ix.schur[i*nHub+j] * hubRHS[j]
+		}
+		piH[i] = acc
+	}
+	// Spoke back-substitution: B_SS·π_S = rhs_S − B_SH·π_H.
+	b2 := make([]float64, n)
+	copy(b2, rhsS)
+	for j, hj := range ix.hubs {
+		if piH[j] != 0 {
+			ix.scatter(hj, piH[j], b2, false) // −B_SH·π_H = +(1−α)M_SH·π_H
+		}
+	}
+	piS := make([]float64, n)
+	ix.solveSpoke(b2, piS, tmp)
+	// Assemble the full vector.
+	out := piS
+	for j, hj := range ix.hubs {
+		out[hj] = piH[j]
+	}
+	return out, nil
+}
+
+// topDegree returns the k nodes with the largest in+out degree.
+func topDegree(g *graph.Graph, k int) []int32 {
+	type nd struct {
+		v int32
+		d int
+	}
+	top := make([]nd, 0, k)
+	for v := int32(0); int(v) < g.N(); v++ {
+		d := g.OutDegree(v) + g.InDegree(v)
+		i := len(top)
+		for i > 0 && (top[i-1].d < d || (top[i-1].d == d && top[i-1].v > v)) {
+			i--
+		}
+		if i < k {
+			if len(top) < k {
+				top = append(top, nd{})
+			}
+			copy(top[i+1:], top[i:len(top)-1])
+			top[i] = nd{v, d}
+		}
+	}
+	out := make([]int32, len(top))
+	for i, t := range top {
+		out[i] = t.v
+	}
+	return out
+}
+
+// invertDense inverts the n×n row-major matrix a by Gauss-Jordan with
+// partial pivoting.
+func invertDense(a []float64, n int) ([]float64, error) {
+	inv := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		inv[i*n+i] = 1
+	}
+	work := make([]float64, len(a))
+	copy(work, a)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(work[r*n+col]) > math.Abs(work[piv*n+col]) {
+				piv = r
+			}
+		}
+		if math.Abs(work[piv*n+col]) < 1e-14 {
+			return nil, fmt.Errorf("singular at column %d", col)
+		}
+		if piv != col {
+			swapRows(work, n, piv, col)
+			swapRows(inv, n, piv, col)
+		}
+		pv := work[col*n+col]
+		for c := 0; c < n; c++ {
+			work[col*n+c] /= pv
+			inv[col*n+c] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work[r*n+col]
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				work[r*n+c] -= f * work[col*n+c]
+				inv[r*n+c] -= f * inv[col*n+c]
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(a []float64, n, i, j int) {
+	ri, rj := a[i*n:(i+1)*n], a[j*n:(j+1)*n]
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}

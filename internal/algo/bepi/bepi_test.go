@@ -1,0 +1,142 @@
+package bepi
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/eval"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+func TestBePIMatchesTruth(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid": gen.Grid(7, 7),
+		"er":   gen.ErdosRenyi(200, 1200, 3),
+		"rmat": gen.RMAT(7, 4, 5), // dead ends
+	}
+	for name, g := range graphs {
+		p := algo.DefaultParams(g)
+		ix, err := BuildIndex(g, p.Alpha, Options{NHub: 16, SpokeIters: 80})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, src := range []int32{0, int32(g.N() / 2)} {
+			est, err := Solver{Index: ix}.SingleSource(g, src, p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			truth, err := power.GroundTruth(g, src, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := eval.MaxAbsErr(truth, est); e > 1e-6 {
+				t.Errorf("%s src=%d: max abs err %v", name, src, e)
+			}
+		}
+	}
+}
+
+func TestBePIHubSource(t *testing.T) {
+	// Query from a hub node exercises the rhsH path.
+	g := gen.BarabasiAlbert(150, 3, 7)
+	p := algo.DefaultParams(g)
+	ix, err := BuildIndex(g, p.Alpha, Options{NHub: 8, SpokeIters: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := ix.hubs[0]
+	est, err := Solver{Index: ix}.SingleSource(g, hub, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.GroundTruth(g, hub, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := eval.MaxAbsErr(truth, est); e > 1e-6 {
+		t.Fatalf("hub query err %v", e)
+	}
+}
+
+func TestBePIAllHubs(t *testing.T) {
+	// Degenerate partition: every node is a hub; the Schur complement is
+	// the whole system and spoke solves are no-ops.
+	g := gen.Grid(4, 4)
+	p := algo.DefaultParams(g)
+	ix, err := BuildIndex(g, p.Alpha, Options{NHub: g.N(), SpokeIters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Solver{Index: ix}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := eval.MaxAbsErr(truth, est); e > 1e-9 {
+		t.Fatalf("all-hub solve err %v", e)
+	}
+}
+
+func TestBePIMemoryBudget(t *testing.T) {
+	g := gen.Grid(20, 20)
+	if _, err := BuildIndex(g, 0.2, Options{NHub: 64, MaxBytes: 100}); err == nil {
+		t.Fatal("want o.o.m-by-policy error")
+	}
+}
+
+func TestBePIValidation(t *testing.T) {
+	g := gen.Grid(4, 4)
+	p := algo.DefaultParams(g)
+	if _, err := (Solver{}).SingleSource(g, 0, p); err == nil {
+		t.Fatal("want missing index error")
+	}
+	g2 := gen.Grid(5, 5)
+	ix, err := BuildIndex(g2, 0.2, Options{NHub: 4, SpokeIters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Solver{Index: ix}).SingleSource(g, 0, p); err == nil {
+		t.Fatal("want graph mismatch error")
+	}
+	if (Solver{}).Name() != "BePI" {
+		t.Error("name drifted")
+	}
+}
+
+func TestTopDegree(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 2, 1)
+	hubs := topDegree(g, 5)
+	if len(hubs) != 5 {
+		t.Fatalf("len=%d", len(hubs))
+	}
+	for i := 1; i < len(hubs); i++ {
+		di := g.OutDegree(hubs[i-1]) + g.InDegree(hubs[i-1])
+		dj := g.OutDegree(hubs[i]) + g.InDegree(hubs[i])
+		if di < dj {
+			t.Fatal("hubs not sorted by degree")
+		}
+	}
+}
+
+func TestInvertDense(t *testing.T) {
+	a := []float64{4, 7, 2, 6}
+	inv, err := invertDense(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.6, -0.7, -0.2, 0.4}
+	for i := range want {
+		if math.Abs(inv[i]-want[i]) > 1e-12 {
+			t.Fatalf("inv=%v", inv)
+		}
+	}
+	if _, err := invertDense([]float64{0, 0, 0, 0}, 2); err == nil {
+		t.Fatal("want singular error")
+	}
+}

@@ -1,0 +1,62 @@
+package bippr
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/eval"
+	"resacc/internal/graph/gen"
+)
+
+func TestPairEstimate(t *testing.T) {
+	g := gen.Grid(6, 6)
+	p := algo.DefaultParams(g)
+	p.Seed = 3
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int32{0, 7, 35} {
+		got, err := Pair(g, 0, target, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := p.Epsilon*truth[target] + 1e-3
+		if math.Abs(got-truth[target]) > tol {
+			t.Fatalf("π(0,%d): %v vs %v", target, got, truth[target])
+		}
+	}
+}
+
+func TestPairValidation(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p := algo.DefaultParams(g)
+	if _, err := Pair(g, 0, 100, p); err == nil {
+		t.Error("want target range error")
+	}
+	if _, err := Pair(g, -1, 0, p); err == nil {
+		t.Error("want source range error")
+	}
+}
+
+func TestSolverSSRWR(t *testing.T) {
+	g := gen.ErdosRenyi(80, 400, 7)
+	p := algo.DefaultParams(g)
+	p.Seed = 11
+	est, err := Solver{}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := eval.MaxRelErrAbove(truth, est, 10*p.Delta); rel > p.Epsilon {
+		t.Fatalf("rel err %v", rel)
+	}
+	if (Solver{}).Name() != "BiPPR" {
+		t.Error("name drifted")
+	}
+}

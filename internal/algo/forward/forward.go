@@ -1,0 +1,163 @@
+// Package forward implements Forward Search, the local-update algorithm of
+// Andersen, Chung and Lang (FOCS'06) given as Algorithm 1 in the paper. It
+// is both a standalone baseline ("FWD" in Table III, run with a very small
+// residue threshold) and the push primitive reused by FORA, TopPPR and
+// ResAcc's OMFWD phase.
+package forward
+
+import (
+	"resacc/internal/algo"
+	"resacc/internal/graph"
+)
+
+// State holds the reserve π^f(s,·) and residue r^f(s,·) vectors of a
+// forward search in progress.
+type State struct {
+	Reserve []float64
+	Residue []float64
+	// Pushes counts forward push operations performed, for the paper's
+	// cost accounting.
+	Pushes int64
+
+	inQueue []bool
+	queue   []int32
+}
+
+// NewState returns the initial state for source s: r(s)=1, all else zero
+// (Algorithm 1 lines 1-2).
+func NewState(n int, s int32) *State {
+	st := &State{
+		Reserve: make([]float64, n),
+		Residue: make([]float64, n),
+		inQueue: make([]bool, n),
+	}
+	st.Residue[s] = 1
+	return st
+}
+
+// EnsureQueue sizes the internal queue bookkeeping; it must be called on a
+// State assembled from pre-existing reserve/residue vectors (as ResAcc's
+// OMFWD phase does) before Run or RunFrom.
+func (st *State) EnsureQueue(n int) {
+	if len(st.inQueue) < n {
+		st.inQueue = make([]bool, n)
+	}
+}
+
+// ResidueSum returns Σ_v r(v), the r_sum the remedy phase needs.
+func (st *State) ResidueSum() float64 {
+	sum := 0.0
+	for _, r := range st.Residue {
+		sum += r
+	}
+	return sum
+}
+
+// Run performs forward push operations until no node satisfies the push
+// condition r(v)/d_out(v) ≥ rmax, seeding the work queue by scanning all
+// nodes with non-zero residue.
+func Run(g *graph.Graph, alpha, rmax float64, st *State) {
+	for v := int32(0); v < int32(g.N()); v++ {
+		if st.Residue[v] > 0 && satisfies(g, rmax, st.Residue[v], v) {
+			st.enqueue(v)
+		}
+	}
+	st.drain(g, alpha, rmax)
+}
+
+// RunFrom is Run with an explicit seed set, for callers (OMFWD) that know
+// exactly which nodes may satisfy the push condition; it avoids the O(n)
+// scan. Seeds that do not satisfy the condition are pushed anyway when
+// force is true (Algorithm 4 pushes every initially enqueued node).
+func RunFrom(g *graph.Graph, alpha, rmax float64, st *State, seeds []int32, force bool) {
+	if force {
+		for _, v := range seeds {
+			if st.Residue[v] > 0 && !st.inQueue[v] {
+				st.enqueue(v)
+			}
+		}
+	} else {
+		for _, v := range seeds {
+			if satisfies(g, rmax, st.Residue[v], v) {
+				st.enqueue(v)
+			}
+		}
+	}
+	st.drain(g, alpha, rmax)
+}
+
+func satisfies(g *graph.Graph, rmax, r float64, v int32) bool {
+	d := g.OutDegree(v)
+	if d == 0 {
+		// Dead end: any positive residue converts wholly to reserve, so
+		// treat it as pushable whenever it carries meaningful mass.
+		return r >= rmax
+	}
+	return r >= rmax*float64(d)
+}
+
+func (st *State) enqueue(v int32) {
+	if !st.inQueue[v] {
+		st.inQueue[v] = true
+		st.queue = append(st.queue, v)
+	}
+}
+
+// drain processes the queue until empty (Definition 7's push operation).
+func (st *State) drain(g *graph.Graph, alpha, rmax float64) {
+	for len(st.queue) > 0 {
+		v := st.queue[0]
+		st.queue = st.queue[1:]
+		st.inQueue[v] = false
+		rv := st.Residue[v]
+		if rv == 0 {
+			continue
+		}
+		st.Residue[v] = 0
+		st.Pushes++
+		d := g.OutDegree(v)
+		if d == 0 {
+			// Dead-end semantics: the walk stops here with certainty.
+			st.Reserve[v] += rv
+			continue
+		}
+		st.Reserve[v] += alpha * rv
+		share := (1 - alpha) * rv / float64(d)
+		for _, w := range g.Out(v) {
+			st.Residue[w] += share
+			if satisfies(g, rmax, st.Residue[w], w) {
+				st.enqueue(w)
+			}
+		}
+	}
+}
+
+// Solver is the standalone Forward Search baseline: it runs push to a fixed
+// (small) threshold and reports the reserves as the estimate, ignoring the
+// leftover residues. As the paper notes, for any fixed r_max it provides no
+// output bound.
+type Solver struct {
+	// RMax overrides Params.RMaxF when non-zero. The paper's FWD baseline
+	// uses 1e-12 (§VII-A).
+	RMax float64
+}
+
+// Name implements algo.SingleSource.
+func (Solver) Name() string { return "FWD" }
+
+// SingleSource implements algo.SingleSource.
+func (s Solver) SingleSource(g *graph.Graph, src int32, p algo.Params) ([]float64, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := algo.CheckSource(g, src); err != nil {
+		return nil, err
+	}
+	rmax := s.RMax
+	if rmax == 0 {
+		rmax = p.RMaxF
+	}
+	st := NewState(g.N(), src)
+	Run(g, p.Alpha, rmax, st)
+	return st.Reserve, nil
+}

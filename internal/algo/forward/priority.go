@@ -1,0 +1,87 @@
+package forward
+
+import (
+	"container/heap"
+
+	"resacc/internal/graph"
+)
+
+// RunPrioritized performs forward search like Run but schedules pushes in
+// decreasing order of r(v)/d_out(v) instead of FIFO. Pushing the largest
+// normalized residues first converts more mass per operation, which lowers
+// the total push count on skewed graphs at the price of heap overhead per
+// operation — the classic scheduling trade-off in local push methods. Both
+// schedules terminate in states satisfying the same push-condition bound,
+// so the accuracy of downstream phases is unchanged.
+func RunPrioritized(g *graph.Graph, alpha, rmax float64, st *State) {
+	n := g.N()
+	if len(st.inQueue) < n {
+		st.inQueue = make([]bool, n)
+	}
+	pq := &residueHeap{g: g, st: st}
+	for v := int32(0); v < int32(n); v++ {
+		if st.Residue[v] > 0 && satisfies(g, rmax, st.Residue[v], v) {
+			st.inQueue[v] = true
+			pq.items = append(pq.items, v)
+		}
+	}
+	heap.Init(pq)
+	for pq.Len() > 0 {
+		v := heap.Pop(pq).(int32)
+		st.inQueue[v] = false
+		rv := st.Residue[v]
+		if rv == 0 || !satisfies(g, rmax, rv, v) {
+			continue
+		}
+		st.Residue[v] = 0
+		st.Pushes++
+		d := g.OutDegree(v)
+		if d == 0 {
+			st.Reserve[v] += rv
+			continue
+		}
+		st.Reserve[v] += alpha * rv
+		share := (1 - alpha) * rv / float64(d)
+		for _, w := range g.Out(v) {
+			st.Residue[w] += share
+			if !st.inQueue[w] && satisfies(g, rmax, st.Residue[w], w) {
+				st.inQueue[w] = true
+				heap.Push(pq, w)
+			}
+		}
+	}
+}
+
+// residueHeap orders nodes by decreasing normalized residue. Residues
+// change while nodes sit in the heap; the pop-side recheck in
+// RunPrioritized keeps the schedule correct (a stale priority only costs
+// ordering quality, never correctness).
+type residueHeap struct {
+	g     *graph.Graph
+	st    *State
+	items []int32
+}
+
+func (h *residueHeap) priority(v int32) float64 {
+	d := h.g.OutDegree(v)
+	if d == 0 {
+		return h.st.Residue[v]
+	}
+	return h.st.Residue[v] / float64(d)
+}
+
+func (h *residueHeap) Len() int { return len(h.items) }
+
+func (h *residueHeap) Less(i, j int) bool {
+	return h.priority(h.items[i]) > h.priority(h.items[j])
+}
+
+func (h *residueHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *residueHeap) Push(x any) { h.items = append(h.items, x.(int32)) }
+
+func (h *residueHeap) Pop() any {
+	last := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return last
+}

@@ -1,0 +1,223 @@
+// Package hubppr implements HubPPR (Wang et al., VLDB'16), the
+// index-oriented variant of BiPPR listed in the paper's Table I: the
+// preprocessing phase stores backward-search results for "hub" targets and
+// random-walk endpoint pools for hub sources, and the query phase combines
+// a (cached or fresh) backward search from the target with (pooled or
+// fresh) walks from the source through the bidirectional invariant
+//
+//	π(s,t) = p_b(s) + E[r_b(W)],  W = terminal of an RWR walk from s.
+//
+// Hubs are the highest in+out degree nodes — the targets/sources queries
+// hit most often on skewed graphs, which is what makes the cache earn its
+// space.
+package hubppr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/backward"
+	"resacc/internal/graph"
+	"resacc/internal/rng"
+)
+
+// Index is HubPPR's precomputed structure.
+type Index struct {
+	g     *graph.Graph
+	alpha float64
+	rmaxB float64
+
+	backCache map[int32]*backward.Result
+	fwdPools  map[int32][]int32
+	bytes     int64
+}
+
+// Bytes returns the approximate index size.
+func (ix *Index) Bytes() int64 { return ix.bytes }
+
+// Options configures BuildIndex.
+type Options struct {
+	// NHub is the number of hub nodes cached on each side; 0 means
+	// min(64, n/4).
+	NHub int
+	// RMaxB is the backward threshold; 0 means 1/n.
+	RMaxB float64
+	// WalksPerHub sizes each forward endpoint pool; 0 means
+	// ⌈r_max^b·c⌉ (the query-time walk budget, so pools never cycle).
+	WalksPerHub int
+	// MaxBytes bounds the index size (0 = unlimited), reproducing the
+	// paper's out-of-memory policy on oversized builds.
+	MaxBytes int64
+}
+
+// BuildIndex runs HubPPR preprocessing under the query parameters p.
+func BuildIndex(g *graph.Graph, p algo.Params, opt Options) (*Index, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	nHub := opt.NHub
+	if nHub <= 0 {
+		nHub = 64
+		if n/4 < nHub {
+			nHub = n / 4
+		}
+		if nHub < 1 {
+			nHub = 1
+		}
+	}
+	rmaxB := opt.RMaxB
+	if rmaxB <= 0 {
+		rmaxB = 1.0 / float64(n)
+	}
+	walks := opt.WalksPerHub
+	if walks <= 0 {
+		walks = walkBudget(p, rmaxB)
+	}
+	ix := &Index{
+		g:         g,
+		alpha:     p.Alpha,
+		rmaxB:     rmaxB,
+		backCache: make(map[int32]*backward.Result, nHub),
+		fwdPools:  make(map[int32][]int32, nHub),
+	}
+	r := rng.New(p.Seed ^ 0x4b9b)
+	for _, h := range topDegree(g, nHub) {
+		bw := backward.Run(g, p.Alpha, rmaxB, h)
+		ix.backCache[h] = bw
+		ix.bytes += int64(len(bw.Touched)) * 20 // id + reserve + residue
+		pool := make([]int32, walks)
+		for i := range pool {
+			pool[i] = algo.Walk(g, h, p.Alpha, r)
+		}
+		ix.fwdPools[h] = pool
+		ix.bytes += int64(walks) * 4
+		if opt.MaxBytes > 0 && ix.bytes > opt.MaxBytes {
+			return nil, fmt.Errorf("hubppr: index exceeds %d bytes (out of memory by policy)", opt.MaxBytes)
+		}
+	}
+	return ix, nil
+}
+
+func walkBudget(p algo.Params, rmaxB float64) int {
+	w := int(math.Ceil(rmaxB * p.WalkCoefficient() * p.EffectiveNScale()))
+	if w < 1 {
+		w = 1
+	}
+	if p.MaxWalks > 0 && w > p.MaxWalks {
+		w = p.MaxWalks
+	}
+	return w
+}
+
+// Pair estimates π(s,t), consulting the hub caches when they apply.
+func (ix *Index) Pair(s, t int32, p algo.Params) (float64, error) {
+	if ix == nil {
+		return 0, errors.New("hubppr: nil index")
+	}
+	if err := algo.CheckSource(ix.g, s); err != nil {
+		return 0, err
+	}
+	if err := algo.CheckSource(ix.g, t); err != nil {
+		return 0, err
+	}
+	bw, ok := ix.backCache[t]
+	if !ok {
+		bw = backward.Run(ix.g, ix.alpha, ix.rmaxB, t)
+	}
+	walks := walkBudget(p, ix.rmaxB)
+	acc := 0.0
+	if pool, ok := ix.fwdPools[s]; ok && len(pool) > 0 {
+		for i := 0; i < walks; i++ {
+			acc += bw.Residue[pool[i%len(pool)]]
+		}
+	} else {
+		r := rng.New(p.Seed ^ (uint64(s) << 20) ^ uint64(t))
+		for i := 0; i < walks; i++ {
+			acc += bw.Residue[algo.Walk(ix.g, s, ix.alpha, r)]
+		}
+	}
+	return bw.Reserve[s] + acc/float64(walks), nil
+}
+
+// Solver adapts HubPPR to the SSRWR interface the way the paper describes
+// (§VI-A): one backward search per target, shared source walks — expensive
+// by construction, which is the point the comparison makes.
+type Solver struct {
+	Index *Index
+}
+
+// Name implements algo.SingleSource.
+func (Solver) Name() string { return "HubPPR" }
+
+// SingleSource implements algo.SingleSource.
+func (hs Solver) SingleSource(g *graph.Graph, src int32, p algo.Params) ([]float64, error) {
+	ix := hs.Index
+	if ix == nil {
+		return nil, errors.New("hubppr: requires a prebuilt index")
+	}
+	if ix.g != g {
+		return nil, errors.New("hubppr: index built for a different graph")
+	}
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := algo.CheckSource(g, src); err != nil {
+		return nil, err
+	}
+	walks := walkBudget(p, ix.rmaxB)
+	endpoints := make([]int32, walks)
+	if pool, ok := ix.fwdPools[src]; ok && len(pool) > 0 {
+		for i := range endpoints {
+			endpoints[i] = pool[i%len(pool)]
+		}
+	} else {
+		r := rng.New(p.Seed)
+		for i := range endpoints {
+			endpoints[i] = algo.Walk(g, src, p.Alpha, r)
+		}
+	}
+	pi := make([]float64, g.N())
+	for t := int32(0); int(t) < g.N(); t++ {
+		bw, ok := ix.backCache[t]
+		if !ok {
+			bw = backward.Run(g, ix.alpha, ix.rmaxB, t)
+		}
+		acc := 0.0
+		for _, w := range endpoints {
+			acc += bw.Residue[w]
+		}
+		pi[t] = bw.Reserve[src] + acc/float64(walks)
+	}
+	return pi, nil
+}
+
+// topDegree returns the k nodes with the largest in+out degree.
+func topDegree(g *graph.Graph, k int) []int32 {
+	type nd struct {
+		v int32
+		d int
+	}
+	top := make([]nd, 0, k)
+	for v := int32(0); int(v) < g.N(); v++ {
+		d := g.OutDegree(v) + g.InDegree(v)
+		i := len(top)
+		for i > 0 && (top[i-1].d < d || (top[i-1].d == d && top[i-1].v > v)) {
+			i--
+		}
+		if i < k {
+			if len(top) < k {
+				top = append(top, nd{})
+			}
+			copy(top[i+1:], top[i:len(top)-1])
+			top[i] = nd{v, d}
+		}
+	}
+	out := make([]int32, len(top))
+	for i, t := range top {
+		out[i] = t.v
+	}
+	return out
+}

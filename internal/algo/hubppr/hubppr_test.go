@@ -1,0 +1,115 @@
+package hubppr
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/eval"
+	"resacc/internal/graph/gen"
+)
+
+func TestPairMatchesTruth(t *testing.T) {
+	g := gen.Grid(6, 6)
+	p := algo.DefaultParams(g)
+	p.Seed = 3
+	ix, err := BuildIndex(g, p, Options{NHub: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int32{0, 7, 35} {
+		got, err := ix.Pair(0, target, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := p.Epsilon*truth[target] + 1e-3
+		if math.Abs(got-truth[target]) > tol {
+			t.Fatalf("π(0,%d)=%v, truth %v", target, got, truth[target])
+		}
+	}
+}
+
+func TestPairHubHitAndMiss(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 5)
+	p := algo.DefaultParams(g)
+	ix, err := BuildIndex(g, p, Options{NHub: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := topDegree(g, 1)[0]
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hub target hits the cache.
+	got, err := ix.Pair(0, hub, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth[hub]) > p.Epsilon*truth[hub]+1e-3 {
+		t.Fatalf("hub pair %v vs truth %v", got, truth[hub])
+	}
+	// Hub source uses the endpoint pool.
+	truthHub, err := power.GroundTruth(g, hub, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ix.Pair(hub, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got2-truthHub[0]) > p.Epsilon*truthHub[0]+2e-3 {
+		t.Fatalf("hub-source pair %v vs truth %v", got2, truthHub[0])
+	}
+}
+
+func TestSolverSSRWR(t *testing.T) {
+	g := gen.ErdosRenyi(80, 400, 7)
+	p := algo.DefaultParams(g)
+	p.Seed = 11
+	ix, err := BuildIndex(g, p, Options{NHub: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Solver{Index: ix}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := eval.MaxRelErrAbove(truth, est, 10*p.Delta); rel > p.Epsilon {
+		t.Fatalf("rel err %v", rel)
+	}
+}
+
+func TestIndexBudgetAndValidation(t *testing.T) {
+	g := gen.Grid(8, 8)
+	p := algo.DefaultParams(g)
+	if _, err := BuildIndex(g, p, Options{NHub: 16, MaxBytes: 64}); err == nil {
+		t.Fatal("want o.o.m-by-policy error")
+	}
+	if _, err := (Solver{}).SingleSource(g, 0, p); err == nil {
+		t.Fatal("want missing index error")
+	}
+	g2 := gen.Grid(4, 4)
+	ix, err := BuildIndex(g2, algo.DefaultParams(g2), Options{NHub: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Solver{Index: ix}).SingleSource(g, 0, p); err == nil {
+		t.Fatal("want graph mismatch error")
+	}
+	if ix.Bytes() <= 0 {
+		t.Fatal("index bytes should be positive")
+	}
+	if (Solver{}).Name() != "HubPPR" {
+		t.Fatal("name drifted")
+	}
+}

@@ -1,0 +1,104 @@
+// Package inverse implements the exact matrix-based solver (Tong et al.,
+// ICDM'06 — the only exact method in the paper's Table I). The RWR vector
+// is the solution of the linear system
+//
+//	(I − (1−α)·Mᵀ)·π = α·e_s,
+//
+// where M[t][u] = 1/d_out(u) for edges u→t and, under this repository's
+// dead-end semantics, a dead end keeps its mass (treated as M[u][u] = 1,
+// with its α-restart removed so the walk stops there with certainty).
+//
+// Solving densely is Θ(n³); the package refuses graphs beyond a node cap.
+// It exists as the exactness oracle for tests and the tiny-graph examples.
+package inverse
+
+import (
+	"fmt"
+	"math"
+
+	"resacc/internal/algo"
+	"resacc/internal/graph"
+)
+
+// MaxNodes is the largest graph Solve accepts; beyond it the dense solve is
+// pointless when Power at tolerance 1e-14 is available.
+const MaxNodes = 4096
+
+// Solver is the exact dense solver.
+type Solver struct{}
+
+// Name implements algo.SingleSource.
+func (Solver) Name() string { return "Inverse" }
+
+// SingleSource implements algo.SingleSource.
+func (Solver) SingleSource(g *graph.Graph, src int32, p algo.Params) ([]float64, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := algo.CheckSource(g, src); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if n > MaxNodes {
+		return nil, fmt.Errorf("inverse: graph has %d nodes, exact solve capped at %d", n, MaxNodes)
+	}
+	// Build A = I − (1−α)·Mᵀ row-major: row t, column u.
+	a := make([][]float64, n)
+	for t := range a {
+		a[t] = make([]float64, n+1) // last column is the RHS
+		a[t][t] = 1
+	}
+	for u := int32(0); int(u) < n; u++ {
+		d := g.OutDegree(u)
+		if d == 0 {
+			// Dead end: π(t) receives no flow from u; u retains all mass,
+			// i.e. the equation of u is π(u) = α·e_s(u)·(1/α)... handled
+			// below by making u's own equation π(u) = e_s-flow + inflow
+			// with no α discount: we model it as a self-loop with weight
+			// (1−α), which yields exactly "all mass reaching u stays".
+			a[u][u] -= (1 - p.Alpha)
+			continue
+		}
+		w := (1 - p.Alpha) / float64(d)
+		for _, t := range g.Out(u) {
+			a[t][u] -= w
+		}
+	}
+	a[src][n] = p.Alpha
+	// Dead-end source correction: the restart vector injects α at s; if s
+	// itself is a dead end the full unit stays at s, which the self-loop
+	// encoding above already produces: (1-(1-α))·π(s)=α ⇒ π(s)=1.
+
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-15 {
+			return nil, fmt.Errorf("inverse: singular system at column %d", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		pivVal := a[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / pivVal
+			if f == 0 {
+				continue
+			}
+			row, prow := a[r], a[col]
+			for c := col; c <= n; c++ {
+				row[c] -= f * prow[c]
+			}
+		}
+	}
+	pi := make([]float64, n)
+	for t := 0; t < n; t++ {
+		pi[t] = a[t][n] / a[t][t]
+	}
+	return pi, nil
+}

@@ -1,0 +1,68 @@
+package inverse
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+func TestInverseTwoCycleClosedForm(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g := b.MustBuild()
+	p := algo.DefaultParams(g)
+	pi, err := Solver{}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den := 1 - 0.8*0.8
+	if math.Abs(pi[0]-0.2/den) > 1e-12 || math.Abs(pi[1]-0.16/den) > 1e-12 {
+		t.Fatalf("pi=%v", pi)
+	}
+}
+
+func TestInverseIsDistribution(t *testing.T) {
+	g := gen.RMAT(7, 4, 5) // dead ends present
+	p := algo.DefaultParams(g)
+	pi, err := Solver{}.SingleSource(g, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range pi {
+		if x < -1e-12 {
+			t.Fatal("negative probability")
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Σπ=%v", sum)
+	}
+}
+
+func TestInverseRejectsHugeGraph(t *testing.T) {
+	g := gen.ErdosRenyi(MaxNodes+1, 10, 1)
+	p := algo.DefaultParams(g)
+	if _, err := (Solver{}).SingleSource(g, 0, p); err == nil {
+		t.Fatal("want size cap error")
+	}
+}
+
+func TestInverseDanglingSource(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	p := algo.DefaultParams(g)
+	pi, err := Solver{}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-1) > 1e-12 {
+		t.Fatalf("dangling source: %v", pi)
+	}
+}

@@ -1,0 +1,54 @@
+// Package montecarlo implements the Random Walk sampling baseline ("MC" in
+// the paper, after Fogaras et al. 2005): simulate walks from the source and
+// report the fraction terminating at each node. It is the degenerate case
+// of the remedy phase with all residue still on the source, so its walk
+// count under the paper's accounting is n_r = c = (2ε/3+2)·ln(2/p_f)/(ε²δ).
+package montecarlo
+
+import (
+	"math"
+
+	"resacc/internal/algo"
+	"resacc/internal/graph"
+	"resacc/internal/rng"
+)
+
+// Solver is the MC baseline.
+type Solver struct {
+	// Walks overrides the formula-derived walk count when positive.
+	Walks int
+}
+
+// Name implements algo.SingleSource.
+func (Solver) Name() string { return "MC" }
+
+// SingleSource implements algo.SingleSource.
+func (s Solver) SingleSource(g *graph.Graph, src int32, p algo.Params) ([]float64, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := algo.CheckSource(g, src); err != nil {
+		return nil, err
+	}
+	walks := s.Walks
+	if walks <= 0 {
+		walks = int(math.Ceil(p.WalkCoefficient() * p.EffectiveNScale()))
+	}
+	if p.MaxWalks > 0 && walks > p.MaxWalks {
+		walks = p.MaxWalks
+	}
+	if walks < 1 {
+		walks = 1
+	}
+	r := rng.New(p.Seed)
+	wc := algo.NewWalkCounter(g, p.Alpha, r)
+	wc.Run(src, walks)
+	pi := make([]float64, g.N())
+	inv := 1.0 / float64(walks)
+	for t, c := range wc.Count {
+		if c > 0 {
+			pi[t] = float64(c) * inv
+		}
+	}
+	return pi, nil
+}

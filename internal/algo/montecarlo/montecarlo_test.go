@@ -1,0 +1,106 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/eval"
+	"resacc/internal/graph/gen"
+)
+
+func TestMCIsDistribution(t *testing.T) {
+	g := gen.Grid(5, 5)
+	p := algo.DefaultParams(g)
+	pi, err := Solver{Walks: 10000}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range pi {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Σπ̂=%v", sum)
+	}
+}
+
+func TestMCAccuracyImprovesWithWalks(t *testing.T) {
+	g := gen.ErdosRenyi(150, 900, 3)
+	p := algo.DefaultParams(g)
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs []float64
+	for _, w := range []int{100, 10000} {
+		est, err := Solver{Walks: w}.SingleSource(g, 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, eval.MeanAbsErr(truth, est))
+	}
+	if errs[1] >= errs[0] {
+		t.Fatalf("error did not shrink with 100x walks: %v", errs)
+	}
+}
+
+func TestMCMeetsGuaranteeAtFormulaBudget(t *testing.T) {
+	g := gen.ErdosRenyi(200, 1200, 5)
+	p := algo.DefaultParams(g)
+	p.Seed = 99
+	est, err := Solver{}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := eval.MaxRelErrAbove(truth, est, p.Delta); rel > p.Epsilon {
+		t.Fatalf("rel err %v > ε", rel)
+	}
+}
+
+func TestMCMaxWalksCap(t *testing.T) {
+	g := gen.Grid(4, 4)
+	p := algo.DefaultParams(g)
+	p.MaxWalks = 5
+	// The run must succeed (and be fast); with 5 walks at most 5 distinct
+	// terminals carry mass.
+	pi, err := Solver{}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, x := range pi {
+		if x > 0 {
+			nonzero++
+		}
+	}
+	if nonzero > 5 {
+		t.Fatalf("%d nonzero entries from 5 walks", nonzero)
+	}
+}
+
+func TestMCDeterministicInSeed(t *testing.T) {
+	g := gen.Grid(4, 4)
+	p := algo.DefaultParams(g)
+	p.Seed = 7
+	a, _ := Solver{Walks: 500}.SingleSource(g, 1, p)
+	b, _ := Solver{Walks: 500}.SingleSource(g, 1, p)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestMCValidation(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p := algo.DefaultParams(g)
+	if _, err := (Solver{}).SingleSource(g, 100, p); err == nil {
+		t.Error("want source error")
+	}
+}

@@ -1,0 +1,106 @@
+package algo
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"resacc/internal/graph"
+	"resacc/internal/rng"
+)
+
+// RemedyParallel is Remedy with the walk simulation fanned out over a pool
+// of goroutines. Each worker owns an independent RNG stream (split from the
+// seed) and a private accumulation vector, merged at the end, so the result
+// is deterministic for a fixed (seed, workers) pair and race-free.
+//
+// workers ≤ 1 falls back to the sequential Remedy. The walk-count
+// accounting (n_r, per-node ⌈r(v)·n_r/r_sum⌉, MaxWalks cap) is identical to
+// the sequential phase, so the Theorem 3 guarantee carries over unchanged.
+func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64, workers int) RemedyStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		return Remedy(g, p, pi, residue, rng.New(seed))
+	}
+
+	var st RemedyStats
+	for _, rv := range residue {
+		if rv > 0 {
+			st.RSum += rv
+		}
+	}
+	if st.RSum <= 0 {
+		return st
+	}
+	st.NR = st.RSum * p.WalkCoefficient() * p.EffectiveNScale()
+	if st.NR < 1 {
+		st.NR = 1
+	}
+
+	// Plan the walk assignment sequentially (cheap) so the MaxWalks cap
+	// behaves exactly like the sequential phase, then execute in parallel.
+	type job struct {
+		v   int32
+		n   int64
+		inc float64
+	}
+	budget := int64(math.MaxInt64)
+	if p.MaxWalks > 0 {
+		budget = int64(p.MaxWalks)
+	}
+	var jobs []job
+	for v := int32(0); int(v) < len(residue); v++ {
+		rv := residue[v]
+		if rv <= 0 {
+			continue
+		}
+		nv := int64(math.Ceil(rv * st.NR / st.RSum))
+		if nv < 1 {
+			nv = 1
+		}
+		if st.Walks+nv > budget {
+			nv = budget - st.Walks
+			if nv <= 0 {
+				break
+			}
+		}
+		jobs = append(jobs, job{v, nv, rv / float64(nv)})
+		st.Walks += nv
+	}
+
+	root := rng.New(seed)
+	locals := make([][]float64, workers)
+	streams := make([]*rng.Source, workers)
+	for w := range streams {
+		streams[w] = root.Split()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]float64, g.N())
+			r := streams[w]
+			for i := w; i < len(jobs); i += workers {
+				j := jobs[i]
+				for k := int64(0); k < j.n; k++ {
+					t := Walk(g, j.v, p.Alpha, r)
+					local[t] += j.inc
+				}
+			}
+			locals[w] = local
+		}()
+	}
+	wg.Wait()
+	for _, local := range locals {
+		for t, x := range local {
+			if x != 0 {
+				pi[t] += x
+			}
+		}
+	}
+	return st
+}

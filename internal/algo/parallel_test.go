@@ -1,0 +1,107 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/graph/gen"
+	"resacc/internal/rng"
+)
+
+func TestRemedyParallelMassConservation(t *testing.T) {
+	g := gen.ErdosRenyi(200, 1200, 3)
+	p := DefaultParams(g)
+	residue := make([]float64, g.N())
+	residue[3], residue[77], residue[150] = 0.2, 0.1, 0.05
+	for _, workers := range []int{1, 2, 4, 7} {
+		pi := make([]float64, g.N())
+		st := RemedyParallel(g, p, pi, residue, 9, workers)
+		added := 0.0
+		for _, x := range pi {
+			added += x
+		}
+		if math.Abs(added-0.35) > 1e-9 {
+			t.Fatalf("workers=%d: mass %v, want 0.35", workers, added)
+		}
+		if st.Walks <= 0 {
+			t.Fatalf("workers=%d: no walks", workers)
+		}
+	}
+}
+
+func TestRemedyParallelDeterministicPerWorkerCount(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 5)
+	p := DefaultParams(g)
+	residue := make([]float64, g.N())
+	residue[0], residue[50] = 0.3, 0.1
+	run := func(workers int) []float64 {
+		pi := make([]float64, g.N())
+		RemedyParallel(g, p, pi, residue, 42, workers)
+		return pi
+	}
+	a, b := run(4), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same (seed, workers) must reproduce exactly")
+		}
+	}
+}
+
+func TestRemedyParallelSingleWorkerEqualsSequential(t *testing.T) {
+	g := gen.Grid(8, 8)
+	p := DefaultParams(g)
+	residue := make([]float64, g.N())
+	residue[5] = 0.25
+	seq := make([]float64, g.N())
+	Remedy(g, p, seq, residue, rng.New(7))
+	par := make([]float64, g.N())
+	RemedyParallel(g, p, par, residue, 7, 1)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatal("workers=1 must match sequential remedy exactly")
+		}
+	}
+}
+
+func TestRemedyParallelWalkBudget(t *testing.T) {
+	g := gen.Grid(6, 6)
+	p := DefaultParams(g)
+	p.MaxWalks = 12
+	residue := make([]float64, g.N())
+	residue[0], residue[10], residue[20] = 0.3, 0.3, 0.3
+	pi := make([]float64, g.N())
+	st := RemedyParallel(g, p, pi, residue, 1, 4)
+	if st.Walks > 12 {
+		t.Fatalf("budget exceeded: %d walks", st.Walks)
+	}
+}
+
+func TestRemedyParallelZeroResidue(t *testing.T) {
+	g := gen.Grid(4, 4)
+	p := DefaultParams(g)
+	pi := make([]float64, g.N())
+	st := RemedyParallel(g, p, pi, make([]float64, g.N()), 1, 4)
+	if st.Walks != 0 {
+		t.Fatal("zero residue should be a no-op")
+	}
+}
+
+func TestRemedyParallelUnbiased(t *testing.T) {
+	// Same unbiasedness check as the sequential remedy, through the
+	// parallel path.
+	b2 := gen.Grid(1, 2) // 0<->1 two-node path is undirected: 2-cycle
+	p := DefaultParams(b2)
+	pi00 := p.Alpha / (1 - (1-p.Alpha)*(1-p.Alpha))
+	const trials = 300
+	acc := 0.0
+	for seed := uint64(0); seed < trials; seed++ {
+		pi := make([]float64, 2)
+		RemedyParallel(b2, p, pi, []float64{0.5, 0}, seed, 3)
+		acc += pi[0]
+	}
+	got := acc / trials
+	want := 0.5 * pi00
+	if math.Abs(got-want) > 0.012 {
+		t.Fatalf("mean parallel estimate %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,98 @@
+package pf
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/eval"
+	"resacc/internal/graph/gen"
+)
+
+func TestPFIsApproximatelyDistribution(t *testing.T) {
+	g := gen.ErdosRenyi(200, 1200, 3)
+	p := algo.DefaultParams(g)
+	pi, err := Solver{Walks: 1e6, WMin: 10}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range pi {
+		if x < 0 {
+			t.Fatal("negative estimate")
+		}
+		sum += x
+	}
+	// The random phase drops partial chunks probabilistically, so the sum
+	// is only approximately 1.
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("Σπ̂=%v", sum)
+	}
+}
+
+func TestPFDeterministicRegimeMatchesTruth(t *testing.T) {
+	// With w_min tiny relative to the budget, PF is essentially a
+	// deterministic power iteration and should be accurate.
+	g := gen.Grid(6, 6)
+	p := algo.DefaultParams(g)
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := Solver{Walks: 1e9, WMin: 1e-3}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := eval.MaxAbsErr(truth, pi); e > 1e-3 {
+		t.Fatalf("deterministic-regime error %v", e)
+	}
+}
+
+func TestPFErrorGrowsWithWMin(t *testing.T) {
+	// Appendix B: the larger w_min, the larger the error.
+	g := gen.BarabasiAlbert(300, 3, 9)
+	p := algo.DefaultParams(g)
+	p.Seed = 5
+	truth, err := power.GroundTruth(g, 7, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Solver{Walks: 1e6, WMin: 1}.SingleSource(g, 7, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Solver{Walks: 1e6, WMin: 1e5}.SingleSource(g, 7, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.MeanAbsErr(truth, small) >= eval.MeanAbsErr(truth, large) {
+		t.Fatalf("error did not grow with w_min: %v vs %v",
+			eval.MeanAbsErr(truth, small), eval.MeanAbsErr(truth, large))
+	}
+}
+
+func TestPFDanglingNodes(t *testing.T) {
+	g := gen.RMAT(7, 4, 5)
+	p := algo.DefaultParams(g)
+	pi, err := Solver{Walks: 1e5, WMin: 10}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range pi {
+		if x < 0 || math.IsNaN(x) {
+			t.Fatal("bad estimate")
+		}
+	}
+}
+
+func TestPFValidation(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p := algo.DefaultParams(g)
+	if _, err := (Solver{}).SingleSource(g, 100, p); err == nil {
+		t.Error("want source error")
+	}
+	if (Solver{}).Name() != "PF" {
+		t.Error("name drifted")
+	}
+}

@@ -1,0 +1,109 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"resacc/internal/algo"
+	"resacc/internal/graph"
+)
+
+// BatchSolver runs power iteration for several sources simultaneously,
+// sharing each edge traversal across the whole batch. One sweep touches
+// every edge once and updates all batch columns, so a batch of B sources
+// costs roughly one B-wide pass instead of B separate passes — the
+// dominant saving when generating ground truth for the MSRWR experiments.
+type BatchSolver struct {
+	// Tol is the per-source residual tolerance (0 = 1e-12).
+	Tol float64
+}
+
+// SingleSourceBatch returns one RWR vector per source, each identical to
+// what Solver{Tol}.SingleSource would produce.
+func (bs BatchSolver) SingleSourceBatch(g *graph.Graph, sources []int32, p algo.Params) ([][]float64, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	for _, s := range sources {
+		if err := algo.CheckSource(g, s); err != nil {
+			return nil, err
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("power: empty source batch")
+	}
+	tol := bs.Tol
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	maxIter := int(math.Ceil(math.Log(tol)/math.Log(1-p.Alpha))) + 1
+
+	n := g.N()
+	b := len(sources)
+	// Row-major [node][batch] so one node's batch row is contiguous.
+	pi := make([]float64, n*b)
+	cur := make([]float64, n*b)
+	nxt := make([]float64, n*b)
+	for j, s := range sources {
+		cur[int(s)*b+j] = 1
+	}
+	mass := 1.0
+	for iter := 0; iter < maxIter && mass > tol; iter++ {
+		mass = 0
+		for v := 0; v < n; v++ {
+			row := cur[v*b : (v+1)*b]
+			any := false
+			for _, x := range row {
+				if x != 0 {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			piRow := pi[v*b : (v+1)*b]
+			d := g.OutDegree(int32(v))
+			if d == 0 {
+				for j, x := range row {
+					piRow[j] += x
+					row[j] = 0
+				}
+				continue
+			}
+			inv := (1 - p.Alpha) / float64(d)
+			rowMass := 0.0
+			for j, x := range row {
+				piRow[j] += p.Alpha * x
+				rowMass += x
+				row[j] = x * inv // reuse as the per-neighbour share
+			}
+			mass += (1 - p.Alpha) * rowMass
+			for _, w := range g.Out(int32(v)) {
+				dst := nxt[int(w)*b : (int(w)+1)*b]
+				for j, share := range row {
+					dst[j] += share
+				}
+			}
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	// Residual mass is attributed locally, as in the single-source solver.
+	for v := 0; v < n; v++ {
+		for j := 0; j < b; j++ {
+			pi[v*b+j] += cur[v*b+j]
+		}
+	}
+	out := make([][]float64, b)
+	for j := range out {
+		col := make([]float64, n)
+		for v := 0; v < n; v++ {
+			col[v] = pi[v*b+j]
+		}
+		out[j] = col
+	}
+	return out, nil
+}

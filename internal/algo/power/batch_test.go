@@ -1,0 +1,59 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/graph/gen"
+)
+
+func TestBatchMatchesSingleSource(t *testing.T) {
+	g := gen.RMAT(8, 4, 7) // includes dead ends
+	p := algo.DefaultParams(g)
+	sources := []int32{0, 3, 17, 99}
+	batch, err := BatchSolver{Tol: 1e-12}.SingleSourceBatch(g, sources, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, s := range sources {
+		single, err := Solver{Tol: 1e-12}.SingleSource(g, s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range single {
+			if math.Abs(batch[j][v]-single[v]) > 1e-12 {
+				t.Fatalf("source %d node %d: batch %v vs single %v", s, v, batch[j][v], single[v])
+			}
+		}
+	}
+}
+
+func TestBatchIsDistributionPerSource(t *testing.T) {
+	g := gen.Grid(6, 6)
+	p := algo.DefaultParams(g)
+	batch, err := BatchSolver{}.SingleSourceBatch(g, []int32{0, 35}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, col := range batch {
+		sum := 0.0
+		for _, x := range col {
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("batch column %d sums to %v", j, sum)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p := algo.DefaultParams(g)
+	if _, err := (BatchSolver{}).SingleSourceBatch(g, nil, p); err == nil {
+		t.Error("want empty batch error")
+	}
+	if _, err := (BatchSolver{}).SingleSourceBatch(g, []int32{100}, p); err == nil {
+		t.Error("want source range error")
+	}
+}

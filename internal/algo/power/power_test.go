@@ -1,0 +1,116 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/inverse"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+func TestPowerMatchesClosedFormOnTwoCycle(t *testing.T) {
+	// π(0,0) = α/(1-(1-α)²), π(0,1) = α(1-α)/(1-(1-α)²).
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g := b.MustBuild()
+	p := algo.DefaultParams(g)
+	got, err := Solver{Tol: 1e-14}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den := 1 - 0.8*0.8
+	want := []float64{0.2 / den, 0.2 * 0.8 / den}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("π(0,%d)=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPowerIsDistribution(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.Grid(6, 6),
+		gen.RMAT(8, 4, 3), // contains dead ends
+		gen.BarabasiAlbert(200, 3, 5),
+	} {
+		p := algo.DefaultParams(g)
+		pi, err := GroundTruth(g, 0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, x := range pi {
+			if x < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Σπ=%v, want 1", sum)
+		}
+	}
+}
+
+func TestPowerMatchesInverseExactly(t *testing.T) {
+	// The two exact methods must agree to solver precision, including on
+	// graphs with dead ends (shared dead-end semantics).
+	graphs := []*graph.Graph{
+		gen.Grid(5, 5),
+		gen.ErdosRenyi(60, 240, 9),
+		gen.RMAT(6, 3, 11),
+	}
+	for gi, g := range graphs {
+		p := algo.DefaultParams(g)
+		for _, src := range []int32{0, int32(g.N() - 1)} {
+			pw, err := GroundTruth(g, src, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex, err := inverse.Solver{}.SingleSource(g, src, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range pw {
+				if math.Abs(pw[v]-ex[v]) > 1e-9 {
+					t.Fatalf("graph %d src %d node %d: power %v vs inverse %v",
+						gi, src, v, pw[v], ex[v])
+				}
+			}
+		}
+	}
+}
+
+func TestPowerDanglingSource(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(1, 0)
+	g := b.MustBuild()
+	p := algo.DefaultParams(g)
+	pi, err := GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[0] != 1 || pi[1] != 0 {
+		t.Fatalf("dangling source: %v", pi)
+	}
+}
+
+func TestPowerValidation(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p := algo.DefaultParams(g)
+	if _, err := (Solver{}).SingleSource(g, 99, p); err == nil {
+		t.Error("want source range error")
+	}
+	p.Alpha = -1
+	if _, err := (Solver{}).SingleSource(g, 0, p); err == nil {
+		t.Error("want param error")
+	}
+}
+
+func TestPowerName(t *testing.T) {
+	if (Solver{}).Name() != "Power" {
+		t.Fatal("name drifted")
+	}
+}

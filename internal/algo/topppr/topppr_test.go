@@ -1,0 +1,74 @@
+package topppr
+
+import (
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/eval"
+	"resacc/internal/graph/gen"
+)
+
+func TestTopPPROrdersHeadWell(t *testing.T) {
+	g := gen.RMAT(9, 5, 3)
+	p := algo.DefaultParams(g)
+	p.Seed = 13
+	k := 50
+	est, err := Solver{K: k}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndcg := eval.NDCG(truth, est, k); ndcg < 0.95 {
+		t.Fatalf("NDCG@%d=%v, want ≥0.95", k, ndcg)
+	}
+}
+
+func TestTopPPRHeadBeatsTail(t *testing.T) {
+	// The paper's App. E observation: TopPPR cannot bound tail error; the
+	// head of the ranking must be at least as precise as the deep tail.
+	g := gen.BarabasiAlbert(500, 4, 7)
+	p := algo.DefaultParams(g)
+	p.Seed = 21
+	est, err := Solver{K: 20}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := eval.Precision(truth, est, 10)
+	if head < 0.6 {
+		t.Fatalf("head precision too low: %v", head)
+	}
+}
+
+func TestTopPPRDefaultsAndBounds(t *testing.T) {
+	g := gen.Grid(5, 5)
+	p := algo.DefaultParams(g)
+	// K=0 default, K>n clamp, MaxCandidates cap.
+	for _, k := range []int{0, 5, 1000} {
+		est, err := Solver{K: k, MaxCandidates: 3}.SingleSource(g, 0, p)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if len(est) != g.N() {
+			t.Fatalf("K=%d: wrong output size", k)
+		}
+	}
+}
+
+func TestTopPPRValidation(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p := algo.DefaultParams(g)
+	if _, err := (Solver{}).SingleSource(g, -1, p); err == nil {
+		t.Error("want source error")
+	}
+	if (Solver{}).Name() != "TopPPR" {
+		t.Error("name drifted")
+	}
+}

@@ -1,0 +1,97 @@
+package tpa
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/eval"
+	"resacc/internal/graph/gen"
+)
+
+func TestBuildIndexPageRankSumsToOne(t *testing.T) {
+	g := gen.RMAT(8, 4, 3)
+	ix, err := BuildIndex(g, 0.2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range ix.pagerank {
+		if x < 0 {
+			t.Fatal("negative pagerank")
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("Σpr=%v", sum)
+	}
+	if ix.Bytes() != int64(g.N())*8 {
+		t.Fatalf("index bytes=%d", ix.Bytes())
+	}
+}
+
+func TestBuildIndexMemoryBudget(t *testing.T) {
+	g := gen.Grid(10, 10)
+	if _, err := BuildIndex(g, 0.2, 0, 16); err == nil {
+		t.Fatal("want o.o.m-by-policy error")
+	}
+}
+
+func TestTPAEstimateSumsToOne(t *testing.T) {
+	g := gen.ErdosRenyi(300, 1800, 5)
+	ix, err := BuildIndex(g, 0.2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := algo.DefaultParams(g)
+	pi, err := Solver{Index: ix}.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range pi {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("Σπ̂=%v", sum)
+	}
+}
+
+func TestTPANearFieldAccurate(t *testing.T) {
+	// With many local iterations TPA approaches the truth.
+	g := gen.Grid(8, 8)
+	ix, err := BuildIndex(g, 0.2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := algo.DefaultParams(g)
+	truth, err := power.GroundTruth(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, _ := Solver{Index: ix, LocalIters: 2}.SingleSource(g, 0, p)
+	fine, _ := Solver{Index: ix, LocalIters: 60}.SingleSource(g, 0, p)
+	if eval.MeanAbsErr(truth, fine) >= eval.MeanAbsErr(truth, coarse) {
+		t.Fatal("more local iterations should reduce error")
+	}
+	if eval.MeanAbsErr(truth, fine) > 1e-6 {
+		t.Fatalf("fine error too large: %v", eval.MeanAbsErr(truth, fine))
+	}
+}
+
+func TestTPARequiresIndex(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p := algo.DefaultParams(g)
+	if _, err := (Solver{}).SingleSource(g, 0, p); err == nil {
+		t.Fatal("want missing index error")
+	}
+	g2 := gen.Grid(4, 4)
+	ix, _ := BuildIndex(g2, 0.2, 0, 0)
+	if _, err := (Solver{Index: ix}).SingleSource(g, 0, p); err == nil {
+		t.Fatal("want graph mismatch error")
+	}
+	if (Solver{}).Name() != "TPA" {
+		t.Error("name drifted")
+	}
+}

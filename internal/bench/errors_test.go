@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every runner must propagate dataset-resolution errors instead of
+// swallowing them; the harness is often driven from scripts where a typo'd
+// -datasets flag must fail loudly.
+func TestRunnersPropagateBadDataset(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := microCfg(&buf)
+			cfg.Datasets = []string{"no-such-dataset"}
+			err := Run(e.ID, cfg)
+			if err == nil {
+				t.Fatalf("%s accepted an unknown dataset", e.ID)
+			}
+			if !strings.Contains(err.Error(), "no-such-dataset") {
+				t.Fatalf("%s error does not name the dataset: %v", e.ID, err)
+			}
+		})
+	}
+}
+
+func TestRunAllStopsOnError(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := microCfg(&buf)
+	cfg.Datasets = []string{"no-such-dataset"}
+	if err := RunAll(cfg); err == nil {
+		t.Fatal("RunAll swallowed a runner error")
+	}
+}

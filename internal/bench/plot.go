@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// barChart renders a horizontal ASCII bar chart of a series — the harness's
+// stand-in for the paper's figures. Values are scaled to the given width;
+// logScale spreads series spanning orders of magnitude (all values must be
+// positive in that mode; non-positive values render as empty bars).
+func barChart(w io.Writer, title string, labels []string, values []float64, width int, logScale bool) {
+	if len(labels) != len(values) || len(values) == 0 {
+		return
+	}
+	if width <= 0 {
+		width = 40
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if logScale && v <= 0 {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) || hi <= 0 && logScale {
+		return
+	}
+	scale := func(v float64) int {
+		if logScale {
+			if v <= 0 {
+				return 0
+			}
+			if hi == lo {
+				return width
+			}
+			return int(math.Round(float64(width) * (math.Log(v) - math.Log(lo) + 1) /
+				(math.Log(hi) - math.Log(lo) + 1)))
+		}
+		if hi == 0 {
+			return 0
+		}
+		return int(math.Round(float64(width) * v / hi))
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for i, v := range values {
+		n := scale(v)
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(w, "  %-*s |%s %.4g\n", labelWidth, labels[i], strings.Repeat("█", n), v)
+	}
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChartLinear(t *testing.T) {
+	var buf bytes.Buffer
+	barChart(&buf, "title", []string{"a", "bb"}, []float64{1, 2}, 10, false)
+	out := buf.String()
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	// The max value fills the width; the half value fills half.
+	if strings.Count(lines[2], "█") != 10 || strings.Count(lines[1], "█") != 5 {
+		t.Fatalf("bar lengths wrong:\n%s", out)
+	}
+}
+
+func TestBarChartLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	barChart(&buf, "log", []string{"lo", "hi"}, []float64{1e-6, 1e-2}, 20, true)
+	out := buf.String()
+	if strings.Count(out, "█") == 0 {
+		t.Fatal("log chart empty")
+	}
+	// Non-positive values render as empty bars, not panics.
+	buf.Reset()
+	barChart(&buf, "mixed", []string{"z", "p"}, []float64{0, 5}, 20, true)
+	if !strings.Contains(buf.String(), "p") {
+		t.Fatal("positive entry missing")
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	barChart(&buf, "x", []string{"a"}, []float64{3, 4}, 10, false) // length mismatch
+	if buf.Len() != 0 {
+		t.Fatal("mismatched input should render nothing")
+	}
+	barChart(&buf, "x", nil, nil, 10, false)
+	if buf.Len() != 0 {
+		t.Fatal("empty input should render nothing")
+	}
+	// Width default kicks in for non-positive width.
+	barChart(&buf, "w", []string{"a"}, []float64{1}, 0, false)
+	if buf.Len() == 0 {
+		t.Fatal("default width should render")
+	}
+}
+
+func TestCSVModeEmitsCommas(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{CSV: true, Out: &buf}.withDefaults()
+	tab := newTableCfg(cfg, "a", "b")
+	tab.row("x", 1.5)
+	tab.flush()
+	out := buf.String()
+	if !strings.Contains(out, "a,b") || !strings.Contains(out, "x,1.5") {
+		t.Fatalf("CSV output wrong:\n%s", out)
+	}
+}
+
+func TestPlotModeInF21(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := microCfg(&buf)
+	cfg.Plot = true
+	cfg.Datasets = []string{"webstan-s"}
+	if err := Run("F21", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "█") {
+		t.Fatal("plot mode produced no bars")
+	}
+}

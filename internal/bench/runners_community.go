@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"resacc/internal/algo"
+	"resacc/internal/algo/fora"
+	"resacc/internal/community"
+	"resacc/internal/core"
+	"resacc/internal/graph"
+)
+
+// communityConfig returns the NISE setting for a dataset: the number of
+// communities tracks the planted structure of the generators.
+func communityConfig(g *graph.Graph, p algo.Params, solver algo.SingleSource, ord community.Ordering) community.Config {
+	num := g.N() / 50
+	if num < 4 {
+		num = 4
+	}
+	if num > 64 {
+		num = 64 // keep one experiment run within seconds at default scale
+	}
+	return community.Config{
+		NumCommunities: num,
+		Solver:         solver,
+		Params:         p,
+		Ordering:       ord,
+	}
+}
+
+func runTable5(cfg Config) error {
+	names := cfg.Datasets
+	if names == nil {
+		names = []string{"facebook-s", "dblp-s"}
+	}
+	t := newTableCfg(cfg, "dataset", "method", "ANC", "AC")
+	for _, name := range names {
+		g, p, err := buildDataset(name, cfg)
+		if err != nil {
+			return err
+		}
+		with, err := community.Detect(g, communityConfig(g, p, core.Solver{}, community.BySSRWR))
+		if err != nil {
+			return err
+		}
+		without, err := community.Detect(g, communityConfig(g, p, nil, community.ByDistance))
+		if err != nil {
+			return err
+		}
+		t.row(name, "NISE", with.ANC, with.AC)
+		t.row(name, "NISE-without-SSRWR", without.ANC, without.AC)
+	}
+	t.flush()
+	return nil
+}
+
+func runTable6(cfg Config) error {
+	names := cfg.Datasets
+	if names == nil {
+		names = []string{"facebook-s", "dblp-s"}
+	}
+	t := newTableCfg(cfg, "dataset", "approach", "total time", "ANC", "AC")
+	for _, name := range names {
+		g, p, err := buildDataset(name, cfg)
+		if err != nil {
+			return err
+		}
+		withFora, err := community.Detect(g, communityConfig(g, p, fora.Solver{}, community.BySSRWR))
+		if err != nil {
+			return err
+		}
+		withResAcc, err := community.Detect(g, communityConfig(g, p, core.Solver{}, community.BySSRWR))
+		if err != nil {
+			return err
+		}
+		t.row(name, "FORA", withFora.Elapsed, withFora.ANC, withFora.AC)
+		t.row(name, "ResAcc", withResAcc.Elapsed, withResAcc.ANC, withResAcc.AC)
+	}
+	t.flush()
+	return nil
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/fora"
+	"resacc/internal/algo/montecarlo"
+	"resacc/internal/algo/tpa"
+	"resacc/internal/core"
+	"resacc/internal/eval"
+)
+
+// runFig7to10 reproduces the outlier study: for each dataset and algorithm
+// it reports the boxplot five-number summary and the mean±std of per-query
+// time, absolute error, and NDCG.
+func runFig7to10(cfg Config) error {
+	names := cfg.Datasets
+	if names == nil {
+		names = []string{"dblp-s", "twitter-s"}
+	}
+	for _, name := range names {
+		g, p, sources, err := graphOf(name, cfg)
+		if err != nil {
+			return err
+		}
+		tc := newTruthCacheDisk(g, p, cfg)
+		if err := tc.prefetch(sources); err != nil {
+			return err
+		}
+		ix, err := tpa.BuildIndex(g, p.Alpha, 1e-9, 0)
+		if err != nil {
+			return err
+		}
+		solvers := []algo.SingleSource{
+			montecarlo.Solver{},
+			fora.Solver{},
+			benchTopPPR(g.N() / 10),
+			tpa.Solver{Index: ix},
+			core.Solver{},
+		}
+		t := newTableCfg(cfg, name, "metric", "min", "Q1", "median", "Q3", "max", "mean", "std")
+		for _, s := range solvers {
+			var times, errs, ndcgs []float64
+			for _, src := range sources {
+				start := time.Now()
+				est, err := s.SingleSource(g, src, p)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", name, s.Name(), err)
+				}
+				times = append(times, time.Since(start).Seconds())
+				truth, err := tc.get(src)
+				if err != nil {
+					return err
+				}
+				errs = append(errs, eval.MeanAbsErr(truth, est))
+				ndcgs = append(ndcgs, ndcgAt(truth, est, 100))
+			}
+			for metric, xs := range map[string][]float64{
+				"time(s)": times, "abs err": errs, "NDCG": ndcgs,
+			} {
+				s5 := eval.Summarize(xs)
+				t.row(s.Name(), metric, s5.Min, s5.Q1, s5.Median, s5.Q3, s5.Max, s5.Mean, s5.Std)
+			}
+		}
+		t.flush()
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// runFig16to17 reproduces the MSRWR study: total query time and accuracy
+// as the number of sources grows, for index-free and index-oriented
+// methods.
+func runFig16to17(cfg Config) error {
+	names := cfg.Datasets
+	if names == nil {
+		names = []string{"dblp-s", "twitter-s"}
+	}
+	sweep := []int{5, 10, 15, 20} // scaled from the paper's {25,50,75,100}
+	t := newTableCfg(cfg, "dataset", "|S|", "algo", "total time", "mean abs err")
+	for _, name := range names {
+		g, p, err := buildDataset(name, cfg)
+		if err != nil {
+			return err
+		}
+		big := cfg
+		big.Sources = sweep[len(sweep)-1]
+		all := pickSources(g, big)
+		tc := newTruthCacheDisk(g, p, cfg)
+		if err := tc.prefetch(all); err != nil {
+			return err
+		}
+		tpaIx, err := tpa.BuildIndex(g, p.Alpha, 1e-9, 0)
+		if err != nil {
+			return err
+		}
+		foraIx, err := fora.BuildIndex(g, p, 0, 0)
+		if err != nil {
+			return err
+		}
+		solvers := []algo.SingleSource{
+			montecarlo.Solver{},
+			fora.Solver{},
+			benchTopPPR(g.N() / 10),
+			tpa.Solver{Index: tpaIx},
+			fora.PlusSolver{Index: foraIx},
+			core.Solver{},
+		}
+		for _, count := range sweep {
+			srcs := all
+			if count < len(srcs) {
+				srcs = srcs[:count]
+			}
+			for _, s := range solvers {
+				start := time.Now()
+				mae := 0.0
+				for _, src := range srcs {
+					est, err := s.SingleSource(g, src, p)
+					if err != nil {
+						return fmt.Errorf("%s/%s: %w", name, s.Name(), err)
+					}
+					truth, err := tc.get(src)
+					if err != nil {
+						return err
+					}
+					mae += eval.MeanAbsErr(truth, est)
+				}
+				t.row(name, count, s.Name(), time.Since(start), mae/float64(len(srcs)))
+			}
+		}
+	}
+	t.flush()
+	return nil
+}

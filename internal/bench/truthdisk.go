@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"resacc/internal/graph"
+)
+
+// graphFingerprint hashes the CSR structure so cached ground-truth vectors
+// can be keyed by graph content rather than by name, making the cache safe
+// against dataset-registry changes.
+func graphFingerprint(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.M()))
+	h.Write(buf[:])
+	for v := int32(0); int(v) < g.N(); v++ {
+		for _, w := range g.Out(v) {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(w))
+			h.Write(buf[:4])
+		}
+	}
+	return h.Sum64()
+}
+
+func (tc *truthCache) cachePath(src int32) string {
+	return filepath.Join(tc.dir, fmt.Sprintf("truth-%016x-a%3.0f-s%d.bin",
+		tc.fingerprint, tc.p.Alpha*1000, src))
+}
+
+// loadTruth reads a cached vector; any failure is treated as a miss.
+func (tc *truthCache) loadTruth(src int32) ([]float64, bool) {
+	data, err := os.ReadFile(tc.cachePath(src))
+	if err != nil || len(data) != 8*tc.g.N() {
+		return nil, false
+	}
+	out := make([]float64, tc.g.N())
+	if err := binary.Read(newByteReader(data), binary.LittleEndian, out); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// saveTruth persists a vector; failures are non-fatal (the cache is an
+// optimisation only).
+func (tc *truthCache) saveTruth(src int32, v []float64) {
+	if err := os.MkdirAll(tc.dir, 0o755); err != nil {
+		return
+	}
+	f, err := os.CreateTemp(tc.dir, "truth-*")
+	if err != nil {
+		return
+	}
+	ok := binary.Write(f, binary.LittleEndian, v) == nil
+	name := f.Name()
+	if f.Close() != nil || !ok {
+		os.Remove(name)
+		return
+	}
+	_ = os.Rename(name, tc.cachePath(src))
+}
+
+// newByteReader avoids pulling in bytes.Reader's full surface for a single
+// sequential read.
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func newByteReader(data []byte) *byteReader { return &byteReader{data: data} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	if n == 0 {
+		return 0, fmt.Errorf("EOF")
+	}
+	return n, nil
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"resacc/internal/algo"
+)
+
+func TestTruthDiskCacheRoundTrip(t *testing.T) {
+	g := mustGraph(t)
+	p := algo.DefaultParams(g)
+	dir := t.TempDir()
+	cfg := Config{CacheDir: dir}.withDefaults()
+
+	tc := newTruthCacheDisk(g, p, cfg)
+	a, err := tc.get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cache dir has %d entries, want 1", len(entries))
+	}
+
+	// A fresh cache over the same graph must hit the disk entry and agree
+	// exactly.
+	tc2 := newTruthCacheDisk(g, p, cfg)
+	b, err := tc2.get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("disk cache returned a different vector")
+		}
+	}
+}
+
+func TestTruthDiskCacheKeyedByGraph(t *testing.T) {
+	gA := mustGraph(t)
+	gB, _, err := buildDataset("pokec-s", Config{Scale: 0.02}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphFingerprint(gA) == graphFingerprint(gB) {
+		t.Fatal("different graphs share a fingerprint")
+	}
+}
+
+func TestTruthDiskCacheIgnoresCorruptEntry(t *testing.T) {
+	g := mustGraph(t)
+	p := algo.DefaultParams(g)
+	dir := t.TempDir()
+	cfg := Config{CacheDir: dir}.withDefaults()
+	tc := newTruthCacheDisk(g, p, cfg)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tc.cachePath(1), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tc.get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != g.N() {
+		t.Fatal("corrupt cache entry not recomputed")
+	}
+}

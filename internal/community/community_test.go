@@ -1,0 +1,142 @@
+package community
+
+import (
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/core"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+func planted(t *testing.T) (*graph.Graph, [][]int32) {
+	t.Helper()
+	g, comms := gen.PlantedCommunities(400, 40, 10, 1, 7)
+	return g, comms
+}
+
+func TestDetectRecoversPlantedStructure(t *testing.T) {
+	g, _ := planted(t)
+	p := algo.DefaultParams(g)
+	res, err := Detect(g, Config{
+		NumCommunities: 10,
+		Solver:         core.Solver{},
+		Params:         p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 10 {
+		t.Fatalf("found %d communities", len(res.Communities))
+	}
+	// Planted communities have low conductance; detected ones should too.
+	if res.AC > 0.5 {
+		t.Fatalf("average conductance %v too high", res.AC)
+	}
+	if res.ANC > 0.5 {
+		t.Fatalf("average normalized cut %v too high", res.ANC)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+}
+
+func TestSSRWRBeatsDistanceOrdering(t *testing.T) {
+	// Table V's claim: NISE with SSRWR produces better (lower) ANC/AC than
+	// the distance-ordered variant.
+	g, _ := gen.PlantedCommunities(600, 40, 10, 2, 11)
+	p := algo.DefaultParams(g)
+	with, err := Detect(g, Config{NumCommunities: 15, Solver: core.Solver{}, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Detect(g, Config{NumCommunities: 15, Ordering: ByDistance, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.AC >= without.AC {
+		t.Fatalf("SSRWR AC %v not better than distance AC %v", with.AC, without.AC)
+	}
+}
+
+func TestQualityMetricsOnKnownCut(t *testing.T) {
+	// Two triangles joined by one undirected edge: community = triangle.
+	b := graph.NewBuilder(6)
+	tri := func(a, bb, c int32) {
+		b.AddUndirected(a, bb)
+		b.AddUndirected(bb, c)
+		b.AddUndirected(c, a)
+	}
+	tri(0, 1, 2)
+	tri(3, 4, 5)
+	b.AddUndirected(2, 3)
+	g := b.MustBuild()
+	comm := []int32{0, 1, 2}
+	// vol = 2+2+3 = 7, cut = 1 (directed edge 2->3).
+	if got := NormalizedCut(g, comm); got != 1.0/7 {
+		t.Fatalf("ncut=%v, want 1/7", got)
+	}
+	if got := Conductance(g, comm); got != 1.0/7 {
+		t.Fatalf("cond=%v, want 1/7", got)
+	}
+}
+
+func TestQualityEdgeCases(t *testing.T) {
+	g := gen.Grid(3, 3)
+	if anc, ac := Quality(g, nil); anc != 0 || ac != 0 {
+		t.Fatal("empty set should be zero")
+	}
+	// Whole graph: cut 0.
+	all := make([]int32, g.N())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if NormalizedCut(g, all) != 0 {
+		t.Fatal("whole-graph ncut should be 0")
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p := algo.DefaultParams(g)
+	if _, err := Detect(nil, Config{NumCommunities: 1}); err == nil {
+		t.Error("want empty graph error")
+	}
+	if _, err := Detect(g, Config{NumCommunities: 0}); err == nil {
+		t.Error("want NumCommunities error")
+	}
+	if _, err := Detect(g, Config{NumCommunities: 1, Params: p}); err == nil {
+		t.Error("want missing solver error")
+	}
+}
+
+func TestSpreadHubsDistinct(t *testing.T) {
+	g, _ := planted(t)
+	comp := graph.LargestUndirectedComponent(g)
+	seeds := spreadHubs(g, comp, 12)
+	if len(seeds) != 12 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	seen := map[int32]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatal("duplicate seed")
+		}
+		seen[s] = true
+	}
+}
+
+func TestSweepCutPrefersDenseCore(t *testing.T) {
+	// Order = [triangle..., outsider]: sweep should stop at the triangle.
+	b := graph.NewBuilder(5)
+	b.AddUndirected(0, 1)
+	b.AddUndirected(1, 2)
+	b.AddUndirected(2, 0)
+	b.AddUndirected(2, 3)
+	b.AddUndirected(3, 4)
+	g := b.MustBuild()
+	comm := sweepCut(g, []int32{0, 1, 2, 4})
+	if len(comm) != 3 {
+		t.Fatalf("sweep picked %v", comm)
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+
+	"resacc/internal/graph"
+)
+
+// hopState is the working state of the h-HopFWD phase (paper Algorithm 3).
+type hopState struct {
+	reserve []float64
+	residue []float64
+	// dist[v] is the BFS distance from s, or -1 if beyond h+1 hops.
+	dist []int32
+	// frontier is L_{(h+1)-hop}(s): the nodes that receive pushed residue
+	// but are not allowed to push, so their residue accumulates (§V).
+	frontier []int32
+	// inSub reports membership in V_{h-hop}(s).
+	inSub []bool
+
+	pushes int64
+	// Diagnostics from the updating phase.
+	r1 float64 // residue of s after the accumulating phase
+	t  int     // number of accumulating phases collapsed (T)
+	s  float64 // geometric scaler (S)
+}
+
+// runHHopFWD executes Algorithm 3: the accumulating phase pushes residues
+// inside the h-hop induced subgraph, never re-pushing at the source, and
+// the updating phase collapses the T would-be "looping" cascades at s into
+// one closed-form geometric rescaling.
+//
+// When wholeGraph is true the subgraph restriction is removed (every node
+// may push, there is no frontier); this is the No-SG ablation of Appendix K.
+func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeGraph bool) *hopState {
+	n := g.N()
+	st := &hopState{
+		reserve: make([]float64, n),
+		residue: make([]float64, n),
+		inSub:   make([]bool, n),
+	}
+	st.residue[src] = 1
+
+	if wholeGraph {
+		st.dist = nil
+		for i := range st.inSub {
+			st.inSub[i] = true
+		}
+	} else {
+		layers := graph.BFSLayers(g, src, h+1)
+		st.dist = layers.DistanceMap(n)
+		for _, v := range layers.Within(h) {
+			st.inSub[v] = true
+		}
+		st.frontier = layers.Layer(h + 1)
+	}
+
+	// --- Accumulating phase ---------------------------------------------
+	// Line 2: a single push at s. If s is a dead end the whole unit of mass
+	// becomes reserve and we are done.
+	dSrc := g.OutDegree(src)
+	st.pushes++
+	if dSrc == 0 {
+		st.reserve[src] = 1
+		st.residue[src] = 0
+		st.s, st.t = 1, 1
+		return st
+	}
+	st.reserve[src] = alpha
+	st.residue[src] = 0
+	share := (1 - alpha) / float64(dSrc)
+	queue := make([]int32, 0, dSrc)
+	inQueue := make([]bool, n)
+	pushable := func(v int32) bool {
+		if v == src || !st.inSub[v] {
+			return false
+		}
+		d := g.OutDegree(v)
+		if d == 0 {
+			return st.residue[v] >= rmaxHop
+		}
+		return st.residue[v] >= rmaxHop*float64(d)
+	}
+	enqueue := func(v int32) {
+		if !inQueue[v] && pushable(v) {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for _, w := range g.Out(src) {
+		st.residue[w] += share
+		enqueue(w)
+	}
+	// Lines 3-7: push at subgraph nodes (never at s) until quiescent.
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		inQueue[v] = false
+		if !pushable(v) {
+			continue
+		}
+		rv := st.residue[v]
+		st.residue[v] = 0
+		st.pushes++
+		d := g.OutDegree(v)
+		if d == 0 {
+			st.reserve[v] += rv
+			continue
+		}
+		st.reserve[v] += alpha * rv
+		sh := (1 - alpha) * rv / float64(d)
+		for _, w := range g.Out(v) {
+			st.residue[w] += sh
+			enqueue(w)
+		}
+	}
+
+	// --- Updating phase (lines 8-18) -------------------------------------
+	st.r1 = st.residue[src]
+	st.t, st.s = 1, 1
+	theta := rmaxHop * float64(dSrc)
+	if st.r1 > 0 && st.r1 >= theta && st.r1 < 1 && theta < 1 {
+		// T is the number of accumulating phases until the residue of s,
+		// r1^T, falls below the push threshold θ (Appendix Q).
+		st.t = int(math.Ceil(math.Log(theta) / math.Log(st.r1)))
+		if st.t < 1 {
+			st.t = 1
+		}
+		// Geometric series Σ_{i=1..T} r1^{i-1}. (The paper's closed form
+		// has an off-by-one in the exponent; see DESIGN.md.)
+		st.s = (1 - math.Pow(st.r1, float64(st.t))) / (1 - st.r1)
+	}
+	if st.s != 1 || st.t != 1 {
+		rT := math.Pow(st.r1, float64(st.t))
+		for v := int32(0); v < int32(n); v++ {
+			if st.inSub[v] {
+				st.reserve[v] *= st.s
+				if v != src {
+					st.residue[v] *= st.s
+				}
+			}
+		}
+		st.residue[src] = rT
+		for _, v := range st.frontier {
+			st.residue[v] *= st.s
+		}
+	}
+	return st
+}
+
+// runRestrictedForward is the No-Loop ablation (Appendix K): plain forward
+// search with threshold rmaxHop restricted to the h-hop subgraph, with the
+// source pushing repeatedly like any other node (the looping phenomenon of
+// §IV-A is incurred in full).
+func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h int) *hopState {
+	n := g.N()
+	st := &hopState{
+		reserve: make([]float64, n),
+		residue: make([]float64, n),
+		inSub:   make([]bool, n),
+		t:       0, s: 1,
+	}
+	st.residue[src] = 1
+	layers := graph.BFSLayers(g, src, h+1)
+	st.dist = layers.DistanceMap(n)
+	for _, v := range layers.Within(h) {
+		st.inSub[v] = true
+	}
+	st.frontier = layers.Layer(h + 1)
+
+	queue := []int32{src}
+	inQueue := make([]bool, n)
+	inQueue[src] = true
+	pushable := func(v int32) bool {
+		if !st.inSub[v] {
+			return false
+		}
+		d := g.OutDegree(v)
+		if d == 0 {
+			return st.residue[v] >= rmaxHop
+		}
+		return st.residue[v] >= rmaxHop*float64(d)
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		inQueue[v] = false
+		if !pushable(v) {
+			continue
+		}
+		rv := st.residue[v]
+		st.residue[v] = 0
+		st.pushes++
+		d := g.OutDegree(v)
+		if d == 0 {
+			st.reserve[v] += rv
+			continue
+		}
+		st.reserve[v] += alpha * rv
+		sh := (1 - alpha) * rv / float64(d)
+		for _, w := range g.Out(v) {
+			st.residue[w] += sh
+			if !inQueue[w] && pushable(w) {
+				inQueue[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	st.r1 = st.residue[src]
+	return st
+}

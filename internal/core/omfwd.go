@@ -1,0 +1,33 @@
+package core
+
+import (
+	"sort"
+
+	"resacc/internal/algo/forward"
+	"resacc/internal/graph"
+)
+
+// runOMFWD executes the One-More Forward search (paper Algorithm 4): the
+// frontier nodes L_{(h+1)-hop}(s), whose residues were deliberately left to
+// accumulate during h-HopFWD, are pushed in decreasing order of residue,
+// and the push cascade then proceeds anywhere in the graph under the
+// (larger) threshold r_max^f. It returns the number of push operations.
+func runOMFWD(g *graph.Graph, alpha, rmaxF float64, hop *hopState) int64 {
+	seeds := make([]int32, 0, len(hop.frontier))
+	for _, v := range hop.frontier {
+		if hop.residue[v] > 0 {
+			seeds = append(seeds, v)
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		ri, rj := hop.residue[seeds[i]], hop.residue[seeds[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return seeds[i] < seeds[j]
+	})
+	st := &forward.State{Reserve: hop.reserve, Residue: hop.residue}
+	st.EnsureQueue(g.N())
+	forward.RunFrom(g, alpha, rmaxF, st, seeds, true)
+	return st.Pushes
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/eval"
+	"resacc/internal/graph/gen"
+)
+
+func TestParallelRemedyMeetsGuarantee(t *testing.T) {
+	g := gen.RMAT(9, 5, 7)
+	p := algo.DefaultParams(g)
+	p.Seed = 11
+	est, err := Solver{Workers: 4}.SingleSource(g, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := groundTruth(t, g, 1, p)
+	if rel := eval.MaxRelErrAbove(truth, est, p.Delta); rel > p.Epsilon {
+		t.Fatalf("parallel rel err %v > ε", rel)
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(300, 1800, 3)
+	p := algo.DefaultParams(g)
+	a, _, err := Solver{Workers: 3}.Query(g, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Solver{Workers: 3}.Query(g, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parallel query not deterministic for fixed workers")
+		}
+	}
+}
+
+func TestParallelStatsStillReported(t *testing.T) {
+	g := gen.Grid(10, 10)
+	p := algo.DefaultParams(g)
+	_, st, err := Solver{Workers: 4}.Query(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Walks <= 0 {
+		t.Fatal("parallel remedy reported no walks")
+	}
+}

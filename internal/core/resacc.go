@@ -1,0 +1,162 @@
+// Package core implements ResAcc, the Residue-Accumulated approach of the
+// paper — the primary contribution being reproduced. A query runs three
+// phases (Fig. 2):
+//
+//  1. h-HopFWD (Algorithm 3): forward push inside the h-hop induced
+//     subgraph of the source, with the looping cascades at the source
+//     collapsed into a closed-form geometric rescaling.
+//  2. OMFWD (Algorithm 4): one more forward search seeded by the large
+//     residues accumulated on layer L_{h+1}.
+//  3. Remedy (Algorithm 2 lines 5-17): FORA-style random walks from the
+//     remaining residues.
+//
+// The Solver exposes the ablation switches of Appendix K (No-Loop, No-SG,
+// No-OFD) and per-phase statistics matching Appendix J's breakdown.
+package core
+
+import (
+	"time"
+
+	"resacc/internal/algo"
+	"resacc/internal/graph"
+	"resacc/internal/rng"
+)
+
+// Variant selects the full algorithm or one of the paper's ablations
+// (Appendix K).
+type Variant int
+
+const (
+	// Full is ResAcc as published.
+	Full Variant = iota
+	// NoLoop replaces the accumulating-loop strategy with plain forward
+	// search inside the h-hop subgraph ("No-Loop-ResAcc").
+	NoLoop
+	// NoSubgraph runs the accumulating loop over the whole graph instead
+	// of the h-hop subgraph ("No-SG-ResAcc"); OMFWD then has no frontier
+	// to seed and is skipped.
+	NoSubgraph
+	// NoOMFWD skips the OMFWD phase ("No-OFD-ResAcc"): the remedy phase
+	// works directly on h-HopFWD's residues.
+	NoOMFWD
+)
+
+// String returns the ablation's name as used in Appendix K.
+func (v Variant) String() string {
+	switch v {
+	case NoLoop:
+		return "No-Loop-ResAcc"
+	case NoSubgraph:
+		return "No-SG-ResAcc"
+	case NoOMFWD:
+		return "No-OFD-ResAcc"
+	default:
+		return "ResAcc"
+	}
+}
+
+// Stats records what one query did, phase by phase (paper Appendix J).
+type Stats struct {
+	// Durations of the three phases.
+	HopFWD, OMFWD, Remedy time.Duration
+
+	// HopPushes and OMFWDPushes count forward push operations.
+	HopPushes, OMFWDPushes int64
+	// SubgraphSize is |V_{h-hop}(s)| and FrontierSize is |L_{(h+1)-hop}(s)|.
+	SubgraphSize, FrontierSize int
+	// R1 is the source residue after the accumulating phase; T and S are
+	// the loop count and geometric scaler of the updating phase.
+	R1 float64
+	T  int
+	S  float64
+	// RSumAfterHop and RSumAfterOMFWD are Σr after phases 1 and 2; the
+	// latter is the r_sum that sizes the remedy walk count.
+	RSumAfterHop, RSumAfterOMFWD float64
+	// Walks is the number of remedy random walks simulated.
+	Walks int64
+}
+
+// Total returns the summed phase time.
+func (s Stats) Total() time.Duration { return s.HopFWD + s.OMFWD + s.Remedy }
+
+// Solver answers SSRWR queries with ResAcc.
+type Solver struct {
+	// Variant selects the full algorithm (zero value) or an ablation.
+	Variant Variant
+	// Workers parallelizes the remedy phase's random walks across this
+	// many goroutines (0 or 1 = sequential). The push phases are
+	// inherently sequential cascades and stay single-threaded; the remedy
+	// phase dominates wall time on large graphs and parallelizes
+	// embarrassingly. Results stay deterministic per (Seed, Workers).
+	Workers int
+}
+
+// Name implements algo.SingleSource.
+func (s Solver) Name() string { return s.Variant.String() }
+
+// SingleSource implements algo.SingleSource.
+func (s Solver) SingleSource(g *graph.Graph, src int32, p algo.Params) ([]float64, error) {
+	pi, _, err := s.Query(g, src, p)
+	return pi, err
+}
+
+// Query answers the SSRWR query and returns the per-phase statistics.
+func (s Solver) Query(g *graph.Graph, src int32, p algo.Params) ([]float64, Stats, error) {
+	var stats Stats
+	if err := p.Validate(g); err != nil {
+		return nil, stats, err
+	}
+	if err := algo.CheckSource(g, src); err != nil {
+		return nil, stats, err
+	}
+
+	// Phase 1: h-HopFWD (or its ablated replacements).
+	start := time.Now()
+	var hop *hopState
+	switch s.Variant {
+	case NoLoop:
+		hop = runRestrictedForward(g, src, p.Alpha, p.RMaxHop, p.H)
+	case NoSubgraph:
+		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, true)
+	default:
+		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, false)
+	}
+	stats.HopFWD = time.Since(start)
+	stats.HopPushes = hop.pushes
+	stats.R1, stats.T, stats.S = hop.r1, hop.t, hop.s
+	for _, in := range hop.inSub {
+		if in {
+			stats.SubgraphSize++
+		}
+	}
+	stats.FrontierSize = len(hop.frontier)
+	stats.RSumAfterHop = sum(hop.residue)
+
+	// Phase 2: OMFWD.
+	if s.Variant != NoOMFWD && s.Variant != NoSubgraph {
+		start = time.Now()
+		stats.OMFWDPushes = runOMFWD(g, p.Alpha, p.RMaxF, hop)
+		stats.OMFWD = time.Since(start)
+	}
+	stats.RSumAfterOMFWD = sum(hop.residue)
+
+	// Phase 3: remedy.
+	start = time.Now()
+	var rs algo.RemedyStats
+	if s.Workers > 1 {
+		rs = algo.RemedyParallel(g, p, hop.reserve, hop.residue, p.Seed, s.Workers)
+	} else {
+		rs = algo.Remedy(g, p, hop.reserve, hop.residue, rng.New(p.Seed))
+	}
+	stats.Remedy = time.Since(start)
+	stats.Walks = rs.Walks
+	return hop.reserve, stats, nil
+}
+
+func sum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,158 @@
+// Package dataset provides named synthetic stand-ins for the paper's seven
+// benchmark graphs (Table II) plus the Facebook graph of the community-
+// detection study. The real SNAP graphs are neither redistributable nor
+// laptop-sized; each stand-in matches the original's average degree m/n and
+// broad degree shape at a configurable scale (DESIGN.md §4 records the
+// substitution argument). Names carry an "-s" suffix ("scaled") to make the
+// substitution visible in every table.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+// Info describes one registry entry.
+type Info struct {
+	// Name is the registry key, e.g. "dblp-s".
+	Name string
+	// PaperName is the corresponding graph in Table II.
+	PaperName string
+	// H is the per-dataset hop parameter from Table II's last column.
+	H int
+	// MNRatio is the m/n the original graph has (Table II).
+	MNRatio float64
+	// BaseN is the node count at scale 1.
+	BaseN int
+
+	build func(n int, seed uint64) *graph.Graph
+}
+
+var registry = []Info{
+	{
+		Name: "dblp-s", PaperName: "DBLP", H: 3, MNRatio: 6.6, BaseN: 32000,
+		build: func(n int, seed uint64) *graph.Graph {
+			g, _ := gen.PlantedCommunities(n, 50, 6, 1, seed)
+			return g
+		},
+	},
+	{
+		Name: "webstan-s", PaperName: "Web-Stan", H: 2, MNRatio: 8.2, BaseN: 16000,
+		build: func(n int, seed uint64) *graph.Graph {
+			return gen.BarabasiAlbert(n, 4, seed)
+		},
+	},
+	{
+		Name: "pokec-s", PaperName: "Pokec", H: 2, MNRatio: 18.8, BaseN: 16384,
+		build: func(n int, seed uint64) *graph.Graph {
+			return gen.RMAT(log2ceil(n), 19, seed)
+		},
+	},
+	{
+		Name: "lj-s", PaperName: "LJ", H: 2, MNRatio: 17.4, BaseN: 32768,
+		build: func(n int, seed uint64) *graph.Graph {
+			return gen.RMAT(log2ceil(n), 17, seed)
+		},
+	},
+	{
+		Name: "orkut-s", PaperName: "Orkut", H: 2, MNRatio: 38.1, BaseN: 16384,
+		build: func(n int, seed uint64) *graph.Graph {
+			return gen.RMAT(log2ceil(n), 38, seed)
+		},
+	},
+	{
+		Name: "twitter-s", PaperName: "Twitter", H: 2, MNRatio: 35.3, BaseN: 65536,
+		build: func(n int, seed uint64) *graph.Graph {
+			return gen.RMAT(log2ceil(n), 35, seed)
+		},
+	},
+	{
+		Name: "friendster-s", PaperName: "Friendster", H: 2, MNRatio: 38.1, BaseN: 131072,
+		build: func(n int, seed uint64) *graph.Graph {
+			return gen.RMAT(log2ceil(n), 38, seed)
+		},
+	},
+	{
+		Name: "facebook-s", PaperName: "Facebook", H: 2, MNRatio: 43.7, BaseN: 4000,
+		build: func(n int, seed uint64) *graph.Graph {
+			g, _ := gen.PlantedCommunities(n, 40, 20, 3, seed)
+			return g
+		},
+	},
+}
+
+// Names returns the registry keys in a stable order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, info := range registry {
+		out[i] = info.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoreNames returns the six datasets the main query-time tables use
+// (Table III / Table VII order, Friendster excluded as in Table VII).
+func CoreNames() []string {
+	return []string{"dblp-s", "webstan-s", "pokec-s", "lj-s", "orkut-s", "twitter-s"}
+}
+
+// Lookup returns the registry entry for name.
+func Lookup(name string) (Info, error) {
+	for _, info := range registry {
+		if info.Name == name {
+			return info, nil
+		}
+	}
+	return Info{}, fmt.Errorf("dataset: unknown name %q (have %v)", name, Names())
+}
+
+// Build constructs the named dataset at the given scale (node count is
+// BaseN·scale, minimum 64). Construction is deterministic.
+func Build(name string, scale float64) (*graph.Graph, Info, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(info.BaseN) * scale)
+	if n < 64 {
+		n = 64
+	}
+	g := info.build(n, seedFor(name))
+	return g, info, nil
+}
+
+// MustBuild is Build for known-good names; it panics on error.
+func MustBuild(name string, scale float64) *graph.Graph {
+	g, _, err := Build(name, scale)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func log2ceil(n int) int {
+	s := int(math.Ceil(math.Log2(float64(n))))
+	if s < 6 {
+		s = 6
+	}
+	return s
+}
+
+// seedFor derives a stable per-dataset seed so different datasets are not
+// accidentally correlated.
+func seedFor(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

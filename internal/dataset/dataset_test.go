@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNamesAndLookup(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("registry has %d entries, want 8", len(names))
+	}
+	for _, name := range names {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("want error for unknown name")
+	}
+}
+
+func TestCoreNamesExist(t *testing.T) {
+	for _, name := range CoreNames() {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("core dataset %q missing: %v", name, err)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := MustBuild("dblp-s", 0.02)
+	b := MustBuild("dblp-s", 0.02)
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("builds differ")
+	}
+}
+
+func TestBuildScales(t *testing.T) {
+	small := MustBuild("webstan-s", 0.02)
+	big := MustBuild("webstan-s", 0.05)
+	if big.N() <= small.N() {
+		t.Fatalf("scale not honoured: %d vs %d", big.N(), small.N())
+	}
+}
+
+func TestBuildMinimumSize(t *testing.T) {
+	g := MustBuild("webstan-s", 1e-9)
+	if g.N() < 64 {
+		t.Fatalf("n=%d below floor", g.N())
+	}
+}
+
+func TestDensityRoughlyMatchesPaper(t *testing.T) {
+	// The stand-ins should land within 2x of the paper's m/n; R-MAT dedup
+	// loses some edges on small scales, hence the loose factor.
+	for _, name := range []string{"dblp-s", "webstan-s", "pokec-s", "orkut-s"} {
+		g, info, err := Build(name, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := g.AvgDegree() / info.MNRatio
+		if math.IsNaN(ratio) || ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("%s: m/n=%.1f vs paper %.1f (ratio %.2f)", name, g.AvgDegree(), info.MNRatio, ratio)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, _, err := Build("unknown", 1); err == nil {
+		t.Fatal("want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild should panic on unknown")
+		}
+	}()
+	MustBuild("unknown", 1)
+}
+
+func TestHParameterMatchesTable2(t *testing.T) {
+	want := map[string]int{"dblp-s": 3, "webstan-s": 2, "pokec-s": 2, "lj-s": 2,
+		"orkut-s": 2, "twitter-s": 2, "friendster-s": 2}
+	for name, h := range want {
+		info, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.H != h {
+			t.Errorf("%s: h=%d, want %d", name, info.H, h)
+		}
+	}
+}

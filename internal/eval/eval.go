@@ -1,0 +1,166 @@
+// Package eval implements the accuracy metrics of the paper's evaluation:
+// the absolute error of the k-th largest RWR value (Fig. 4 protocol,
+// following TopPPR), NDCG@k (Fig. 5), and the boxplot / error-bar summary
+// statistics of the outlier study (Figs. 7-10).
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// TopK returns the indices of the k largest scores in decreasing order,
+// ties broken by smaller index first (deterministic). k is clamped to
+// len(scores). Selection is O(n log k) via a bounded heap, not a full sort.
+func TopK(scores []float64, k int) []int32 {
+	entries := selectTopK(scores, k)
+	if entries == nil {
+		return nil
+	}
+	out := make([]int32, len(entries))
+	for i, e := range entries {
+		out[i] = e.id
+	}
+	return out
+}
+
+// AbsErrAtKth returns |est[t] − truth[t]| where t is the node holding the
+// k-th largest ground-truth value (1-based k). This is the per-query
+// quantity Fig. 4 averages. It returns NaN when k is out of range.
+func AbsErrAtKth(truth, est []float64, k int) float64 {
+	if k < 1 || k > len(truth) || len(truth) != len(est) {
+		return math.NaN()
+	}
+	order := TopK(truth, k)
+	t := order[k-1]
+	return math.Abs(est[t] - truth[t])
+}
+
+// MaxAbsErr returns max_t |est[t] − truth[t]|.
+func MaxAbsErr(truth, est []float64) float64 {
+	worst := 0.0
+	for i := range truth {
+		if d := math.Abs(est[i] - truth[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MeanAbsErr returns the mean absolute error over all nodes.
+func MeanAbsErr(truth, est []float64) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := range truth {
+		total += math.Abs(est[i] - truth[i])
+	}
+	return total / float64(len(truth))
+}
+
+// MaxRelErrAbove returns the maximum relative error over nodes whose true
+// value exceeds delta — the quantity Definition 1 bounds by ε.
+func MaxRelErrAbove(truth, est []float64, delta float64) float64 {
+	worst := 0.0
+	for i := range truth {
+		if truth[i] > delta {
+			if rel := math.Abs(est[i]-truth[i]) / truth[i]; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}
+
+// NDCG returns the normalized discounted cumulative gain of the estimate's
+// top-k ranking against the ground truth's ideal ranking, using the true
+// RWR values as gains (the protocol of TopPPR / Fig. 5). The result is in
+// [0,1]; 1 means the estimate orders the top-k perfectly (or equivalently
+// picks nodes with the same gains).
+func NDCG(truth, est []float64, k int) float64 {
+	if len(truth) == 0 || len(truth) != len(est) {
+		return math.NaN()
+	}
+	got := TopK(est, k)
+	ideal := TopK(truth, k)
+	dcg, idcg := 0.0, 0.0
+	for i := range ideal {
+		disc := 1.0 / math.Log2(float64(i)+2)
+		idcg += truth[ideal[i]] * disc
+		if i < len(got) {
+			dcg += truth[got[i]] * disc
+		}
+	}
+	if idcg == 0 {
+		return 1
+	}
+	return dcg / idcg
+}
+
+// Precision returns |top-k(est) ∩ top-k(truth)| / k.
+func Precision(truth, est []float64, k int) float64 {
+	got := TopK(est, k)
+	ideal := TopK(truth, k)
+	in := make(map[int32]struct{}, len(ideal))
+	for _, v := range ideal {
+		in[v] = struct{}{}
+	}
+	hit := 0
+	for _, v := range got {
+		if _, ok := in[v]; ok {
+			hit++
+		}
+	}
+	if len(ideal) == 0 {
+		return 1
+	}
+	return float64(hit) / float64(len(ideal))
+}
+
+// Summary holds the distribution statistics of Figs. 7-10: the boxplot
+// five-number summary plus mean and standard deviation.
+type Summary struct {
+	Min, Q1, Median, Q3, Max float64
+	Mean, Std                float64
+	N                        int
+}
+
+// Summarize computes a Summary of xs (which it does not modify). Quartiles
+// use linear interpolation between order statistics. An empty input yields
+// a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		pos := p * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return sorted[lo]
+		}
+		frac := pos - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	s := Summary{
+		Min:    sorted[0],
+		Q1:     q(0.25),
+		Median: q(0.5),
+		Q3:     q(0.75),
+		Max:    sorted[len(sorted)-1],
+		N:      len(sorted),
+	}
+	for _, x := range sorted {
+		s.Mean += x
+	}
+	s.Mean /= float64(len(sorted))
+	for _, x := range sorted {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	s.Std = math.Sqrt(s.Std / float64(len(sorted)))
+	return s
+}

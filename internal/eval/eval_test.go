@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.3, 0.5, 0.0}
+	top := TopK(scores, 3)
+	// Ties broken by smaller index: 1 before 3.
+	want := []int32{1, 3, 2}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopK=%v, want %v", top, want)
+		}
+	}
+	if got := TopK(scores, 100); len(got) != len(scores) {
+		t.Fatal("k>n should clamp")
+	}
+	if TopK(scores, 0) != nil {
+		t.Fatal("k=0 should be nil")
+	}
+}
+
+func TestAbsErrAtKth(t *testing.T) {
+	truth := []float64{0.5, 0.3, 0.2}
+	est := []float64{0.5, 0.25, 0.2}
+	if got := AbsErrAtKth(truth, est, 2); math.Abs(got-0.05) > 1e-15 {
+		t.Fatalf("got %v, want 0.05", got)
+	}
+	if !math.IsNaN(AbsErrAtKth(truth, est, 0)) || !math.IsNaN(AbsErrAtKth(truth, est, 4)) {
+		t.Fatal("out-of-range k should be NaN")
+	}
+}
+
+func TestErrMetrics(t *testing.T) {
+	truth := []float64{1, 2, 3}
+	est := []float64{1.5, 2, 2}
+	if got := MaxAbsErr(truth, est); got != 1 {
+		t.Fatalf("MaxAbsErr=%v", got)
+	}
+	if got := MeanAbsErr(truth, est); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("MeanAbsErr=%v", got)
+	}
+	if got := MaxRelErrAbove(truth, est, 1.5); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("MaxRelErrAbove=%v", got)
+	}
+	// delta filters out every node -> 0.
+	if got := MaxRelErrAbove(truth, est, 10); got != 0 {
+		t.Fatalf("filtered MaxRelErrAbove=%v", got)
+	}
+	if MeanAbsErr(nil, nil) != 0 {
+		t.Fatal("empty MeanAbsErr")
+	}
+}
+
+func TestNDCGPerfectAndRange(t *testing.T) {
+	truth := []float64{0.4, 0.3, 0.2, 0.1}
+	if got := NDCG(truth, truth, 4); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("perfect NDCG=%v", got)
+	}
+	// A reversed ranking scores below 1.
+	rev := []float64{0.1, 0.2, 0.3, 0.4}
+	got := NDCG(truth, rev, 4)
+	if got >= 1 || got <= 0 {
+		t.Fatalf("reversed NDCG=%v", got)
+	}
+	// Property: NDCG in [0,1] for random inputs.
+	check := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			a, b = a[:n], b[:n]
+		}
+		if len(a) == 0 {
+			return true
+		}
+		// NDCG consumes probability-like gains; fold inputs into [0,1).
+		norm := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Abs(math.Mod(x, 1))
+		}
+		for i := range a {
+			a[i] = norm(a[i])
+			b[i] = norm(b[i])
+		}
+		v := NDCG(a, b, 3)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	truth := []float64{0.4, 0.3, 0.2, 0.1}
+	est := []float64{0.4, 0.1, 0.3, 0.2}
+	if got := Precision(truth, est, 2); got != 0.5 {
+		t.Fatalf("Precision=%v, want 0.5", got)
+	}
+	if got := Precision(truth, truth, 4); got != 1 {
+		t.Fatalf("perfect precision=%v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Min != 1 || s.Max != 4 || s.N != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Median-2.5) > 1e-15 || math.Abs(s.Mean-2.5) > 1e-15 {
+		t.Fatalf("median/mean: %+v", s)
+	}
+	if math.Abs(s.Q1-1.75) > 1e-15 || math.Abs(s.Q3-3.25) > 1e-15 {
+		t.Fatalf("quartiles: %+v", s)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std=%v, want %v", s.Std, wantStd)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}

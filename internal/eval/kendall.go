@@ -1,0 +1,32 @@
+package eval
+
+// KendallTauTopK measures rank agreement between an estimate and the
+// ground truth over the truth's top-k nodes: the Kendall tau-a coefficient
+// of the estimated scores restricted to those nodes, in [-1, 1] (1 =
+// identical order, -1 = reversed). PPR evaluations use it alongside NDCG
+// because NDCG is gain-weighted and forgives tail swaps that tau exposes.
+func KendallTauTopK(truth, est []float64, k int) float64 {
+	nodes := TopK(truth, k)
+	n := len(nodes)
+	if n < 2 {
+		return 1
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// Truth order is nodes[i] before nodes[j] (strictly higher or
+			// tie-broken); the pair agrees when the estimate ranks them
+			// the same way.
+			a, b := est[nodes[i]], est[nodes[j]]
+			switch {
+			case a > b:
+				concordant++
+			case a < b:
+				discordant++
+				// equal estimates count as neither
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}

@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTauPerfectAndReversed(t *testing.T) {
+	truth := []float64{0.5, 0.4, 0.3, 0.2, 0.1}
+	if got := KendallTauTopK(truth, truth, 5); got != 1 {
+		t.Fatalf("identical order tau=%v", got)
+	}
+	rev := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	if got := KendallTauTopK(truth, rev, 5); got != -1 {
+		t.Fatalf("reversed order tau=%v", got)
+	}
+}
+
+func TestKendallTauPartial(t *testing.T) {
+	truth := []float64{4, 3, 2, 1}
+	est := []float64{4, 2, 3, 1} // one adjacent swap: 5 concordant, 1 discordant
+	want := (5.0 - 1.0) / 6.0
+	if got := KendallTauTopK(truth, est, 4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tau=%v, want %v", got, want)
+	}
+}
+
+func TestKendallTauTiesAndDegenerate(t *testing.T) {
+	truth := []float64{3, 2, 1}
+	flat := []float64{1, 1, 1}
+	if got := KendallTauTopK(truth, flat, 3); got != 0 {
+		t.Fatalf("all-tied estimate tau=%v, want 0", got)
+	}
+	if got := KendallTauTopK(truth, truth, 1); got != 1 {
+		t.Fatalf("k=1 tau=%v", got)
+	}
+}
+
+func TestKendallTauRangeProperty(t *testing.T) {
+	check := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		norm := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0
+			}
+			return math.Mod(math.Abs(x), 1)
+		}
+		ta := make([]float64, n)
+		tb := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ta[i], tb[i] = norm(a[i]), norm(b[i])
+		}
+		tau := KendallTauTopK(ta, tb, n)
+		return tau >= -1-1e-12 && tau <= 1+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

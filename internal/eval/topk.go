@@ -1,0 +1,83 @@
+package eval
+
+// topk.go implements O(n log k) top-k selection with a bounded min-heap.
+// Rankings are what every consumer of an SSRWR answer actually wants
+// (recommendation, community seeds, NDCG), and sorting all n scores to
+// extract k ≪ n of them dominated profile time on the larger graphs.
+
+// heapEntry orders by (score asc, id desc) so the heap root is the entry
+// to evict: the smallest score, with the LARGEST id among ties, making the
+// final ranking identical to a full sort with (score desc, id asc).
+type heapEntry struct {
+	id    int32
+	score float64
+}
+
+func worse(a, b heapEntry) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.id > b.id
+}
+
+// selectTopK returns the k entries with the highest scores in descending
+// order (ties by smaller id), visiting each score exactly once.
+func selectTopK(scores []float64, k int) []heapEntry {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return nil
+	}
+	heap := make([]heapEntry, 0, k)
+	push := func(e heapEntry) {
+		heap = append(heap, e)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && worse(heap[l], heap[small]) {
+				small = l
+			}
+			if r < len(heap) && worse(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for id, s := range scores {
+		e := heapEntry{int32(id), s}
+		if len(heap) < k {
+			push(e)
+			continue
+		}
+		if worse(heap[0], e) {
+			heap[0] = e
+			siftDown()
+		}
+	}
+	// Pop everything; entries come out worst-first.
+	out := make([]heapEntry, len(heap))
+	for i := len(heap) - 1; i >= 0; i-- {
+		out[i] = heap[0]
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		siftDown()
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// referenceTopK is the straightforward full-sort implementation the heap
+// must match exactly.
+func referenceTopK(scores []float64, k int) []int32 {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int32, len(scores))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+func TestSelectTopKMatchesReference(t *testing.T) {
+	check := func(raw []float64, kRaw uint8) bool {
+		scores := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			scores[i] = math.Mod(x, 100)
+		}
+		k := int(kRaw % 20)
+		got := TopK(scores, k)
+		want := referenceTopK(scores, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectTopKTies(t *testing.T) {
+	scores := []float64{5, 5, 5, 5, 5}
+	got := TopK(scores, 3)
+	for i, want := range []int32{0, 1, 2} {
+		if got[i] != want {
+			t.Fatalf("tie-break broke: %v", got)
+		}
+	}
+}
+
+func TestSelectTopKAllAndNone(t *testing.T) {
+	scores := []float64{3, 1, 2}
+	if got := TopK(scores, 3); got[0] != 0 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("full selection wrong: %v", got)
+	}
+	if TopK(scores, 0) != nil || TopK(nil, 5) != nil {
+		t.Fatal("degenerate cases should be nil")
+	}
+}
+
+func BenchmarkTopKHeap(b *testing.B) {
+	scores := make([]float64, 100000)
+	for i := range scores {
+		scores[i] = math.Sin(float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(scores, 10)
+	}
+}
+
+func BenchmarkTopKReferenceSort(b *testing.B) {
+	scores := make([]float64, 100000)
+	for i := range scores {
+		scores[i] = math.Sin(float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		referenceTopK(scores, 10)
+	}
+}

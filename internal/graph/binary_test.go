@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(50, 200, seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		for v := int32(0); int(v) < g.N(); v++ {
+			a, b := g.Out(v), g2.Out(v)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			ia, ib := g.In(v), g2.In(v)
+			if len(ia) != len(ib) {
+				return false
+			}
+			for i := range ia {
+				if ia[i] != ib[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 0 || g2.M() != 0 {
+		t.Fatal("empty graph round trip failed")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"short",
+		"NOTMAGIC________________",
+	}
+	for _, in := range cases {
+		if _, err := ReadBinary(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptedBody(t *testing.T) {
+	g := randomGraph(10, 30, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Truncated adjacency.
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	// Out-of-range target: overwrite the last adjacency entry with a huge id.
+	bad := append([]byte(nil), data...)
+	for i := 0; i < 4; i++ {
+		bad[len(bad)-1-i] = 0x7f
+	}
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	// Implausible header.
+	bad2 := append([]byte(nil), data...)
+	bad2[8] = 0xff
+	bad2[15] = 0xff // n becomes enormous/negative
+	if _, err := ReadBinary(bytes.NewReader(bad2)); err == nil {
+		t.Error("implausible header accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. It tolerates
+// duplicate AddEdge calls (duplicates are dropped at Build time) and rejects
+// self-loops, matching the paper's no-self-loop assumption (§II-A).
+type Builder struct {
+	n     int
+	edges []edge
+	// dedup controls whether duplicate parallel edges are removed (default
+	// true, matching the simple-graph model of the paper).
+	dedup bool
+}
+
+type edge struct{ u, v int32 }
+
+// NewBuilder returns a builder for a graph with n nodes (ids 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, dedup: true}
+}
+
+// KeepParallelEdges disables duplicate-edge removal. Exposed for tests of
+// the dedup path itself; the paper's model is a simple graph.
+func (b *Builder) KeepParallelEdges() *Builder {
+	b.dedup = false
+	return b
+}
+
+// AddEdge records the directed edge (u,v). Self-loops are silently ignored
+// (the paper's graphs have none; dropping them keeps loaders simple).
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v {
+		return
+	}
+	b.edges = append(b.edges, edge{u, v})
+}
+
+// AddUndirected records both (u,v) and (v,u).
+func (b *Builder) AddUndirected(u, v int32) {
+	b.AddEdge(u, v)
+	b.AddEdge(v, u)
+}
+
+// Build validates the accumulated edges and produces the CSR graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", b.n)
+	}
+	for _, e := range b.edges {
+		if e.u < 0 || int(e.u) >= b.n || e.v < 0 || int(e.v) >= b.n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.u, e.v, b.n)
+		}
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].u != b.edges[j].u {
+			return b.edges[i].u < b.edges[j].u
+		}
+		return b.edges[i].v < b.edges[j].v
+	})
+	if b.dedup {
+		w := 0
+		for i, e := range b.edges {
+			if i > 0 && e == b.edges[i-1] {
+				continue
+			}
+			b.edges[w] = e
+			w++
+		}
+		b.edges = b.edges[:w]
+	}
+
+	g := &Graph{
+		n:      b.n,
+		outAdj: make([]int32, len(b.edges)),
+		outOff: make([]int, b.n+1),
+		inAdj:  make([]int32, len(b.edges)),
+		inOff:  make([]int, b.n+1),
+	}
+	// Out CSR: edges are already sorted by (u,v).
+	for _, e := range b.edges {
+		g.outOff[e.u+1]++
+		g.inOff[e.v+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+		g.inOff[i+1] += g.inOff[i]
+	}
+	for i, e := range b.edges {
+		g.outAdj[i] = e.v
+	}
+	// In CSR: counting sort by target.
+	cursor := make([]int, b.n)
+	copy(cursor, g.inOff[:b.n])
+	for _, e := range b.edges {
+		g.inAdj[cursor[e.v]] = e.u
+		cursor[e.v]++
+	}
+	return g, nil
+}
+
+// MustBuild is Build for known-good inputs (tests, generators); it panics on
+// error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dynamic accumulates edge insertions and deletions on top of an immutable
+// base Graph and materialises updated snapshots on demand. This backs the
+// paper's dynamic-graph argument (§I, Appendix I): index-free queries only
+// need the current snapshot, so an update costs one O(n+m+|edits|) merge
+// instead of an index rebuild.
+//
+// Dynamic itself is not safe for concurrent mutation; snapshots are
+// immutable Graphs and safe to query concurrently like any other.
+type Dynamic struct {
+	base    *Graph
+	n       int
+	added   map[int64]struct{}
+	removed map[int64]struct{}
+}
+
+// NewDynamic starts an edit session over g.
+func NewDynamic(g *Graph) *Dynamic {
+	return &Dynamic{
+		base:    g,
+		n:       g.N(),
+		added:   make(map[int64]struct{}),
+		removed: make(map[int64]struct{}),
+	}
+}
+
+// N returns the current node count (base nodes plus added ones).
+func (d *Dynamic) N() int { return d.n }
+
+// PendingEdits returns the number of recorded insertions and deletions.
+func (d *Dynamic) PendingEdits() (adds, removes int) {
+	return len(d.added), len(d.removed)
+}
+
+func (d *Dynamic) encode(u, v int32) int64 {
+	return int64(u)*int64(d.n) + int64(v)
+}
+
+func (d *Dynamic) check(u, v int32) error {
+	if u < 0 || int(u) >= d.n || v < 0 || int(v) >= d.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, d.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop (%d,%d) not allowed", u, v)
+	}
+	return nil
+}
+
+// inBase reports whether (u,v) exists in the base graph. Only nodes that
+// existed at session start can have base edges.
+func (d *Dynamic) inBase(u, v int32) bool {
+	return int(u) < d.base.N() && int(v) < d.base.N() && d.base.HasEdge(u, v)
+}
+
+// HasEdge reports whether the edge exists in the current edited state.
+func (d *Dynamic) HasEdge(u, v int32) bool {
+	if d.check(u, v) != nil {
+		return false
+	}
+	key := d.encode(u, v)
+	if _, ok := d.added[key]; ok {
+		return true
+	}
+	if _, ok := d.removed[key]; ok {
+		return false
+	}
+	return d.inBase(u, v)
+}
+
+// AddEdge records the insertion of (u,v). Inserting an existing edge is a
+// no-op.
+func (d *Dynamic) AddEdge(u, v int32) error {
+	if err := d.check(u, v); err != nil {
+		return err
+	}
+	key := d.encode(u, v)
+	if _, ok := d.removed[key]; ok {
+		delete(d.removed, key)
+		return nil
+	}
+	if d.inBase(u, v) {
+		return nil
+	}
+	d.added[key] = struct{}{}
+	return nil
+}
+
+// RemoveEdge records the deletion of (u,v). Removing a non-existent edge
+// is a no-op.
+func (d *Dynamic) RemoveEdge(u, v int32) error {
+	if err := d.check(u, v); err != nil {
+		return err
+	}
+	key := d.encode(u, v)
+	if _, ok := d.added[key]; ok {
+		delete(d.added, key)
+		return nil
+	}
+	if d.inBase(u, v) {
+		d.removed[key] = struct{}{}
+	}
+	return nil
+}
+
+// AddNode grows the node set by one and returns the new id.
+//
+// Node ids are stable across AddNode, but edge keys are encoded against
+// the session's node count, so AddNode re-encodes pending edits; add nodes
+// before bulk edge edits when possible.
+func (d *Dynamic) AddNode() int32 {
+	old := d.n
+	d.n++
+	if len(d.added)+len(d.removed) > 0 {
+		reEncode := func(m map[int64]struct{}) map[int64]struct{} {
+			out := make(map[int64]struct{}, len(m))
+			for key := range m {
+				u := int32(key / int64(old))
+				v := int32(key % int64(old))
+				out[int64(u)*int64(d.n)+int64(v)] = struct{}{}
+			}
+			return out
+		}
+		d.added = reEncode(d.added)
+		d.removed = reEncode(d.removed)
+	}
+	return int32(old)
+}
+
+// IsolateNode removes every edge incident to v (the node keeps its id with
+// degree zero). This is the dynamic-session analogue of the paper's node
+// deletions (Appendix I) without the renumbering Graph.DeleteNode does.
+func (d *Dynamic) IsolateNode(v int32) error {
+	if v < 0 || int(v) >= d.n {
+		return fmt.Errorf("graph: node %d out of range [0,%d)", v, d.n)
+	}
+	if int(v) < d.base.N() {
+		for _, w := range d.base.Out(v) {
+			if err := d.RemoveEdge(v, w); err != nil {
+				return err
+			}
+		}
+		for _, w := range d.base.In(v) {
+			if err := d.RemoveEdge(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	for key := range d.added {
+		u := int32(key / int64(d.n))
+		w := int32(key % int64(d.n))
+		if u == v || w == v {
+			delete(d.added, key)
+		}
+	}
+	return nil
+}
+
+// Snapshot materialises the edited graph as an immutable Graph in
+// O(n + m + |edits|·log|edits|) — no global edge re-sort.
+func (d *Dynamic) Snapshot() (*Graph, error) {
+	// Group added edges by source, sorted by target.
+	addedBy := make(map[int32][]int32, len(d.added))
+	for key := range d.added {
+		u := int32(key / int64(d.n))
+		v := int32(key % int64(d.n))
+		addedBy[u] = append(addedBy[u], v)
+	}
+	for _, vs := range addedBy {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
+
+	g := &Graph{n: d.n}
+	m := d.base.M() + len(d.added) - len(d.removed)
+	g.outAdj = make([]int32, 0, m)
+	g.outOff = make([]int, d.n+1)
+	for u := int32(0); int(u) < d.n; u++ {
+		var baseOut []int32
+		if int(u) < d.base.N() {
+			baseOut = d.base.Out(u)
+		}
+		add := addedBy[u]
+		// Sorted merge of the surviving base edges with the additions.
+		bi, ai := 0, 0
+		for bi < len(baseOut) || ai < len(add) {
+			var v int32
+			takeBase := ai >= len(add) || (bi < len(baseOut) && baseOut[bi] <= add[ai])
+			if takeBase {
+				v = baseOut[bi]
+				bi++
+				if _, gone := d.removed[d.encode(u, v)]; gone {
+					continue
+				}
+			} else {
+				v = add[ai]
+				ai++
+			}
+			g.outAdj = append(g.outAdj, v)
+		}
+		g.outOff[u+1] = len(g.outAdj)
+	}
+	if len(g.outAdj) != m {
+		return nil, fmt.Errorf("graph: snapshot edge count %d != expected %d (edit bookkeeping bug)", len(g.outAdj), m)
+	}
+	// In-CSR by counting sort.
+	g.inAdj = make([]int32, len(g.outAdj))
+	g.inOff = make([]int, d.n+1)
+	for _, v := range g.outAdj {
+		g.inOff[v+1]++
+	}
+	for i := 0; i < d.n; i++ {
+		g.inOff[i+1] += g.inOff[i]
+	}
+	cursor := make([]int, d.n)
+	copy(cursor, g.inOff[:d.n])
+	for u := int32(0); int(u) < d.n; u++ {
+		for _, v := range g.outAdj[g.outOff[u]:g.outOff[u+1]] {
+			g.inAdj[cursor[v]] = u
+			cursor[v]++
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDynamicAddRemoveEdge(t *testing.T) {
+	g := line(4) // 0->1->2->3
+	d := NewDynamic(g)
+	if err := d.AddEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasEdge(3, 0) || d.HasEdge(0, 1) || !d.HasEdge(1, 2) {
+		t.Fatal("edit state wrong")
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.M() != 3 {
+		t.Fatalf("m=%d, want 3", snap.M())
+	}
+	if !snap.HasEdge(3, 0) || snap.HasEdge(0, 1) {
+		t.Fatal("snapshot edges wrong")
+	}
+	// Base graph untouched.
+	if !g.HasEdge(0, 1) || g.HasEdge(3, 0) {
+		t.Fatal("base graph mutated")
+	}
+}
+
+func TestDynamicCancellingEdits(t *testing.T) {
+	g := line(3)
+	d := NewDynamic(g)
+	// Remove then re-add an existing edge: net no-op.
+	if err := d.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Add then remove a new edge: net no-op.
+	if err := d.AddEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	adds, removes := d.PendingEdits()
+	if adds != 0 || removes != 0 {
+		t.Fatalf("pending edits %d/%d, want 0/0", adds, removes)
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.M() != g.M() {
+		t.Fatal("cancelling edits changed the graph")
+	}
+}
+
+func TestDynamicNoOpEdits(t *testing.T) {
+	g := line(3)
+	d := NewDynamic(g)
+	if err := d.AddEdge(0, 1); err != nil { // already present
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(2, 0); err != nil { // never existed
+		t.Fatal(err)
+	}
+	adds, removes := d.PendingEdits()
+	if adds != 0 || removes != 0 {
+		t.Fatalf("no-op edits recorded: %d/%d", adds, removes)
+	}
+}
+
+func TestDynamicRejectsBadEdges(t *testing.T) {
+	d := NewDynamic(line(3))
+	if err := d.AddEdge(0, 9); err == nil {
+		t.Error("want range error")
+	}
+	if err := d.AddEdge(1, 1); err == nil {
+		t.Error("want self-loop error")
+	}
+	if err := d.RemoveEdge(-1, 0); err == nil {
+		t.Error("want range error")
+	}
+	if err := d.IsolateNode(17); err == nil {
+		t.Error("want range error")
+	}
+}
+
+func TestDynamicAddNode(t *testing.T) {
+	g := line(3)
+	d := NewDynamic(g)
+	if err := d.AddEdge(2, 0); err != nil { // pending edit before AddNode
+		t.Fatal(err)
+	}
+	v := d.AddNode()
+	if v != 3 || d.N() != 4 {
+		t.Fatalf("new node %d, n=%d", v, d.N())
+	}
+	if err := d.AddEdge(v, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(1, v); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.N() != 4 || snap.M() != 5 {
+		t.Fatalf("snapshot n=%d m=%d", snap.N(), snap.M())
+	}
+	if !snap.HasEdge(2, 0) || !snap.HasEdge(3, 0) || !snap.HasEdge(1, 3) {
+		t.Fatal("edges lost across AddNode re-encoding")
+	}
+}
+
+func TestDynamicIsolateNode(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 1)
+	g := b.MustBuild()
+	d := NewDynamic(g)
+	if err := d.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.IsolateNode(1); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.OutDegree(1) != 0 || snap.InDegree(1) != 0 {
+		t.Fatalf("node 1 not isolated: out=%d in=%d", snap.OutDegree(1), snap.InDegree(1))
+	}
+	if snap.M() != 0 {
+		t.Fatalf("m=%d, want 0 (all edges touched node 1)", snap.M())
+	}
+}
+
+func TestDynamicSnapshotMatchesRebuild(t *testing.T) {
+	// Property: applying random edits through Dynamic equals rebuilding
+	// from scratch with a Builder.
+	check := func(seed uint64) bool {
+		g := randomGraph(20, 60, seed)
+		d := NewDynamic(g)
+		want := map[[2]int32]bool{}
+		for u := int32(0); int(u) < g.N(); u++ {
+			for _, v := range g.Out(u) {
+				want[[2]int32{u, v}] = true
+			}
+		}
+		x := seed*2 + 1
+		next := func() uint64 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return x
+		}
+		for i := 0; i < 40; i++ {
+			u := int32(next() % 20)
+			v := int32(next() % 20)
+			if u == v {
+				continue
+			}
+			if next()%2 == 0 {
+				if d.AddEdge(u, v) != nil {
+					return false
+				}
+				want[[2]int32{u, v}] = true
+			} else {
+				if d.RemoveEdge(u, v) != nil {
+					return false
+				}
+				delete(want, [2]int32{u, v})
+			}
+		}
+		snap, err := d.Snapshot()
+		if err != nil {
+			return false
+		}
+		if snap.M() != len(want) {
+			return false
+		}
+		for e := range want {
+			if !snap.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		// Adjacency must be sorted (CSR invariant used by binary format).
+		for u := int32(0); int(u) < snap.N(); u++ {
+			out := snap.Out(u)
+			for i := 1; i < len(out); i++ {
+				if out[i-1] >= out[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

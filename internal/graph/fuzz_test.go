@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList asserts the parser never panics and that any
+// successfully parsed graph satisfies the CSR invariants.
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# comment\n5 3 junk\n\n3 5\n")
+	f.Add("999999 0\n")
+	f.Add("-1 2\n")
+	f.Add("a b\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, opts := range []LoadOptions{{}, {Undirected: true}, {Remap: true}} {
+			g, err := LoadEdgeList(strings.NewReader(input), opts)
+			if err != nil {
+				continue
+			}
+			checkInvariants(t, g)
+		}
+	})
+}
+
+// FuzzReadBinary asserts the snapshot reader rejects or safely parses any
+// byte soup: no panics, no invariant-violating graphs.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	g := randomGraph(10, 30, 1)
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("RSACCG01garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkInvariants(t, g)
+	})
+}
+
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	din, dout := 0, 0
+	for v := int32(0); int(v) < g.N(); v++ {
+		for _, w := range g.Out(v) {
+			if w < 0 || int(w) >= g.N() {
+				t.Fatalf("out-neighbour %d out of range", w)
+			}
+		}
+		din += g.InDegree(v)
+		dout += g.OutDegree(v)
+	}
+	if din != g.M() || dout != g.M() {
+		t.Fatalf("degree sums %d/%d != m %d", din, dout, g.M())
+	}
+}

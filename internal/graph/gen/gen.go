@@ -1,0 +1,200 @@
+// Package gen generates synthetic graphs with the statistical shapes of the
+// paper's benchmark datasets (Table II). The real SNAP graphs (DBLP through
+// Friendster, up to 2.1B edges) are not redistributable nor laptop-sized, so
+// the experiment harness substitutes generated graphs with matched average
+// degree and degree skew; DESIGN.md §4 records the substitution rationale.
+//
+// All generators are deterministic in their seed.
+package gen
+
+import (
+	"resacc/internal/graph"
+	"resacc/internal/rng"
+)
+
+// ErdosRenyi returns a directed G(n, m) graph: m distinct directed edges
+// chosen uniformly at random (no self-loops).
+func ErdosRenyi(n, m int, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	seen := make(map[int64]struct{}, m)
+	for len(seen) < m && len(seen) < n*(n-1) {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// BarabasiAlbert returns an undirected preferential-attachment graph
+// (each direction materialised) where each new node attaches to k existing
+// nodes with probability proportional to degree. Produces a power-law
+// degree distribution like web/citation graphs.
+func BarabasiAlbert(n, k int, seed uint64) *graph.Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n < k+1 {
+		n = k + 1
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	// targets is the repeated-endpoint list: picking uniformly from it is
+	// picking proportionally to degree.
+	targets := make([]int32, 0, 2*n*k)
+	// Seed clique over the first k+1 nodes.
+	for u := int32(0); u <= int32(k); u++ {
+		for v := u + 1; v <= int32(k); v++ {
+			b.AddUndirected(u, v)
+			targets = append(targets, u, v)
+		}
+	}
+	chosen := make(map[int32]struct{}, k)
+	for v := int32(k + 1); v < int32(n); v++ {
+		clear(chosen)
+		for len(chosen) < k {
+			u := targets[r.Intn(len(targets))]
+			if u == v {
+				continue
+			}
+			chosen[u] = struct{}{}
+		}
+		for u := range chosen {
+			b.AddUndirected(v, u)
+			targets = append(targets, v, u)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RMAT returns a directed R-MAT graph with 2^scale nodes and edgeFactor
+// directed edges per node, using the classic (a,b,c,d) = (.57,.19,.19,.05)
+// partition probabilities that mimic social-network skew. Duplicate edges
+// and self-loops are dropped, so the realised edge count is slightly below
+// edgeFactor·2^scale.
+func RMAT(scale, edgeFactor int, seed uint64) *graph.Graph {
+	n := 1 << scale
+	m := n * edgeFactor
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	const a, bq, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: no bits set
+			case p < a+bq:
+				v |= 1 << bit
+			case p < a+bq+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		b.AddEdge(int32(u), int32(v))
+		u, v = 0, 0
+	}
+	return b.MustBuild()
+}
+
+// WattsStrogatz returns an undirected small-world ring lattice of n nodes,
+// each connected to its k nearest neighbours on each side, with rewiring
+// probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if r.Float64() < beta {
+				for {
+					cand := r.Intn(n)
+					if cand != u {
+						v = cand
+						break
+					}
+				}
+			}
+			b.AddUndirected(int32(u), int32(v))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Grid returns a directed 4-neighbour rows×cols grid (each lattice edge in
+// both directions). Useful for tests where shortest-path layers are known
+// in closed form.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddUndirected(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddUndirected(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// PlantedCommunities returns an undirected graph of n nodes partitioned into
+// communities of size roughly communitySize, with average intra-community
+// degree kIn and inter-community degree kOut. It is the LFR-flavoured
+// workload for the community-detection experiments (paper §VII-H): ground
+// truth is the planted partition, and kOut/(kIn+kOut) plays the role of the
+// mixing parameter.
+func PlantedCommunities(n, communitySize, kIn, kOut int, seed uint64) (*graph.Graph, [][]int32) {
+	if communitySize < 2 {
+		communitySize = 2
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n)
+	var communities [][]int32
+	for start := 0; start < n; start += communitySize {
+		end := start + communitySize
+		if end > n {
+			end = n
+		}
+		members := make([]int32, 0, end-start)
+		for v := start; v < end; v++ {
+			members = append(members, int32(v))
+		}
+		communities = append(communities, members)
+		size := end - start
+		// Ring backbone keeps each community connected even at low kIn.
+		for i := 0; i < size; i++ {
+			b.AddUndirected(members[i], members[(i+1)%size])
+		}
+		extra := size * (kIn - 2) / 2
+		for e := 0; e < extra; e++ {
+			u := members[r.Intn(size)]
+			v := members[r.Intn(size)]
+			if u != v {
+				b.AddUndirected(u, v)
+			}
+		}
+	}
+	inter := n * kOut / 2
+	for e := 0; e < inter; e++ {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u/int32(communitySize) != v/int32(communitySize) {
+			b.AddUndirected(u, v)
+		}
+	}
+	return b.MustBuild(), communities
+}

@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 400, 1)
+	if g.N() != 100 || g.M() != 400 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	// Determinism.
+	g2 := ErdosRenyi(100, 400, 1)
+	if g2.M() != g.M() {
+		t.Fatal("not deterministic")
+	}
+	for v := int32(0); v < 100; v++ {
+		a, b := g.Out(v), g2.Out(v)
+		if len(a) != len(b) {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestErdosRenyiSaturation(t *testing.T) {
+	// Requesting more edges than possible must terminate.
+	g := ErdosRenyi(4, 100, 2)
+	if g.M() != 12 {
+		t.Fatalf("complete digraph on 4 nodes has 12 edges, got %d", g.M())
+	}
+}
+
+func TestBarabasiAlbertDegreeSkew(t *testing.T) {
+	g := BarabasiAlbert(2000, 3, 5)
+	if g.N() != 2000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Preferential attachment should produce a hub much above average.
+	maxDeg := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if d := g.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := g.AvgDegree()
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("max degree %d not skewed vs avg %v", maxDeg, avg)
+	}
+	// Undirected materialisation: in-degree equals out-degree.
+	for v := int32(0); v < int32(g.N()); v++ {
+		if g.OutDegree(v) != g.InDegree(v) {
+			t.Fatal("BA graph should be symmetric")
+		}
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 8, 3)
+	if g.N() != 1024 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() < 1024*4 {
+		t.Fatalf("too few edges after dedup: %d", g.M())
+	}
+	// Skew: the busiest node should dominate the average.
+	maxDeg := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if d := g.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 4*g.AvgDegree() {
+		t.Fatalf("R-MAT not skewed: max %d avg %v", maxDeg, g.AvgDegree())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(200, 3, 0.1, 7)
+	if g.N() != 200 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if g.M() < 200*3 {
+		t.Fatalf("m=%d too small", g.M())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Interior lattice: 2*( (3-1)*4 + 3*(4-1) ) = 2*(8+9) = 34 edges.
+	if g.M() != 34 {
+		t.Fatalf("m=%d, want 34", g.M())
+	}
+	// Corner has degree 2, center has degree 4 (node (1,1) = 5).
+	if g.OutDegree(0) != 2 || g.OutDegree(5) != 4 {
+		t.Fatalf("grid degrees wrong: %d %d", g.OutDegree(0), g.OutDegree(5))
+	}
+}
+
+func TestPlantedCommunities(t *testing.T) {
+	g, comms := PlantedCommunities(200, 20, 8, 1, 9)
+	if g.N() != 200 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if len(comms) != 10 {
+		t.Fatalf("communities=%d, want 10", len(comms))
+	}
+	total := 0
+	for _, c := range comms {
+		total += len(c)
+	}
+	if total != 200 {
+		t.Fatalf("partition covers %d nodes", total)
+	}
+	// Intra-community edges should dominate.
+	intra, inter := 0, 0
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Out(u) {
+			if u/20 == v/20 {
+				intra++
+			} else {
+				inter++
+			}
+		}
+	}
+	if intra <= inter {
+		t.Fatalf("intra=%d inter=%d: community structure missing", intra, inter)
+	}
+}
+
+func TestPlantedCommunitiesRaggedTail(t *testing.T) {
+	// n not divisible by community size.
+	g, comms := PlantedCommunities(105, 20, 6, 1, 3)
+	if g.N() != 105 || len(comms) != 6 {
+		t.Fatalf("n=%d comms=%d", g.N(), len(comms))
+	}
+	if len(comms[5]) != 5 {
+		t.Fatalf("tail community size=%d, want 5", len(comms[5]))
+	}
+}

@@ -1,0 +1,140 @@
+// Package graph provides the directed-graph substrate used by every RWR
+// algorithm in this repository: an immutable CSR (compressed sparse row)
+// representation with both out- and in-adjacency, edge-list I/O, BFS layer
+// decomposition, and the node-deletion operation needed by the dynamic-graph
+// experiment (paper Appendix I).
+//
+// Node identifiers are dense integers in [0, N). Graphs are immutable after
+// construction, which makes them safe for concurrent queries.
+package graph
+
+import "fmt"
+
+// Graph is an immutable directed graph in CSR form.
+type Graph struct {
+	n      int
+	outAdj []int32
+	outOff []int
+	inAdj  []int32
+	inOff  []int
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return len(g.outAdj) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v int32) int {
+	return g.outOff[v+1] - g.outOff[v]
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v int32) int {
+	return g.inOff[v+1] - g.inOff[v]
+}
+
+// Out returns the out-neighbours of v. The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Out(v int32) []int32 {
+	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+}
+
+// In returns the in-neighbours of v. The returned slice aliases the graph's
+// internal storage and must not be modified.
+func (g *Graph) In(v int32) []int32 {
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// OutAt returns the i-th out-neighbour of v without bounds re-slicing; it is
+// the hot call in random-walk inner loops.
+func (g *Graph) OutAt(v int32, i int) int32 {
+	return g.outAdj[g.outOff[v]+i]
+}
+
+// HasEdge reports whether the directed edge (u,v) exists. O(out-degree of u).
+func (g *Graph) HasEdge(u, v int32) bool {
+	for _, w := range g.Out(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Bytes returns the approximate in-memory size of the graph representation,
+// used to report "graph size" alongside index sizes (paper Table IV).
+func (g *Graph) Bytes() int64 {
+	const intSize = 8
+	return int64(len(g.outAdj))*4 + int64(len(g.inAdj))*4 +
+		int64(len(g.outOff))*intSize + int64(len(g.inOff))*intSize
+}
+
+// AvgDegree returns m/n, the average out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.M()) / float64(g.n)
+}
+
+// MaxOutDegreeNodes returns the k nodes with the largest out-degree in
+// decreasing order of degree (ties broken by node id). Used by the paper's
+// "characteristics of query nodes" experiment (Appendix C).
+func (g *Graph) MaxOutDegreeNodes(k int) []int32 {
+	if k > g.n {
+		k = g.n
+	}
+	// Selection via a simple bounded insertion; k is small (≤ tens).
+	top := make([]int32, 0, k)
+	for v := int32(0); v < int32(g.n); v++ {
+		d := g.OutDegree(v)
+		i := len(top)
+		for i > 0 {
+			u := top[i-1]
+			du := g.OutDegree(u)
+			if du > d || (du == d && u < v) {
+				break
+			}
+			i--
+		}
+		if i < k {
+			if len(top) < k {
+				top = append(top, 0)
+			}
+			copy(top[i+1:], top[i:len(top)-1])
+			top[i] = v
+		}
+	}
+	return top
+}
+
+// DeleteNode returns a new graph with node v and all its incident edges
+// removed. Remaining nodes are renumbered densely, preserving relative
+// order: ids < v are unchanged, ids > v shift down by one. This models the
+// node deletions of the dynamic-graph experiment (paper Appendix I).
+func (g *Graph) DeleteNode(v int32) (*Graph, error) {
+	if v < 0 || int(v) >= g.n {
+		return nil, fmt.Errorf("graph: delete node %d out of range [0,%d)", v, g.n)
+	}
+	b := NewBuilder(g.n - 1)
+	remap := func(u int32) int32 {
+		if u > v {
+			return u - 1
+		}
+		return u
+	}
+	for u := int32(0); u < int32(g.n); u++ {
+		if u == v {
+			continue
+		}
+		for _, w := range g.Out(u) {
+			if w == v {
+				continue
+			}
+			b.AddEdge(remap(u), remap(w))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,52 @@
+package graph
+
+import "sort"
+
+// RelabelByDegree returns an isomorphic copy of g whose nodes are numbered
+// in decreasing total-degree order, plus the mappings between old and new
+// ids. High-degree nodes end up adjacent in memory, which measurably
+// improves the cache behaviour of push cascades and random walks on skewed
+// graphs (the same hub-first reordering real BePI applies before its block
+// elimination).
+//
+// toNew[old] gives the new id of an original node; toOld[new] inverts it.
+// Scores computed on the relabeled graph index by new ids; use the
+// mappings to translate.
+func RelabelByDegree(g *Graph) (relabeled *Graph, toOld, toNew []int32) {
+	n := g.N()
+	toOld = make([]int32, n)
+	for i := range toOld {
+		toOld[i] = int32(i)
+	}
+	sort.Slice(toOld, func(a, b int) bool {
+		da := g.OutDegree(toOld[a]) + g.InDegree(toOld[a])
+		db := g.OutDegree(toOld[b]) + g.InDegree(toOld[b])
+		if da != db {
+			return da > db
+		}
+		return toOld[a] < toOld[b]
+	})
+	toNew = make([]int32, n)
+	for newID, oldID := range toOld {
+		toNew[oldID] = int32(newID)
+	}
+	b := NewBuilder(n)
+	for old := int32(0); int(old) < n; old++ {
+		u := toNew[old]
+		for _, w := range g.Out(old) {
+			b.AddEdge(u, toNew[w])
+		}
+	}
+	relabeled = b.MustBuild()
+	return relabeled, toOld, toNew
+}
+
+// ApplyRelabeling translates a score vector computed on the relabeled
+// graph back to original node ids.
+func ApplyRelabeling(scores []float64, toOld []int32) []float64 {
+	out := make([]float64, len(scores))
+	for newID, s := range scores {
+		out[toOld[newID]] = s
+	}
+	return out
+}

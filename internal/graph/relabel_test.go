@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRelabelByDegreeIsomorphic(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(30, 120, seed)
+		rg, toOld, toNew := RelabelByDegree(g)
+		if rg.N() != g.N() || rg.M() != g.M() {
+			return false
+		}
+		// Mappings are mutual inverses.
+		for old := int32(0); int(old) < g.N(); old++ {
+			if toOld[toNew[old]] != old {
+				return false
+			}
+		}
+		// Edges are preserved under the mapping.
+		for u := int32(0); int(u) < g.N(); u++ {
+			if g.OutDegree(u) != rg.OutDegree(toNew[u]) {
+				return false
+			}
+			for _, v := range g.Out(u) {
+				if !rg.HasEdge(toNew[u], toNew[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelabelOrdersByDegree(t *testing.T) {
+	g := randomGraph(50, 300, 3)
+	rg, _, _ := RelabelByDegree(g)
+	for v := int32(1); int(v) < rg.N(); v++ {
+		prev := rg.OutDegree(v-1) + rg.InDegree(v-1)
+		cur := rg.OutDegree(v) + rg.InDegree(v)
+		if prev < cur {
+			t.Fatalf("node %d has higher degree than node %d", v, v-1)
+		}
+	}
+}
+
+func TestApplyRelabeling(t *testing.T) {
+	g := line(4) // degrees: 1,2,2,1 (total) -> nodes 1,2 first
+	rg, toOld, toNew := RelabelByDegree(g)
+	scores := make([]float64, rg.N())
+	for newID := range scores {
+		scores[newID] = float64(toOld[newID]) // score = original id
+	}
+	back := ApplyRelabeling(scores, toOld)
+	for old := 0; old < g.N(); old++ {
+		if back[old] != float64(old) {
+			t.Fatalf("translated scores wrong: %v", back)
+		}
+	}
+	_ = toNew
+}

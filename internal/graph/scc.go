@@ -1,0 +1,133 @@
+package graph
+
+// SCC computes the strongly connected components of g with an iterative
+// Tarjan traversal (no recursion, safe for deep graphs). It returns one
+// component id per node and the component count. Component ids carry
+// Tarjan's reverse-topological guarantee: for every edge u→v with
+// comp[u] ≠ comp[v], comp[u] > comp[v] (successors are numbered first).
+//
+// Real BePI reorders the RWR linear system by SCC so that the non-hub
+// block becomes block-triangular; internal/algo/bepi uses this ordering
+// the same way to turn its spoke sweeps into a topological Gauss-Seidel.
+func SCC(g *Graph) (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	next := int32(0)
+
+	// Explicit DFS frame: node plus position in its out-list.
+	type frame struct {
+		v  int32
+		ei int
+	}
+	var frames []frame
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] >= 0 {
+			continue
+		}
+		frames = append(frames[:0], frame{root, 0})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			out := g.Out(f.v)
+			if f.ei < len(out) {
+				w := out[f.ei]
+				f.ei++
+				if index[w] < 0 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// f.v finished.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = int32(count)
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+		}
+	}
+	return comp, count
+}
+
+// Condensation returns the DAG of strongly connected components: one node
+// per component, with a deduplicated edge (a,b) whenever some u→v has
+// comp[u]=a, comp[v]=b, a≠b.
+func Condensation(g *Graph) (*Graph, []int32) {
+	comp, count := SCC(g)
+	b := NewBuilder(count)
+	for u := int32(0); int(u) < g.N(); u++ {
+		cu := comp[u]
+		for _, v := range g.Out(u) {
+			if cv := comp[v]; cv != cu {
+				b.AddEdge(cu, cv)
+			}
+		}
+	}
+	dag, err := b.Build()
+	if err != nil {
+		// Cannot happen: component ids are in [0,count).
+		panic(err)
+	}
+	return dag, comp
+}
+
+// TopoOrderBySCC returns the graph's nodes ordered so that for every edge
+// u→v crossing components, u comes before v (dependencies-last is the
+// decreasing-component-id order; this helper returns increasing edge
+// direction, i.e. sources of the condensation first).
+func TopoOrderBySCC(g *Graph) []int32 {
+	comp, count := SCC(g)
+	// Counting sort by decreasing component id (Tarjan numbers sinks
+	// first, so decreasing id = topological order of the condensation).
+	bucketStart := make([]int, count+1)
+	for _, c := range comp {
+		bucketStart[count-int(c)]++
+	}
+	for i := 1; i <= count; i++ {
+		bucketStart[i] += bucketStart[i-1]
+	}
+	order := make([]int32, g.N())
+	cursor := make([]int, count+1)
+	copy(cursor, bucketStart)
+	for v := int32(0); int(v) < g.N(); v++ {
+		b := count - 1 - int(comp[v])
+		order[cursor[b]] = v
+		cursor[b]++
+	}
+	return order
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCSimpleCycleAndTail(t *testing.T) {
+	// 0<->1 form one SCC; 2 and 3 are singletons on a tail 1->2->3.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	comp, count := SCC(g)
+	if count != 3 {
+		t.Fatalf("count=%d, want 3", count)
+	}
+	if comp[0] != comp[1] {
+		t.Fatal("cycle nodes in different components")
+	}
+	if comp[2] == comp[0] || comp[3] == comp[2] {
+		t.Fatal("tail nodes merged incorrectly")
+	}
+	// Reverse-topological numbering: edge 1->2 crosses, so comp[1]>comp[2].
+	if comp[1] <= comp[2] || comp[2] <= comp[3] {
+		t.Fatalf("component numbering not reverse-topological: %v", comp)
+	}
+}
+
+func TestSCCSingleComponent(t *testing.T) {
+	b := NewBuilder(5)
+	for i := int32(0); i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)
+	}
+	g := b.MustBuild()
+	_, count := SCC(g)
+	if count != 1 {
+		t.Fatalf("cycle should be one SCC, got %d", count)
+	}
+}
+
+func TestSCCDAG(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	comp, count := SCC(g)
+	if count != 4 {
+		t.Fatalf("DAG should have n singleton SCCs, got %d", count)
+	}
+	for u := int32(0); u < 4; u++ {
+		for _, v := range g.Out(u) {
+			if comp[u] <= comp[v] {
+				t.Fatalf("edge %d->%d violates reverse-topological numbering", u, v)
+			}
+		}
+	}
+}
+
+func TestSCCEdgeNumberingProperty(t *testing.T) {
+	// Property: every cross-component edge satisfies comp[u] > comp[v],
+	// and u,v share a component iff they reach each other.
+	check := func(seed uint64) bool {
+		g := randomGraph(40, 100, seed)
+		comp, count := SCC(g)
+		if count < 1 || count > g.N() {
+			return false
+		}
+		for u := int32(0); int(u) < g.N(); u++ {
+			if comp[u] < 0 || int(comp[u]) >= count {
+				return false
+			}
+			for _, v := range g.Out(u) {
+				if comp[u] != comp[v] && comp[u] <= comp[v] {
+					return false
+				}
+			}
+		}
+		// Mutual reachability check on a few pairs.
+		reach := make([][]bool, g.N())
+		for v := int32(0); int(v) < g.N(); v++ {
+			reach[v] = Reachable(g, v)
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				same := comp[u] == comp[v]
+				mutual := reach[u][v] && reach[v][u]
+				if same != mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCDeepGraphNoStackOverflow(t *testing.T) {
+	// A 200k-node path would blow a recursive Tarjan; the iterative one
+	// must handle it.
+	n := 200000
+	g := line(n)
+	_, count := SCC(g)
+	if count != n {
+		t.Fatalf("path should have %d SCCs, got %d", n, count)
+	}
+}
+
+func TestCondensationIsDAG(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(30, 120, seed)
+		dag, comp := Condensation(g)
+		// Every dag edge goes from higher to lower id (acyclic by
+		// construction given Tarjan numbering).
+		for u := int32(0); int(u) < dag.N(); u++ {
+			for _, v := range dag.Out(u) {
+				if u <= v {
+					return false
+				}
+			}
+		}
+		if len(comp) != g.N() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopoOrderBySCC(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 1) // 1,2 form a cycle
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	g := b.MustBuild()
+	order := TopoOrderBySCC(g)
+	pos := make(map[int32]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	comp, _ := SCC(g)
+	for u := int32(0); int(u) < g.N(); u++ {
+		for _, v := range g.Out(u) {
+			if comp[u] != comp[v] && pos[u] >= pos[v] {
+				t.Fatalf("edge %d->%d out of topological order: %v", u, v, order)
+			}
+		}
+	}
+	if len(order) != g.N() {
+		t.Fatal("order must cover all nodes")
+	}
+}

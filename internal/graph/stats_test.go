@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeStatsKnownGraph(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddUndirected(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3) // 3 is a dead end
+	g := b.MustBuild()
+	s := ComputeStats(g)
+	if s.Nodes != 4 || s.Edges != 4 {
+		t.Fatalf("n/m: %+v", s)
+	}
+	if s.DeadEnds != 1 {
+		t.Fatalf("dead ends: %+v", s)
+	}
+	// Reciprocal: 0<->1 (2 of 4 edges).
+	if s.Reciprocity != 0.5 {
+		t.Fatalf("reciprocity %v, want 0.5", s.Reciprocity)
+	}
+	if s.MaxOutDegree != 2 { // node 1: ->0, ->2
+		t.Fatalf("max out degree %d", s.MaxOutDegree)
+	}
+}
+
+func TestComputeStatsUndirectedReciprocity(t *testing.T) {
+	b := NewBuilder(5)
+	for i := int32(0); i < 4; i++ {
+		b.AddUndirected(i, i+1)
+	}
+	g := b.MustBuild()
+	if s := ComputeStats(g); s.Reciprocity != 1 {
+		t.Fatalf("undirected graph reciprocity %v", s.Reciprocity)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(NewBuilder(0).MustBuild())
+	if s.Nodes != 0 || s.Edges != 0 {
+		t.Fatal("empty stats wrong")
+	}
+}
+
+func TestComputeStatsPercentilesOrdered(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(60, 300, seed)
+		s := ComputeStats(g)
+		return s.OutDegreeP50 <= s.OutDegreeP90 &&
+			s.OutDegreeP90 <= s.OutDegreeP99 &&
+			s.OutDegreeP99 <= s.MaxOutDegree &&
+			s.Reciprocity >= 0 && s.Reciprocity <= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasSortedEdgeMatchesLinear(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(25, 100, seed)
+		for u := int32(0); int(u) < g.N(); u++ {
+			for v := int32(0); int(v) < g.N(); v++ {
+				if hasSortedEdge(g, u, v) != g.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package graph
+
+import "fmt"
+
+// InducedSubgraph returns the subgraph of g induced by the given node set
+// (the construction of the paper's Definition 5: all nodes in the set plus
+// every edge whose endpoints both lie in it), with nodes renumbered densely
+// in the order given. The second result maps new ids back to original ids;
+// the third maps original ids to new ids (-1 when absent).
+//
+// Duplicate nodes in the input are rejected so that the inverse mapping is
+// well-defined.
+func InducedSubgraph(g *Graph, nodes []int32) (*Graph, []int32, []int32, error) {
+	toNew := make([]int32, g.N())
+	for i := range toNew {
+		toNew[i] = -1
+	}
+	toOld := make([]int32, len(nodes))
+	for i, v := range nodes {
+		if v < 0 || int(v) >= g.N() {
+			return nil, nil, nil, fmt.Errorf("graph: subgraph node %d out of range [0,%d)", v, g.N())
+		}
+		if toNew[v] >= 0 {
+			return nil, nil, nil, fmt.Errorf("graph: subgraph node %d listed twice", v)
+		}
+		toNew[v] = int32(i)
+		toOld[i] = v
+	}
+	b := NewBuilder(len(nodes))
+	for i, v := range toOld {
+		for _, w := range g.Out(v) {
+			if nw := toNew[w]; nw >= 0 {
+				b.AddEdge(int32(i), nw)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return sub, toOld, toNew, nil
+}
+
+// HopInducedSubgraph returns G'_{h-hop}(s) of Definition 5: the subgraph
+// induced by the h-hop set of s, plus the mappings of InducedSubgraph.
+func HopInducedSubgraph(g *Graph, s int32, h int) (*Graph, []int32, []int32, error) {
+	if s < 0 || int(s) >= g.N() {
+		return nil, nil, nil, fmt.Errorf("graph: source %d out of range [0,%d)", s, g.N())
+	}
+	layers := BFSLayers(g, s, h)
+	return InducedSubgraph(g, layers.Within(h))
+}
+
+// Transpose returns the graph with every edge reversed. Because both
+// adjacency directions are already materialised, this is an O(1) view-like
+// copy of the CSR arrays with roles swapped.
+func Transpose(g *Graph) *Graph {
+	return &Graph{
+		n:      g.n,
+		outAdj: g.inAdj,
+		outOff: g.inOff,
+		inAdj:  g.outAdj,
+		inOff:  g.outOff,
+	}
+}

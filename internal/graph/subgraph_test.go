@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	g := b.MustBuild()
+	sub, toOld, toNew, err := InducedSubgraph(g, []int32{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("sub n=%d m=%d, want 3,3", sub.N(), sub.M())
+	}
+	for newID, oldID := range toOld {
+		if toNew[oldID] != int32(newID) {
+			t.Fatal("mappings inconsistent")
+		}
+	}
+	// Edge 2->3 must be dropped (3 not in set).
+	if sub.HasEdge(toNew[2], 0) == false {
+		t.Error("edge 2->0 missing in subgraph")
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := line(4)
+	if _, _, _, err := InducedSubgraph(g, []int32{0, 9}); err == nil {
+		t.Error("want out-of-range error")
+	}
+	if _, _, _, err := InducedSubgraph(g, []int32{1, 1}); err == nil {
+		t.Error("want duplicate error")
+	}
+}
+
+func TestHopInducedSubgraph(t *testing.T) {
+	g := line(10)
+	sub, toOld, _, err := HopInducedSubgraph(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 || sub.M() != 3 {
+		t.Fatalf("3-hop subgraph of a line: n=%d m=%d", sub.N(), sub.M())
+	}
+	for i, v := range toOld {
+		if v != int32(i) {
+			t.Fatalf("BFS order on a line should be identity: %v", toOld)
+		}
+	}
+	if _, _, _, err := HopInducedSubgraph(g, -1, 2); err == nil {
+		t.Error("want source range error")
+	}
+}
+
+func TestInducedSubgraphEdgeProperty(t *testing.T) {
+	// Property: (u,w) is an edge of the subgraph iff both endpoints are in
+	// the set and (old(u), old(w)) is an edge of g.
+	check := func(seed uint64) bool {
+		g := randomGraph(30, 120, seed)
+		nodes := []int32{}
+		for v := int32(0); int(v) < g.N(); v += 2 {
+			nodes = append(nodes, v)
+		}
+		sub, toOld, toNew, err := InducedSubgraph(g, nodes)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, u := range nodes {
+			for _, w := range g.Out(u) {
+				if toNew[w] >= 0 {
+					count++
+					if !sub.HasEdge(toNew[u], toNew[w]) {
+						return false
+					}
+				}
+			}
+		}
+		if count != sub.M() {
+			return false
+		}
+		_ = toOld
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := randomGraph(25, 80, seed)
+		tr := Transpose(g)
+		if tr.N() != g.N() || tr.M() != g.M() {
+			return false
+		}
+		for u := int32(0); int(u) < g.N(); u++ {
+			for _, v := range g.Out(u) {
+				if !tr.HasEdge(v, u) {
+					return false
+				}
+			}
+			if g.OutDegree(u) != tr.InDegree(u) || g.InDegree(u) != tr.OutDegree(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	g := randomGraph(20, 60, 3)
+	tt := Transpose(Transpose(g))
+	for v := int32(0); int(v) < g.N(); v++ {
+		a, b := g.Out(v), tt.Out(v)
+		if len(a) != len(b) {
+			t.Fatal("double transpose changed the graph")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("double transpose changed adjacency")
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package recommend builds the real-time recommendation application the
+// paper's introduction motivates (§I, citing Pixie): items are recommended
+// to a user by their RWR proximity on the user-item interaction graph. It
+// provides a bipartite-graph builder, a planted-preference generator with
+// a held-out test set, the RWR recommender itself (pluggable SSRWR
+// solver), and the standard offline metrics (hit rate, MRR, popularity and
+// random baselines).
+package recommend
+
+import (
+	"errors"
+	"fmt"
+
+	"resacc/internal/algo"
+	"resacc/internal/eval"
+	"resacc/internal/graph"
+	"resacc/internal/rng"
+)
+
+// Bipartite is a user-item interaction graph: users occupy node ids
+// [0,Users), items [Users, Users+Items), and every interaction appears as
+// an edge in both directions so walks alternate sides.
+type Bipartite struct {
+	Graph *graph.Graph
+	Users int
+	Items int
+}
+
+// ItemID returns the node id of the i-th item.
+func (b *Bipartite) ItemID(i int) int32 { return int32(b.Users + i) }
+
+// IsItem reports whether a node id denotes an item.
+func (b *Bipartite) IsItem(v int32) bool { return int(v) >= b.Users }
+
+// Interaction is one held-out (user, item) pair.
+type Interaction struct {
+	User int32
+	Item int32
+}
+
+// Synthetic generates a planted-preference dataset: users and items are
+// split into `groups` taste clusters, a user interacts mostly with items
+// of their own cluster (probability inCluster) and uniformly otherwise.
+// holdout interactions per user are withheld from the graph and returned
+// as the test set — the recommender's job is to rank them highly.
+func Synthetic(users, items, groups, perUser, holdout int, inCluster float64, seed uint64) (*Bipartite, []Interaction, error) {
+	if users <= 0 || items <= 0 || groups <= 0 {
+		return nil, nil, errors.New("recommend: users, items and groups must be positive")
+	}
+	if perUser <= holdout {
+		return nil, nil, fmt.Errorf("recommend: perUser %d must exceed holdout %d", perUser, holdout)
+	}
+	if items/groups < perUser {
+		return nil, nil, fmt.Errorf("recommend: clusters of %d items cannot support %d interactions per user", items/groups, perUser)
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(users + items)
+	var test []Interaction
+	seen := make(map[int64]bool)
+	for u := 0; u < users; u++ {
+		cluster := u % groups
+		picked := 0
+		for picked < perUser {
+			var item int
+			if r.Float64() < inCluster {
+				// Items are striped over clusters the same way users are.
+				item = cluster + groups*r.Intn(items/groups)
+			} else {
+				item = r.Intn(items)
+			}
+			key := int64(u)*int64(items) + int64(item)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			picked++
+			itemNode := int32(users + item)
+			if picked <= holdout {
+				test = append(test, Interaction{User: int32(u), Item: itemNode})
+				continue
+			}
+			b.AddUndirected(int32(u), itemNode)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Bipartite{Graph: g, Users: users, Items: items}, test, nil
+}
+
+// Recommender ranks unseen items for a user by RWR proximity.
+type Recommender struct {
+	// Solver computes the SSRWR query; nil is rejected (pass
+	// core.Solver{} for ResAcc or any baseline).
+	Solver algo.SingleSource
+	// Params are the SSRWR parameters for the interaction graph.
+	Params algo.Params
+}
+
+// Recommend returns the top-k unseen items for user, best first.
+func (rec *Recommender) Recommend(b *Bipartite, user int32, k int) ([]int32, error) {
+	if rec.Solver == nil {
+		return nil, errors.New("recommend: nil Solver")
+	}
+	if user < 0 || int(user) >= b.Users {
+		return nil, fmt.Errorf("recommend: user %d out of range [0,%d)", user, b.Users)
+	}
+	scores, err := rec.Solver.SingleSource(b.Graph, user, rec.Params)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int32]bool, b.Graph.OutDegree(user))
+	for _, v := range b.Graph.Out(user) {
+		seen[v] = true
+	}
+	// Rank items only, excluding already-consumed ones. Over-fetch so the
+	// filtering cannot starve the result.
+	ranked := eval.TopK(scores, k+len(seen)+b.Users)
+	out := make([]int32, 0, k)
+	for _, v := range ranked {
+		if !b.IsItem(v) || seen[v] {
+			continue
+		}
+		out = append(out, v)
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Metrics is the offline evaluation result over a held-out test set.
+type Metrics struct {
+	// HitRate is the fraction of held-out interactions whose item appears
+	// in the user's top-k.
+	HitRate float64
+	// MRR is the mean reciprocal rank of held-out items (0 when missed).
+	MRR float64
+	// Evaluated is the number of held-out interactions scored.
+	Evaluated int
+}
+
+// Evaluate scores the recommender on a held-out set at cutoff k. Users are
+// deduplicated: one query per distinct user.
+func Evaluate(b *Bipartite, rec *Recommender, test []Interaction, k int) (Metrics, error) {
+	var m Metrics
+	byUser := make(map[int32][]int32)
+	for _, t := range test {
+		byUser[t.User] = append(byUser[t.User], t.Item)
+	}
+	for user, items := range byUser {
+		top, err := rec.Recommend(b, user, k)
+		if err != nil {
+			return m, err
+		}
+		rank := make(map[int32]int, len(top))
+		for i, v := range top {
+			rank[v] = i + 1
+		}
+		for _, item := range items {
+			m.Evaluated++
+			if r, ok := rank[item]; ok {
+				m.HitRate++
+				m.MRR += 1.0 / float64(r)
+			}
+		}
+	}
+	if m.Evaluated > 0 {
+		m.HitRate /= float64(m.Evaluated)
+		m.MRR /= float64(m.Evaluated)
+	}
+	return m, nil
+}
+
+// PopularityBaseline recommends the globally most-interacted unseen items;
+// the classic non-personalized control.
+func PopularityBaseline(b *Bipartite, user int32, k int) []int32 {
+	seen := make(map[int32]bool)
+	for _, v := range b.Graph.Out(user) {
+		seen[v] = true
+	}
+	scores := make([]float64, b.Graph.N())
+	for i := 0; i < b.Items; i++ {
+		id := b.ItemID(i)
+		scores[id] = float64(b.Graph.InDegree(id))
+	}
+	ranked := eval.TopK(scores, k+len(seen))
+	out := make([]int32, 0, k)
+	for _, v := range ranked {
+		if !b.IsItem(v) || seen[v] {
+			continue
+		}
+		out = append(out, v)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// EvaluateBaseline scores a non-personalized ranking function the same way
+// Evaluate scores the recommender.
+func EvaluateBaseline(b *Bipartite, test []Interaction, k int, rank func(user int32, k int) []int32) Metrics {
+	var m Metrics
+	byUser := make(map[int32][]int32)
+	for _, t := range test {
+		byUser[t.User] = append(byUser[t.User], t.Item)
+	}
+	for user, items := range byUser {
+		top := rank(user, k)
+		pos := make(map[int32]int, len(top))
+		for i, v := range top {
+			pos[v] = i + 1
+		}
+		for _, item := range items {
+			m.Evaluated++
+			if r, ok := pos[item]; ok {
+				m.HitRate++
+				m.MRR += 1.0 / float64(r)
+			}
+		}
+	}
+	if m.Evaluated > 0 {
+		m.HitRate /= float64(m.Evaluated)
+		m.MRR /= float64(m.Evaluated)
+	}
+	return m
+}

@@ -1,0 +1,129 @@
+package recommend
+
+import (
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/core"
+)
+
+func dataset(t *testing.T) (*Bipartite, []Interaction) {
+	t.Helper()
+	b, test, err := Synthetic(200, 400, 8, 12, 2, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, test
+}
+
+func TestSyntheticShape(t *testing.T) {
+	b, test := dataset(t)
+	if b.Graph.N() != 600 {
+		t.Fatalf("n=%d", b.Graph.N())
+	}
+	// 10 kept interactions per user, both directions.
+	if b.Graph.M() != 200*10*2 {
+		t.Fatalf("m=%d", b.Graph.M())
+	}
+	if len(test) != 200*2 {
+		t.Fatalf("test size=%d", len(test))
+	}
+	for _, tr := range test {
+		if !b.IsItem(tr.Item) || b.IsItem(tr.User) {
+			t.Fatal("test pair sides wrong")
+		}
+		if b.Graph.HasEdge(tr.User, tr.Item) {
+			t.Fatal("held-out interaction leaked into the graph")
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, _, err := Synthetic(0, 10, 2, 5, 1, 0.9, 1); err == nil {
+		t.Error("want users error")
+	}
+	if _, _, err := Synthetic(10, 10, 2, 3, 3, 0.9, 1); err == nil {
+		t.Error("want perUser<=holdout error")
+	}
+	if _, _, err := Synthetic(10, 10, 2, 9, 1, 0.9, 1); err == nil {
+		t.Error("want cluster-too-small error")
+	}
+}
+
+func TestRecommendExcludesSeenAndUsers(t *testing.T) {
+	b, _ := dataset(t)
+	rec := &Recommender{Solver: core.Solver{}, Params: algo.DefaultParams(b.Graph)}
+	top, err := rec.Recommend(b, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("got %d recommendations", len(top))
+	}
+	seen := map[int32]bool{}
+	for _, v := range b.Graph.Out(3) {
+		seen[v] = true
+	}
+	for _, v := range top {
+		if !b.IsItem(v) {
+			t.Fatalf("recommended a user: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("recommended an already-consumed item: %d", v)
+		}
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	b, _ := dataset(t)
+	rec := &Recommender{Solver: core.Solver{}, Params: algo.DefaultParams(b.Graph)}
+	if _, err := rec.Recommend(b, int32(b.Users), 5); err == nil {
+		t.Error("want user range error (items are not users)")
+	}
+	bad := &Recommender{Params: algo.DefaultParams(b.Graph)}
+	if _, err := bad.Recommend(b, 0, 5); err == nil {
+		t.Error("want nil solver error")
+	}
+}
+
+func TestRWRBeatsPopularityOnPlantedData(t *testing.T) {
+	// The planted clusters make personalization matter: popularity cannot
+	// know a user's taste cluster, RWR can.
+	b, test := dataset(t)
+	p := algo.DefaultParams(b.Graph)
+	p.Seed = 3
+	rec := &Recommender{Solver: core.Solver{}, Params: p}
+	const k = 30
+	rwr, err := Evaluate(b, rec, test, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := EvaluateBaseline(b, test, k, func(user int32, k int) []int32 {
+		return PopularityBaseline(b, user, k)
+	})
+	if rwr.Evaluated != pop.Evaluated || rwr.Evaluated == 0 {
+		t.Fatalf("evaluation sizes differ: %d vs %d", rwr.Evaluated, pop.Evaluated)
+	}
+	if rwr.HitRate <= pop.HitRate {
+		t.Fatalf("RWR hit rate %.3f not above popularity %.3f", rwr.HitRate, pop.HitRate)
+	}
+	if rwr.MRR <= pop.MRR {
+		t.Fatalf("RWR MRR %.3f not above popularity %.3f", rwr.MRR, pop.MRR)
+	}
+	// Sanity: personalization should be decisively better on 90%-in-cluster data.
+	if rwr.HitRate < 0.2 {
+		t.Fatalf("RWR hit rate implausibly low: %.3f", rwr.HitRate)
+	}
+}
+
+func TestEvaluateEmptyTestSet(t *testing.T) {
+	b, _ := dataset(t)
+	rec := &Recommender{Solver: core.Solver{}, Params: algo.DefaultParams(b.Graph)}
+	m, err := Evaluate(b, rec, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Evaluated != 0 || m.HitRate != 0 {
+		t.Fatal("empty test set should give zero metrics")
+	}
+}

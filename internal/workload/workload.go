@@ -1,0 +1,141 @@
+// Package workload selects query nodes for experiments the way the paper
+// does: uniformly random sources for the main tables (§VII-A picks 50),
+// highest-out-degree "hub" sources for the robustness study (Appendix C),
+// and degree-weighted sampling as a middle ground for application-shaped
+// load tests.
+package workload
+
+import (
+	"fmt"
+
+	"resacc/internal/graph"
+	"resacc/internal/rng"
+)
+
+// Strategy names a source-selection policy.
+type Strategy int
+
+const (
+	// Uniform picks sources uniformly among nodes with out-degree > 0
+	// (a walk from a dead end is trivial, so the paper's query sets
+	// avoid them).
+	Uniform Strategy = iota
+	// TopDegree picks the highest-out-degree nodes (Appendix C's hubs).
+	TopDegree
+	// DegreeWeighted samples sources proportionally to out-degree,
+	// approximating "queries arrive from active users".
+	DegreeWeighted
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case TopDegree:
+		return "top-degree"
+	case DegreeWeighted:
+		return "degree-weighted"
+	default:
+		return "uniform"
+	}
+}
+
+// Sources returns count distinct query nodes under the strategy. It fails
+// only when the graph has no usable source at all; when fewer than count
+// usable nodes exist it returns all of them.
+func Sources(g *graph.Graph, s Strategy, count int, seed uint64) ([]int32, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("workload: empty graph")
+	}
+	if count < 1 {
+		count = 1
+	}
+	switch s {
+	case TopDegree:
+		top := g.MaxOutDegreeNodes(count)
+		out := top[:0]
+		for _, v := range top {
+			if g.OutDegree(v) > 0 {
+				out = append(out, v)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("workload: graph has no node with out-degree > 0")
+		}
+		return out, nil
+	case DegreeWeighted:
+		return degreeWeighted(g, count, seed)
+	default:
+		return uniform(g, count, seed)
+	}
+}
+
+func uniform(g *graph.Graph, count int, seed uint64) ([]int32, error) {
+	r := rng.New(seed)
+	seen := make(map[int32]bool, count)
+	out := make([]int32, 0, count)
+	for tries := 0; len(out) < count && tries < 200*count+2000; tries++ {
+		v := int32(r.Intn(g.N()))
+		if seen[v] || g.OutDegree(v) == 0 {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		// Dense scan fallback for graphs with very few usable nodes.
+		for v := int32(0); int(v) < g.N() && len(out) < count; v++ {
+			if g.OutDegree(v) > 0 {
+				out = append(out, v)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: graph has no node with out-degree > 0")
+	}
+	return out, nil
+}
+
+func degreeWeighted(g *graph.Graph, count int, seed uint64) ([]int32, error) {
+	m := g.M()
+	if m == 0 {
+		return nil, fmt.Errorf("workload: graph has no edges")
+	}
+	r := rng.New(seed)
+	// Sampling a uniformly random edge's source is degree-proportional
+	// sampling; binary search over the cumulative degree array finds the
+	// owner of the sampled edge slot.
+	prefix := make([]int, g.N()+1)
+	for v := 0; v < g.N(); v++ {
+		prefix[v+1] = prefix[v] + g.OutDegree(int32(v))
+	}
+	seen := make(map[int32]bool, count)
+	out := make([]int32, 0, count)
+	for tries := 0; len(out) < count && tries < 200*count+2000; tries++ {
+		e := r.Intn(m)
+		v := ownerOfSlot(prefix, e)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: sampling failed")
+	}
+	return out, nil
+}
+
+// ownerOfSlot returns the node whose CSR edge range [prefix[v], prefix[v+1])
+// contains slot e.
+func ownerOfSlot(prefix []int, e int) int32 {
+	lo, hi := 0, len(prefix)-2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if prefix[mid] <= e {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return int32(lo)
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+func TestUniformSources(t *testing.T) {
+	g := gen.RMAT(9, 5, 3)
+	srcs, err := Sources(g, Uniform, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 10 {
+		t.Fatalf("got %d", len(srcs))
+	}
+	seen := map[int32]bool{}
+	for _, v := range srcs {
+		if seen[v] {
+			t.Fatal("duplicate source")
+		}
+		seen[v] = true
+		if g.OutDegree(v) == 0 {
+			t.Fatal("dead-end source selected")
+		}
+	}
+	// Deterministic.
+	again, _ := Sources(g, Uniform, 10, 1)
+	for i := range srcs {
+		if srcs[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestTopDegreeSources(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 7)
+	srcs, err := Sources(g, TopDegree, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(srcs); i++ {
+		if g.OutDegree(srcs[i-1]) < g.OutDegree(srcs[i]) {
+			t.Fatal("hubs not ordered by degree")
+		}
+	}
+}
+
+func TestDegreeWeightedBias(t *testing.T) {
+	// A star graph: the hub owns almost all edges, so degree-weighted
+	// sampling must pick it first nearly always.
+	b := graph.NewBuilder(101)
+	for v := int32(1); v <= 100; v++ {
+		b.AddEdge(0, v)
+		b.AddEdge(v, 0)
+	}
+	g := b.MustBuild()
+	hubFirst := 0
+	for seed := uint64(0); seed < 50; seed++ {
+		srcs, err := Sources(g, DegreeWeighted, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srcs[0] == 0 {
+			hubFirst++
+		}
+	}
+	if hubFirst < 15 { // hub owns 50% of edges; expect ~25/50
+		t.Fatalf("hub picked only %d/50 times", hubFirst)
+	}
+}
+
+func TestSourcesErrors(t *testing.T) {
+	if _, err := Sources(nil, Uniform, 5, 1); err == nil {
+		t.Error("want empty graph error")
+	}
+	edgeless := graph.NewBuilder(5).MustBuild()
+	if _, err := Sources(edgeless, Uniform, 3, 1); err == nil {
+		t.Error("want no-usable-source error")
+	}
+	if _, err := Sources(edgeless, DegreeWeighted, 3, 1); err == nil {
+		t.Error("want no-edges error")
+	}
+}
+
+func TestFewUsableNodesFallback(t *testing.T) {
+	// Only one node has out-degree > 0; asking for 5 returns just it.
+	b := graph.NewBuilder(10)
+	b.AddEdge(3, 4)
+	g := b.MustBuild()
+	srcs, err := Sources(g, Uniform, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) < 1 || srcs[0] != 3 {
+		t.Fatalf("fallback failed: %v", srcs)
+	}
+}
+
+func TestOwnerOfSlotProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := gen.ErdosRenyi(40, 160, seed)
+		prefix := make([]int, g.N()+1)
+		for v := 0; v < g.N(); v++ {
+			prefix[v+1] = prefix[v] + g.OutDegree(int32(v))
+		}
+		for e := 0; e < g.M(); e++ {
+			v := ownerOfSlot(prefix, e)
+			if e < prefix[v] || e >= prefix[v+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Uniform.String() != "uniform" || TopDegree.String() != "top-degree" ||
+		DegreeWeighted.String() != "degree-weighted" {
+		t.Fatal("strategy names drifted")
+	}
+}

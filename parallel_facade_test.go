@@ -1,0 +1,46 @@
+package resacc
+
+import "testing"
+
+func TestQueryMultiParallelMatchesSequential(t *testing.T) {
+	g := GenerateRMAT(9, 6, 3)
+	p := DefaultParams(g)
+	sources := []int32{0, 7, 42, 99, 150, 311}
+	seq, err := QueryMulti(g, sources, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := QueryMultiParallel(g, sources, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		for v := range seq[i].Scores {
+			if seq[i].Scores[v] != par[i].Scores[v] {
+				t.Fatalf("source %d node %d: sequential %v vs parallel %v",
+					sources[i], v, seq[i].Scores[v], par[i].Scores[v])
+			}
+		}
+	}
+}
+
+func TestQueryMultiParallelDefaults(t *testing.T) {
+	g := GenerateBarabasiAlbert(100, 3, 1)
+	p := DefaultParams(g)
+	// workers<=0 means GOMAXPROCS; more workers than sources clamps.
+	res, err := QueryMultiParallel(g, []int32{1, 2}, p, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+}
+
+func TestQueryMultiParallelErrorPropagates(t *testing.T) {
+	g := GenerateBarabasiAlbert(50, 2, 1)
+	p := DefaultParams(g)
+	if _, err := QueryMultiParallel(g, []int32{0, 5, 999}, p, 3); err == nil {
+		t.Fatal("want error for out-of-range source")
+	}
+}

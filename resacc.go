@@ -1,0 +1,96 @@
+// Package resacc is a Go implementation of ResAcc — the index-free,
+// output-bounded, high-efficiency algorithm for approximate single-source
+// Random Walk with Restart (RWR) queries from
+//
+//	Lin, Wong, Xie, Wei. "Index-Free Approach with Theoretical Guarantee
+//	for Efficient Random Walk with Restart Query." ICDE 2020.
+//
+// The package answers the approximate SSRWR query of the paper's
+// Definition 1: given a directed graph, a source node s, a restart
+// probability α, a threshold δ, a relative error ε and a failure
+// probability p_f, it returns estimates π̂(s,t) such that for every node t
+// with π(s,t) > δ, with probability at least 1−p_f,
+//
+//	|π̂(s,t) − π(s,t)| ≤ ε·π(s,t).
+//
+// Basic use:
+//
+//	g, err := resacc.LoadEdgeList(file, resacc.LoadOptions{Undirected: true})
+//	p := resacc.DefaultParams(g)
+//	res, err := resacc.Query(g, source, p)
+//	for _, r := range res.TopK(10) {
+//		fmt.Println(r.Node, r.Score)
+//	}
+//
+// Besides ResAcc itself, the module ships every baseline of the paper's
+// evaluation (Power, Forward Search, Monte-Carlo sampling, FORA, FORA+,
+// BiPPR, TopPPR, TPA, BePI-lite, Particle Filtering and the exact Inverse
+// solver); use NewSolver to select one by name.
+package resacc
+
+import (
+	"io"
+
+	"resacc/internal/algo"
+	"resacc/internal/core"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+// Graph is a directed graph in immutable CSR form. See LoadEdgeList,
+// NewGraphBuilder and the Generate helpers for construction.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// LoadOptions configures LoadEdgeList.
+type LoadOptions = graph.LoadOptions
+
+// Params carries the query parameters of the approximate SSRWR query
+// (Definition 1) plus per-algorithm tuning knobs.
+type Params = algo.Params
+
+// Stats reports ResAcc's per-phase breakdown (h-HopFWD / OMFWD / Remedy).
+type Stats = core.Stats
+
+// NewGraphBuilder returns a Builder for a graph with n nodes (ids 0..n-1).
+func NewGraphBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// LoadEdgeList parses a whitespace-separated edge list ("u v" per line;
+// '#'/'%' comments).
+func LoadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
+	return graph.LoadEdgeList(r, opts)
+}
+
+// WriteEdgeList writes g in the format LoadEdgeList parses.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// DefaultParams returns the paper's default setting for g: α=0.2, ε=0.5,
+// δ=p_f=1/n, r_max^f=1/(10m), r_max^hop=1e-14, h=2.
+func DefaultParams(g *Graph) Params { return algo.DefaultParams(g) }
+
+// GenerateRMAT returns a skewed social-network-like graph with 2^scale
+// nodes and about edgeFactor·2^scale edges.
+func GenerateRMAT(scale, edgeFactor int, seed uint64) *Graph {
+	return gen.RMAT(scale, edgeFactor, seed)
+}
+
+// GenerateBarabasiAlbert returns an undirected preferential-attachment
+// graph (both edge directions materialised).
+func GenerateBarabasiAlbert(n, k int, seed uint64) *Graph {
+	return gen.BarabasiAlbert(n, k, seed)
+}
+
+// GenerateErdosRenyi returns a uniform random digraph with n nodes and m
+// edges.
+func GenerateErdosRenyi(n, m int, seed uint64) *Graph {
+	return gen.ErdosRenyi(n, m, seed)
+}
+
+// GenerateCommunities returns an undirected graph with planted communities
+// of size communitySize (intra-degree kIn, inter-degree kOut) plus the
+// ground-truth partition.
+func GenerateCommunities(n, communitySize, kIn, kOut int, seed uint64) (*Graph, [][]int32) {
+	return gen.PlantedCommunities(n, communitySize, kIn, kOut, seed)
+}

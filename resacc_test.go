@@ -1,0 +1,165 @@
+package resacc
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"resacc/internal/eval"
+)
+
+func testGraph() *Graph {
+	b := NewGraphBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 0)
+	return b.MustBuild()
+}
+
+func TestQueryReturnsDistribution(t *testing.T) {
+	g := testGraph()
+	p := DefaultParams(g)
+	res, err := Query(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != 0 || len(res.Scores) != g.N() {
+		t.Fatalf("bad result shape: %+v", res)
+	}
+	sum := 0.0
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("Σπ̂=%v", sum)
+	}
+}
+
+func TestQueryAgainstPower(t *testing.T) {
+	g := GenerateErdosRenyi(300, 1800, 7)
+	p := DefaultParams(g)
+	p.Seed = 5
+	res, err := Query(g, 3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerSolver, err := NewSolver(AlgPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := powerSolver.SingleSource(g, 3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := eval.MaxRelErrAbove(truth, res.Scores, p.Delta); rel > p.Epsilon {
+		t.Fatalf("rel err %v > ε", rel)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	res := &Result{Scores: []float64{0.1, 0.5, 0.2, 0.5}}
+	top := res.TopK(3)
+	if len(top) != 3 || top[0].Node != 1 || top[1].Node != 3 || top[2].Node != 2 {
+		t.Fatalf("TopK=%v", top)
+	}
+	if got := res.TopK(100); len(got) != 4 {
+		t.Fatal("k>n should clamp")
+	}
+	if res.TopK(0) != nil {
+		t.Fatal("k=0 should be nil")
+	}
+}
+
+func TestQueryMulti(t *testing.T) {
+	g := GenerateBarabasiAlbert(200, 3, 9)
+	p := DefaultParams(g)
+	sources := []int32{1, 5, 9}
+	results, err := QueryMulti(g, sources, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, res := range results {
+		if res.Source != sources[i] {
+			t.Fatalf("result %d has source %d", i, res.Source)
+		}
+	}
+	// Reproducible.
+	again, err := QueryMulti(g, sources, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		for v := range results[i].Scores {
+			if results[i].Scores[v] != again[i].Scores[v] {
+				t.Fatal("QueryMulti not deterministic in seed")
+			}
+		}
+	}
+}
+
+func TestQueryMultiErrorPropagates(t *testing.T) {
+	g := testGraph()
+	p := DefaultParams(g)
+	if _, err := QueryMulti(g, []int32{0, 99}, p); err == nil {
+		t.Fatal("want error for bad source")
+	}
+}
+
+func TestNewSolverAllAlgorithms(t *testing.T) {
+	g := testGraph()
+	p := DefaultParams(g)
+	for _, name := range Algorithms() {
+		s, err := NewSolver(name)
+		if err != nil {
+			t.Fatalf("NewSolver(%q): %v", name, err)
+		}
+		scores, err := s.SingleSource(g, 0, p)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if len(scores) != g.N() {
+			t.Fatalf("%q: wrong output length", name)
+		}
+	}
+	if _, err := NewSolver("nope"); err == nil {
+		t.Fatal("want unknown-algorithm error")
+	}
+}
+
+func TestLoadAndWriteEdgeListFacade(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("0 1\n1 2\n"), LoadOptions{Undirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("m=%d", g.M())
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 1") {
+		t.Fatal("written edge list missing edges")
+	}
+}
+
+func TestGenerateHelpers(t *testing.T) {
+	if g := GenerateRMAT(7, 4, 1); g.N() != 128 {
+		t.Fatal("rmat size")
+	}
+	if g := GenerateErdosRenyi(50, 100, 1); g.M() != 100 {
+		t.Fatal("er size")
+	}
+	g, comms := GenerateCommunities(100, 20, 6, 1, 1)
+	if g.N() != 100 || len(comms) != 5 {
+		t.Fatal("communities shape")
+	}
+}

@@ -1,0 +1,76 @@
+package resacc
+
+import (
+	"fmt"
+	"sort"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/backward"
+	"resacc/internal/algo/bippr"
+	"resacc/internal/algo/fora"
+	"resacc/internal/algo/forward"
+	"resacc/internal/algo/inverse"
+	"resacc/internal/algo/montecarlo"
+	"resacc/internal/algo/pf"
+	"resacc/internal/algo/power"
+	"resacc/internal/algo/topppr"
+	"resacc/internal/core"
+)
+
+// Solver estimates π(s,·) for all nodes. All solvers returned by NewSolver
+// are safe for concurrent use on the same graph.
+type Solver = algo.SingleSource
+
+// Algorithm names accepted by NewSolver. These are the index-free
+// algorithms of the paper's Table III plus the exactness oracles; the
+// index-oriented baselines (FORA+, TPA, BePI) need a preprocessing step and
+// are exposed through their packages and the benchmark harness instead.
+const (
+	AlgResAcc     = "resacc"
+	AlgFORA       = "fora"
+	AlgMonteCarlo = "mc"
+	AlgForward    = "fwd"
+	AlgBackward   = "bwd"
+	AlgPower      = "power"
+	AlgTopPPR     = "topppr"
+	AlgBiPPR      = "bippr"
+	AlgPF         = "pf"
+	AlgInverse    = "inverse"
+)
+
+// Algorithms returns the names NewSolver accepts, sorted.
+func Algorithms() []string {
+	out := []string{AlgResAcc, AlgFORA, AlgMonteCarlo, AlgForward, AlgBackward,
+		AlgPower, AlgTopPPR, AlgBiPPR, AlgPF, AlgInverse}
+	sort.Strings(out)
+	return out
+}
+
+// NewSolver returns the named index-free SSRWR solver with its paper
+// defaults.
+func NewSolver(name string) (Solver, error) {
+	switch name {
+	case AlgResAcc:
+		return core.Solver{}, nil
+	case AlgFORA:
+		return fora.Solver{}, nil
+	case AlgMonteCarlo:
+		return montecarlo.Solver{}, nil
+	case AlgForward:
+		return forward.Solver{RMax: 1e-12}, nil
+	case AlgBackward:
+		return backward.Solver{}, nil
+	case AlgPower:
+		return power.Solver{}, nil
+	case AlgTopPPR:
+		return topppr.Solver{}, nil
+	case AlgBiPPR:
+		return bippr.Solver{}, nil
+	case AlgPF:
+		return pf.Solver{}, nil
+	case AlgInverse:
+		return inverse.Solver{}, nil
+	default:
+		return nil, fmt.Errorf("resacc: unknown algorithm %q (have %v)", name, Algorithms())
+	}
+}

@@ -1,0 +1,36 @@
+package resacc
+
+import "resacc/internal/graph"
+
+// SuggestH recommends the hop count h for ResAcc queries around source.
+// The paper's Appendix G finds a small h (2 for most datasets, 3 for DBLP)
+// optimal: the h-hop subgraph must be large enough to accumulate frontier
+// residues yet much smaller than the graph, or the h-HopFWD phase's cost
+// erodes the saving. SuggestH grows a BFS ball from the source and returns
+// the largest h whose (h+1)-hop set stays below maxFraction of the nodes
+// (default 1/16 when maxFraction ≤ 0), clamped to [1, 6].
+func SuggestH(g *Graph, source int32, maxFraction float64) int {
+	if source < 0 || int(source) >= g.N() || g.N() == 0 {
+		return 2
+	}
+	if maxFraction <= 0 {
+		maxFraction = 1.0 / 16
+	}
+	budget := int(maxFraction * float64(g.N()))
+	if budget < 1 {
+		budget = 1
+	}
+	layers := graph.BFSLayers(g, source, 7)
+	h := 1
+	for cand := 1; cand <= 6; cand++ {
+		ball := layers.Within(cand + 1)
+		if len(ball) > budget {
+			break
+		}
+		h = cand
+		if cand >= layers.Depth() {
+			break // the ball already covers everything reachable
+		}
+	}
+	return h
+}

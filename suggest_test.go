@@ -1,0 +1,48 @@
+package resacc
+
+import "testing"
+
+func TestSuggestHOnDenseGraph(t *testing.T) {
+	// Dense RMAT: the 2-3 hop ball covers nearly everything, so the
+	// suggestion must stay small.
+	g := GenerateRMAT(12, 20, 3)
+	h := SuggestH(g, 1, 0)
+	if h < 1 || h > 3 {
+		t.Fatalf("h=%d on a dense graph, want small", h)
+	}
+}
+
+func TestSuggestHOnPath(t *testing.T) {
+	// A long path: every layer has one node, so the full h range fits.
+	b := NewGraphBuilder(1000)
+	for i := int32(0); i < 999; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	if h := SuggestH(g, 0, 0); h != 6 {
+		t.Fatalf("h=%d on a path, want the cap 6", h)
+	}
+}
+
+func TestSuggestHDegenerate(t *testing.T) {
+	g := GenerateErdosRenyi(10, 20, 1)
+	if h := SuggestH(g, -5, 0); h != 2 {
+		t.Fatalf("bad source should fall back to the paper default, got %d", h)
+	}
+	// Isolated source: ball never grows, h clamps to at least 1.
+	b := NewGraphBuilder(3)
+	b.AddEdge(1, 2)
+	iso := b.MustBuild()
+	if h := SuggestH(iso, 0, 0); h < 1 {
+		t.Fatalf("h=%d", h)
+	}
+}
+
+func TestSuggestHRespectsBudget(t *testing.T) {
+	g := GenerateBarabasiAlbert(2000, 4, 9)
+	tight := SuggestH(g, 0, 0.001)
+	loose := SuggestH(g, 0, 0.9)
+	if tight > loose {
+		t.Fatalf("tighter budget gave larger h: %d vs %d", tight, loose)
+	}
+}

@@ -1,0 +1,31 @@
+package resacc
+
+import (
+	"fmt"
+
+	"resacc/internal/algo/backward"
+)
+
+// QueryTarget answers the reverse question: how relevant is target to
+// every possible source? It returns estimates of π(u, target) for all u
+// via one backward search (Andersen et al.'s local contribution
+// computation) at threshold p.RMaxB. The estimates are underestimates with
+// per-node deficit below r_max^b times a constant; tighten RMaxB for more
+// precision at proportional cost.
+//
+// This is the "who would be recommended target?" primitive: a single-
+// target query costs one local search instead of n source queries.
+func QueryTarget(g *Graph, target int32, p Params) ([]float64, error) {
+	if err := p.Validate(g); err != nil {
+		return nil, err
+	}
+	if target < 0 || int(target) >= g.N() {
+		return nil, fmt.Errorf("resacc: target %d out of range [0,%d)", target, g.N())
+	}
+	rmaxB := p.RMaxB
+	if rmaxB <= 0 {
+		rmaxB = 1.0 / float64(g.N())
+	}
+	res := backward.Run(g, p.Alpha, rmaxB, target)
+	return res.Reserve, nil
+}

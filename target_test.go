@@ -1,0 +1,57 @@
+package resacc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQueryTargetMatchesForwardTruth(t *testing.T) {
+	g := GenerateErdosRenyi(150, 900, 3)
+	p := DefaultParams(g)
+	p.RMaxB = 1e-9
+	target := int32(7)
+	rev, err := QueryTarget(g, target, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerSolver, _ := NewSolver(AlgPower)
+	for _, src := range []int32{0, 33, 149} {
+		truth, err := powerSolver.SingleSource(g, src, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rev[src]-truth[target]) > 1e-5 {
+			t.Fatalf("π(%d,%d): backward %v vs forward truth %v", src, target, rev[src], truth[target])
+		}
+	}
+}
+
+func TestQueryTargetUnderestimates(t *testing.T) {
+	g := GenerateBarabasiAlbert(200, 3, 5)
+	p := DefaultParams(g) // coarse default threshold
+	rev, err := QueryTarget(g, 3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerSolver, _ := NewSolver(AlgPower)
+	truth, err := powerSolver.SingleSource(g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev[0] > truth[3]+1e-9 {
+		t.Fatalf("backward reserve %v exceeds truth %v", rev[0], truth[3])
+	}
+}
+
+func TestQueryTargetValidation(t *testing.T) {
+	g := GenerateErdosRenyi(20, 60, 1)
+	p := DefaultParams(g)
+	if _, err := QueryTarget(g, 99, p); err == nil {
+		t.Fatal("want range error")
+	}
+	bad := p
+	bad.Alpha = 2
+	if _, err := QueryTarget(g, 0, bad); err == nil {
+		t.Fatal("want param error")
+	}
+}
