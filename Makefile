@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# check is the CI gate: formatting, static analysis, and the full test
+# suite under the race detector.
+check: fmt-check vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

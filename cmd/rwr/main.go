@@ -89,12 +89,9 @@ func main() {
 
 	fmt.Printf("query: source=%d algo=%s time=%v\n", *source, *algoName, elapsed.Round(time.Microsecond))
 	if *stats && result != nil {
-		st := result.Stats
-		fmt.Printf("phases: h-HopFWD=%v (pushes=%d, |V_h|=%d, |L_h+1|=%d, T=%d)\n",
-			st.HopFWD.Round(time.Microsecond), st.HopPushes, st.SubgraphSize, st.FrontierSize, st.T)
-		fmt.Printf("        OMFWD=%v (pushes=%d)  Remedy=%v (walks=%d, r_sum=%.3g)\n",
-			st.OMFWD.Round(time.Microsecond), st.OMFWDPushes,
-			st.Remedy.Round(time.Microsecond), st.Walks, st.RSumAfterOMFWD)
+		// The same one-line summary the rwrd trace recorder attaches to
+		// each trace (core.Stats.String).
+		fmt.Printf("phases: %s\n", result.Stats)
 	}
 	res := resacc.Result{Source: int32(*source), Scores: scores}
 	for i, r := range res.TopK(*top) {

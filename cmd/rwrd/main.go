@@ -4,23 +4,32 @@
 // index-free, so the server needs no warm-up or rebuild phase.
 //
 //	rwrd -graph edges.txt -undirected -addr :8080
-//	rwrd -dataset twitter-s -scale 0.25 -addr :8080
+//	rwrd -dataset twitter-s -scale 0.25 -addr :8080 -pprof
 //
 //	GET /v1/query?source=42&k=10            top-k ranking
 //	GET /v1/pair?source=42&target=7         single pair estimate
 //	GET /v1/stats                            graph + server statistics
+//	GET /v1/traces?n=20                      recent query traces (JSON)
+//	GET /metrics                             Prometheus text exposition
 //	GET /healthz                             liveness
+//	GET /debug/pprof/                        profiling (with -pprof)
 //
-// Responses are JSON. Concurrency is safe: the graph is immutable and each
-// query owns its state.
+// Responses are JSON (except /metrics). Concurrency is safe: the graph is
+// immutable and each query owns its state. SIGINT/SIGTERM trigger a
+// graceful shutdown that drains in-flight queries.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"resacc"
 	"resacc/internal/dataset"
@@ -34,8 +43,18 @@ func main() {
 		scale      = flag.Float64("scale", 0.25, "synthetic dataset scale")
 		addr       = flag.String("addr", ":8080", "listen address")
 		epsilon    = flag.Float64("epsilon", 0, "relative error override")
+		traceBuf   = flag.Int("trace-buffer", 64, "query traces retained for /v1/traces")
+		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	g, err := loadGraph(*graphPath, *dsName, *scale, *undirected)
 	if err != nil {
@@ -47,9 +66,46 @@ func main() {
 		p.Epsilon = *epsilon
 	}
 
-	srv := newServer(g, p)
-	log.Printf("rwrd: serving %d nodes / %d edges on %s", g.N(), g.M(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	srv := newServer(g, p, serverOpts{Log: logger, TraceBuffer: *traceBuf, Pprof: *withPprof})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		// Queries on large graphs can legitimately take a while; keep the
+		// write timeout generous rather than truncating slow responses.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+		ErrorLog:     slog.NewLogLogger(handler, slog.LevelWarn),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("rwrd: serving",
+		"nodes", g.N(), "edges", g.M(), "addr", *addr, "pprof", *withPprof)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("rwrd: server failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		logger.Info("rwrd: shutting down, draining in-flight queries", "grace", *drainGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("rwrd: drain incomplete", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("rwrd: shutdown complete")
+	}
 }
 
 func loadGraph(path, ds string, scale float64, undirected bool) (*resacc.Graph, error) {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"resacc/internal/obs"
+)
+
+// statusWriter captures the response status and size for logging/metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming handlers (pprof
+// profiles) keep working through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the mux with request IDs, per-endpoint metrics and
+// structured request logging.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", id)
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		path := s.routeLabel(r)
+		s.reg.Counter("rwr_http_requests_total",
+			"HTTP requests served, by route and status code.",
+			"path", path, "code", strconv.Itoa(sw.status)).Inc()
+		s.reg.Histogram("rwr_http_request_duration_seconds",
+			"HTTP request latency by route.",
+			obs.DefBuckets, "path", path).Observe(elapsed.Seconds())
+		s.log.Info("http",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", float64(elapsed.Microseconds())/1000,
+			"remote", r.RemoteAddr)
+	})
+}
+
+// routeLabel returns the mux pattern that matched r (method prefix
+// stripped) so metric labels stay low-cardinality no matter what paths
+// clients probe.
+func (s *server) routeLabel(r *http.Request) string {
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		return "unmatched"
+	}
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		pattern = pattern[i+1:]
+	}
+	return pattern
+}

@@ -3,42 +3,156 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"resacc"
+	"resacc/internal/algo"
+	"resacc/internal/obs"
 )
+
+// serverOpts configures the observability side of the daemon.
+type serverOpts struct {
+	// Log receives structured request and query logs (nil = slog.Default).
+	Log *slog.Logger
+	// TraceBuffer is how many recent query traces /v1/traces retains
+	// (≤ 0 = 64).
+	TraceBuffer int
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
+	Pprof bool
+}
 
 // server holds the immutable graph and default parameters; handlers are
 // safe for concurrent use.
 type server struct {
 	mux     *http.ServeMux
+	handler http.Handler
 	g       *resacc.Graph
 	params  resacc.Params
 	queries atomic.Int64
 	started time.Time
+
+	log      *slog.Logger
+	reg      *obs.Registry
+	traces   *obs.TraceRing
+	reqSeq   atomic.Int64
+	querySeq atomic.Int64
+	inflight *obs.Gauge
+	unhook   func()
+
+	phaseHist map[string]*obs.Histogram
 }
 
-func newServer(g *resacc.Graph, p resacc.Params) *server {
+func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
+	if opts.Log == nil {
+		opts.Log = slog.Default()
+	}
+	if opts.TraceBuffer <= 0 {
+		opts.TraceBuffer = 64
+	}
 	s := &server{
 		mux:     http.NewServeMux(),
 		g:       g,
 		params:  p,
 		started: time.Now(),
+		log:     opts.Log,
+		reg:     obs.NewRegistry(),
+		traces:  obs.NewTraceRing(opts.TraceBuffer),
 	}
+	s.registerMetrics()
+	s.unhook = resacc.RegisterQueryHook(s.observeQuery)
+
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = s.instrument(s.mux)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// registerMetrics pre-creates the metric families so /metrics shows them
+// (at zero) before the first query, and holds the hot-path series.
+func (s *server) registerMetrics() {
+	s.inflight = s.reg.Gauge("rwr_http_inflight_requests",
+		"HTTP requests currently being served.")
+	s.reg.GaugeFunc("rwr_graph_nodes", "Nodes in the served graph.",
+		func() float64 { return float64(s.g.N()) })
+	s.reg.GaugeFunc("rwr_graph_edges", "Edges in the served graph.",
+		func() float64 { return float64(s.g.M()) })
+	s.reg.GaugeFunc("rwr_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.reg.CounterFunc("rwr_walks_total",
+		"Process-wide random walks simulated by any solver.",
+		func() float64 { return float64(algo.TotalWalks()) })
+	s.reg.CounterFunc("rwr_pushes_total",
+		"Process-wide forward-push operations by any solver.",
+		func() float64 { return float64(algo.TotalPushes()) })
+	s.phaseHist = make(map[string]*obs.Histogram)
+	for _, phase := range []string{"total", "hopfwd", "omfwd", "remedy"} {
+		s.phaseHist[phase] = s.reg.Histogram("rwr_query_duration_seconds",
+			"SSRWR query latency by phase (total = end-to-end wall time).",
+			obs.DefBuckets, "phase", phase)
+	}
+	for _, status := range []string{"ok", "error"} {
+		s.reg.Counter("rwr_queries_total",
+			"SSRWR queries answered, by outcome.", "status", status)
+	}
+}
+
+// observeQuery is the resacc.QueryHook: it turns each completed query on
+// this server's graph into phase histograms, counters and a ring-buffered
+// trace.
+func (s *server) observeQuery(ev resacc.QueryEvent) {
+	if ev.Graph != s.g {
+		return // another server/test in this process
+	}
+	status := "ok"
+	if ev.Err != nil {
+		status = "error"
+	}
+	s.reg.Counter("rwr_queries_total", "", "status", status).Inc()
+	if ev.Err == nil {
+		s.phaseHist["total"].Observe(ev.Duration.Seconds())
+		s.phaseHist["hopfwd"].Observe(ev.Stats.HopFWD.Seconds())
+		s.phaseHist["omfwd"].Observe(ev.Stats.OMFWD.Seconds())
+		s.phaseHist["remedy"].Observe(ev.Stats.Remedy.Seconds())
+		s.reg.Histogram("rwr_query_walks",
+			"Remedy-phase random walks per query.",
+			obs.ExpBuckets(1, 4, 16)).Observe(float64(ev.Stats.Walks))
+	}
+	id := fmt.Sprintf("q-%06d", s.querySeq.Add(1))
+	tr := obs.QueryTrace(id, ev.Source, ev.Start, ev.Duration, ev.Stats, ev.Err)
+	s.traces.Add(tr)
+	s.log.Debug("query", "id", id, "source", ev.Source,
+		"dur_ms", float64(ev.Duration.Microseconds())/1000, "stats", ev.Stats.String())
+}
+
+// Close unregisters the query hook; the server stops observing queries but
+// keeps serving whatever is in flight.
+func (s *server) Close() {
+	if s.unhook != nil {
+		s.unhook()
+	}
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 type rankedJSON struct {
@@ -49,21 +163,24 @@ type rankedJSON struct {
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	source, err := s.nodeParam(r, "source")
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	k := 10
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		k, err = strconv.Atoi(raw)
 		if err != nil || k < 1 {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "k must be a positive integer"})
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "k must be a positive integer"})
 			return
 		}
+	}
+	if k > s.g.N() {
+		k = s.g.N()
 	}
 	start := time.Now()
 	res, err := resacc.Query(s.g, source, s.params)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
 	s.queries.Add(1)
@@ -77,33 +194,33 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for _, t := range top {
 		out.Results = append(out.Results, rankedJSON{t.Node, t.Score})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 	source, err := s.nodeParam(r, "source")
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	target, err := s.nodeParam(r, "target")
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	est, err := resacc.QueryPair(s.g, source, target, s.params)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
 	s.queries.Add(1)
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"source": source, "target": target, "estimate": est,
 	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"nodes":          s.g.N(),
 		"edges":          s.g.M(),
 		"avg_out_degree": s.g.AvgDegree(),
@@ -111,6 +228,34 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"epsilon":        s.params.Epsilon,
 		"alpha":          s.params.Alpha,
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.Error("metrics write failed", "err", err)
+	}
+}
+
+// handleTraces serves the most recent query traces, newest first. ?n=
+// limits the count.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.traces.Snapshot()
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "n must be a non-negative integer"})
+			return
+		}
+		if n < len(traces) {
+			traces = traces[:n]
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"count":  len(traces),
+		"traces": traces,
 	})
 }
 
@@ -129,8 +274,17 @@ func (s *server) nodeParam(r *http.Request, name string) (int32, error) {
 	return int32(v), nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as the response body. Encoding failures after the
+// header is sent cannot be reported to the client, so they are logged.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Error("response encode failed", "status", status, "err", err)
+	}
+}
+
+// discardLogger is a slog sink for tests and -quiet operation.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -13,7 +14,9 @@ import (
 func testServer(t *testing.T) *server {
 	t.Helper()
 	g := resacc.GenerateBarabasiAlbert(200, 3, 7)
-	return newServer(g, resacc.DefaultParams(g))
+	s := newServer(g, resacc.DefaultParams(g), serverOpts{Log: discardLogger()})
+	t.Cleanup(s.Close)
+	return s
 }
 
 func get(t *testing.T, s *server, path string) (*httptest.ResponseRecorder, map[string]any) {
@@ -33,6 +36,9 @@ func TestHealthz(t *testing.T) {
 	rec, body := get(t, s, "/healthz")
 	if rec.Code != http.StatusOK || body["status"] != "ok" {
 		t.Fatalf("health: %d %v", rec.Code, body)
+	}
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatal("missing X-Request-ID header")
 	}
 }
 
@@ -55,6 +61,20 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 }
 
+func TestQueryClampsK(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/v1/query?source=5&k=100000")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if got := int(body["k"].(float64)); got != s.g.N() {
+		t.Fatalf("k=%d, want clamp to n=%d", got, s.g.N())
+	}
+	if len(body["results"].([]any)) > s.g.N() {
+		t.Fatal("more results than nodes")
+	}
+}
+
 func TestQueryValidation(t *testing.T) {
 	s := testServer(t)
 	for _, path := range []string{
@@ -66,6 +86,7 @@ func TestQueryValidation(t *testing.T) {
 		"/v1/query?source=-1&k=5", // negative node
 		"/v1/pair?source=1",       // missing target
 		"/v1/pair?source=1&target=x",
+		"/v1/traces?n=x", // bad trace count
 	} {
 		rec, _ := get(t, s, path)
 		if rec.Code != http.StatusBadRequest {
@@ -98,6 +119,85 @@ func TestStatsEndpointCountsQueries(t *testing.T) {
 	}
 }
 
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	get(t, s, "/v1/query?source=3")
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE rwr_query_duration_seconds histogram",
+		`rwr_query_duration_seconds_count{phase="hopfwd"} 1`,
+		`rwr_query_duration_seconds_count{phase="omfwd"} 1`,
+		`rwr_query_duration_seconds_count{phase="remedy"} 1`,
+		`rwr_query_duration_seconds_count{phase="total"} 1`,
+		"# TYPE rwr_http_requests_total counter",
+		`rwr_http_requests_total{code="200",path="/v1/query"} 1`,
+		`rwr_queries_total{status="ok"} 1`,
+		"rwr_graph_nodes 200",
+		"rwr_walks_total",
+		"rwr_pushes_total",
+		"rwr_http_inflight_requests",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	s := testServer(t)
+	get(t, s, "/v1/query?source=4")
+	get(t, s, "/v1/query?source=5")
+
+	_, body := get(t, s, "/v1/traces")
+	if body["count"].(float64) != 2 {
+		t.Fatalf("count=%v, want 2", body["count"])
+	}
+	traces := body["traces"].([]any)
+	// Newest first: the source=5 query is traces[0].
+	first := traces[0].(map[string]any)
+	if first["source"].(float64) != 5 {
+		t.Fatalf("newest trace source=%v, want 5", first["source"])
+	}
+	for _, raw := range traces {
+		tr := raw.(map[string]any)
+		total := tr["total_us"].(float64)
+		spans := tr["spans"].([]any)
+		if len(spans) != 3 {
+			t.Fatalf("trace has %d spans, want 3", len(spans))
+		}
+		var sum float64
+		names := make([]string, 0, 3)
+		for _, sp := range spans {
+			m := sp.(map[string]any)
+			sum += m["duration_us"].(float64)
+			names = append(names, m["name"].(string))
+		}
+		if got := strings.Join(names, ","); got != "hopfwd,omfwd,remedy" {
+			t.Fatalf("span order %q", got)
+		}
+		// The phase durations must account for (almost all of, and never
+		// more than) the reported total query time.
+		if sum > total {
+			t.Fatalf("span sum %.1fµs exceeds total %.1fµs", sum, total)
+		}
+	}
+
+	_, limited := get(t, s, "/v1/traces?n=1")
+	if limited["count"].(float64) != 1 {
+		t.Fatalf("n=1 count=%v", limited["count"])
+	}
+}
+
 func TestMethodNotAllowed(t *testing.T) {
 	s := testServer(t)
 	req := httptest.NewRequest(http.MethodPost, "/v1/query?source=1", nil)
@@ -105,6 +205,25 @@ func TestMethodNotAllowed(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	s := testServer(t) // pprof off by default
+	req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof without -pprof: status %d, want 404", rec.Code)
+	}
+
+	g := resacc.GenerateBarabasiAlbert(50, 2, 3)
+	sp := newServer(g, resacc.DefaultParams(g), serverOpts{Log: discardLogger(), Pprof: true})
+	defer sp.Close()
+	rec = httptest.NewRecorder()
+	sp.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof with -pprof: status %d, want 200", rec.Code)
 	}
 }
 
@@ -124,6 +243,12 @@ func TestConcurrentQueries(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if !strings.Contains(rec.Body.String(), `rwr_queries_total{status="ok"} 16`) {
+		t.Error("metrics did not count 16 concurrent queries")
+	}
 }
 
 func TestLoadGraphHelpers(t *testing.T) {

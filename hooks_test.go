@@ -1,0 +1,120 @@
+package resacc
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueryHookFires(t *testing.T) {
+	g := GenerateBarabasiAlbert(100, 3, 1)
+	var events []QueryEvent
+	var mu sync.Mutex
+	remove := RegisterQueryHook(func(ev QueryEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	defer remove()
+
+	p := DefaultParams(g)
+	res, err := Query(g, 5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Graph != g || ev.Source != 5 || ev.Err != nil {
+		t.Fatalf("event: %+v", ev)
+	}
+	if ev.Duration < ev.Stats.Total() {
+		t.Errorf("wall duration %v below phase sum %v", ev.Duration, ev.Stats.Total())
+	}
+	if ev.Stats != res.Stats {
+		t.Error("event stats differ from result stats")
+	}
+	if ev.Start.IsZero() || time.Since(ev.Start) < 0 {
+		t.Error("bad start time")
+	}
+}
+
+func TestQueryHookErrorAndRemove(t *testing.T) {
+	g := GenerateBarabasiAlbert(50, 2, 1)
+	var calls atomic.Int64
+	var lastErr atomic.Value
+	remove := RegisterQueryHook(func(ev QueryEvent) {
+		if ev.Graph != g {
+			return
+		}
+		calls.Add(1)
+		if ev.Err != nil {
+			lastErr.Store(ev.Err)
+		}
+	})
+
+	if _, err := Query(g, 9999, DefaultParams(g)); err == nil {
+		t.Fatal("out-of-range source should fail")
+	}
+	if calls.Load() != 1 || lastErr.Load() == nil {
+		t.Fatalf("error event not delivered: calls=%d", calls.Load())
+	}
+
+	remove()
+	remove() // double-remove is a no-op
+	if _, err := Query(g, 1, DefaultParams(g)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatal("hook fired after removal")
+	}
+}
+
+func TestQueryHookMultiAndTopK(t *testing.T) {
+	g := GenerateBarabasiAlbert(80, 2, 3)
+	var calls atomic.Int64
+	remove := RegisterQueryHook(func(ev QueryEvent) {
+		if ev.Graph == g {
+			calls.Add(1)
+		}
+	})
+	defer remove()
+
+	if _, err := QueryMulti(g, []int32{1, 2, 3}, DefaultParams(g)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("QueryMulti fired %d events, want 3", calls.Load())
+	}
+
+	calls.Store(0)
+	if _, _, err := QueryTopK(g, 1, 5, DefaultParams(g)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() < 1 {
+		t.Fatal("QueryTopK fired no events")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	g := GenerateBarabasiAlbert(100, 3, 1)
+	res, err := Query(g, 0, DefaultParams(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats.String()
+	// All three phase durations must appear in the one-line summary.
+	for _, phase := range []string{"h-HopFWD=", "OMFWD=", "Remedy=", "total="} {
+		if !strings.Contains(s, phase) {
+			t.Errorf("summary missing %q: %s", phase, s)
+		}
+	}
+	if !strings.Contains(s, "walks=") || !strings.Contains(s, "pushes=") {
+		t.Errorf("summary missing counters: %s", s)
+	}
+}

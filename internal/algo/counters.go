@@ -1,0 +1,33 @@
+package algo
+
+import "sync/atomic"
+
+// Process-wide tallies of the two primitive operations every solver is
+// built from. They are updated in batches (one atomic add per phase, not
+// per operation), so the hot paths pay nothing measurable; observability
+// layers export them as monotonic counters (rwr_walks_total,
+// rwr_pushes_total in cmd/rwrd's /metrics).
+var (
+	totalWalks  atomic.Int64
+	totalPushes atomic.Int64
+)
+
+// AddWalks records n completed random walks.
+func AddWalks(n int64) {
+	if n > 0 {
+		totalWalks.Add(n)
+	}
+}
+
+// AddPushes records n completed forward-push operations.
+func AddPushes(n int64) {
+	if n > 0 {
+		totalPushes.Add(n)
+	}
+}
+
+// TotalWalks returns the process-wide random-walk count.
+func TotalWalks() int64 { return totalWalks.Load() }
+
+// TotalPushes returns the process-wide forward-push count.
+func TotalPushes() int64 { return totalPushes.Load() }

@@ -102,5 +102,6 @@ func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64
 			}
 		}
 	}
+	AddWalks(st.Walks)
 	return st
 }

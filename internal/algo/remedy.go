@@ -68,6 +68,7 @@ func Remedy(g *graph.Graph, p Params, pi, residue []float64, r *rng.Source) Reme
 		}
 		st.Walks += nv
 	}
+	AddWalks(st.Walks)
 	return st
 }
 

@@ -47,4 +47,5 @@ func (w *WalkCounter) Run(v int32, k int) {
 		w.Count[t]++
 	}
 	w.Total += int64(k)
+	AddWalks(int64(k))
 }

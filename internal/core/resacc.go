@@ -15,6 +15,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"resacc/internal/algo"
@@ -78,6 +79,18 @@ type Stats struct {
 
 // Total returns the summed phase time.
 func (s Stats) Total() time.Duration { return s.HopFWD + s.OMFWD + s.Remedy }
+
+// String renders the one-line phase summary printed by `rwr -stats` and
+// attached to query traces: all three phase durations plus the counters
+// that explain them.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"h-HopFWD=%v (pushes=%d |V_h|=%d |L_h+1|=%d T=%d) OMFWD=%v (pushes=%d) Remedy=%v (walks=%d r_sum=%.3g) total=%v",
+		s.HopFWD.Round(time.Microsecond), s.HopPushes, s.SubgraphSize, s.FrontierSize, s.T,
+		s.OMFWD.Round(time.Microsecond), s.OMFWDPushes,
+		s.Remedy.Round(time.Microsecond), s.Walks, s.RSumAfterOMFWD,
+		s.Total().Round(time.Microsecond))
+}
 
 // Solver answers SSRWR queries with ResAcc.
 type Solver struct {
@@ -150,6 +163,7 @@ func (s Solver) Query(g *graph.Graph, src int32, p algo.Params) ([]float64, Stat
 	}
 	stats.Remedy = time.Since(start)
 	stats.Walks = rs.Walks
+	algo.AddPushes(stats.HopPushes + stats.OMFWDPushes)
 	return hop.reserve, stats, nil
 }
 

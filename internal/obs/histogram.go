@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are latency buckets in seconds covering 100µs..10s, the range
+// an RWR query or HTTP request plausibly spans.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n bucket upper bounds starting at start, each factor
+// times the previous — for size-style histograms (walk counts, k values).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts. An
+// implicit +Inf bucket catches observations above the last bound.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits of Σ observations
+	total  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram buckets must be sorted ascending")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// NewHistogram returns a standalone histogram (outside any registry) with
+// the given bucket upper bounds (nil = DefBuckets).
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	atomicAddFloat(&h.sum, v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns per-bucket (non-cumulative) counts for the finite
+// bounds, the sum, and the total count (which includes the +Inf bucket).
+func (h *Histogram) snapshot() (counts []uint64, sum float64, total uint64) {
+	counts = make([]uint64, len(h.bounds))
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.Sum(), h.Count()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket that contains it, matching Prometheus's
+// histogram_quantile. Values in the +Inf bucket clamp to the highest
+// finite bound. Returns NaN when the histogram is empty or q is out of
+// range.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (bound-lower)*frac
+		}
+		cum += c
+	}
+	// Quantile falls in the +Inf bucket: clamp like Prometheus does.
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	counts, sum, total := h.snapshot()
+	// le semantics: 1 catches {0.5, 1}, 2 catches {1.5, 2}, 4 catches
+	// {3, 4}, +Inf catches {100}.
+	want := []uint64{2, 2, 2}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("bucket le=%g count=%d, want %d", h.bounds[i], c, want[i])
+		}
+	}
+	if total != 7 {
+		t.Errorf("total=%d, want 7", total)
+	}
+	if sum != 0.5+1+1.5+2+3+4+100 {
+		t.Errorf("sum=%g", sum)
+	}
+	if h.Count() != 7 || h.Sum() != sum {
+		t.Error("Count/Sum accessors disagree with snapshot")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 10 observations in (0,1], 10 in (1,2].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	// Median sits exactly at the boundary between the two buckets.
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("p50=%g, want 1", q)
+	}
+	// p25 interpolates to the middle of the first bucket [0,1].
+	if q := h.Quantile(0.25); math.Abs(q-0.5) > 1e-9 {
+		t.Errorf("p25=%g, want 0.5", q)
+	}
+	// p75 interpolates to the middle of the second bucket [1,2].
+	if q := h.Quantile(0.75); math.Abs(q-1.5) > 1e-9 {
+		t.Errorf("p75=%g, want 1.5", q)
+	}
+	if q := h.Quantile(1); q != 2 {
+		t.Errorf("p100=%g, want 2", q)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram should yield NaN")
+	}
+	h.Observe(0.5)
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Error("out-of-range q should yield NaN")
+	}
+	// Overflow observations clamp to the highest finite bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 2 {
+		t.Errorf("overflow quantile=%g, want clamp to 2", q)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	if len(b) != len(want) {
+		t.Fatalf("len=%d", len(b))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket[%d]=%g, want %g", i, b[i], want[i])
+		}
+	}
+	if ExpBuckets(0, 2, 3) != nil || ExpBuckets(1, 1, 3) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Error("invalid parameters should yield nil")
+	}
+}
+
+func TestDefBucketsSorted(t *testing.T) {
+	for i := 1; i < len(DefBuckets); i++ {
+		if DefBuckets[i] <= DefBuckets[i-1] {
+			t.Fatalf("DefBuckets not strictly increasing at %d", i)
+		}
+	}
+}

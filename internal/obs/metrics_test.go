@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter=%g, want 3.5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge=%g, want 7", got)
+	}
+}
+
+func TestGetOrCreateReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "", "path", "/x", "code", "200")
+	// Same label set in a different order must resolve to the same series.
+	b := r.Counter("requests_total", "", "code", "200", "path", "/x")
+	if a != b {
+		t.Fatal("same labels resolved to different series")
+	}
+	c := r.Counter("requests_total", "", "path", "/y", "code", "200")
+	if a == c {
+		t.Fatal("different labels resolved to the same series")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("ops_total", "").Inc()
+				r.Gauge("level", "").Add(1)
+				r.Histogram("lat", "", []float64{0.5, 1}).Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total", "").Value(); got != workers*perWorker {
+		t.Errorf("counter=%g, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("level", "").Value(); got != workers*perWorker {
+		t.Errorf("gauge=%g, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat", "", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count=%d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestPrometheusExposition is the golden test for the text format: family
+// grouping, HELP/TYPE lines, label rendering, cumulative histogram
+// buckets, +Inf, _sum and _count.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_requests_total", "Requests served.", "path", "/q", "code", "200").Add(3)
+	r.Counter("http_requests_total", "", "path", "/q", "code", "400").Add(1)
+	r.Gauge("inflight", "In-flight requests.").Set(2)
+	r.CounterFunc("walks_total", "Walks.", func() float64 { return 42 })
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 0.5, 1}, "phase", "remedy")
+	for _, v := range []float64{0.05, 0.2, 0.3, 0.7, 5} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP http_requests_total Requests served.
+# TYPE http_requests_total counter
+http_requests_total{code="200",path="/q"} 3
+http_requests_total{code="400",path="/q"} 1
+# HELP inflight In-flight requests.
+# TYPE inflight gauge
+inflight 2
+# HELP walks_total Walks.
+# TYPE walks_total counter
+walks_total 42
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{phase="remedy",le="0.1"} 1
+latency_seconds_bucket{phase="remedy",le="0.5"} 3
+latency_seconds_bucket{phase="remedy",le="1"} 4
+latency_seconds_bucket{phase="remedy",le="+Inf"} 5
+latency_seconds_sum{phase="remedy"} 6.25
+latency_seconds_count{phase="remedy"} 5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `m{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping: %s", b.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("odd label count should panic")
+		}
+	}()
+	r.Counter("m", "", "key-without-value")
+}

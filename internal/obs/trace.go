@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"resacc/internal/core"
+)
+
+// Span is one timed phase of a query. Offsets are relative to the trace
+// start so traces serialize compactly and stay comparable across machines.
+type Span struct {
+	// Name identifies the phase ("hopfwd", "omfwd", "remedy", ...).
+	Name string `json:"name"`
+	// StartUS is the span's start offset from the trace start and DurUS
+	// its duration, both in microseconds.
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"duration_us"`
+	// Attrs carries numeric phase measurements (push counts, walk counts,
+	// residue sums) keyed by a stable name.
+	Attrs map[string]float64 `json:"attrs,omitempty"`
+}
+
+// Trace is the record of one query: what ran, when, for how long, and the
+// per-phase breakdown. Traces are immutable once published to a TraceRing.
+type Trace struct {
+	// ID is the request/query identifier assigned by the caller.
+	ID string `json:"id"`
+	// Kind labels the operation ("query", "pair", ...).
+	Kind string `json:"kind"`
+	// Source is the query's source node.
+	Source int32 `json:"source"`
+	// Start is the wall-clock time the query began.
+	Start time.Time `json:"start"`
+	// TotalUS is the end-to-end duration in microseconds; the spans sum to
+	// at most this (the remainder is time outside the instrumented phases).
+	TotalUS float64 `json:"total_us"`
+	// Error is the query error, if any.
+	Error string `json:"error,omitempty"`
+	// Summary is the one-line phase breakdown (core.Stats.String).
+	Summary string `json:"summary,omitempty"`
+	// Spans is the ordered phase breakdown.
+	Spans []Span `json:"spans"`
+}
+
+// SpanTotalUS returns the summed span durations in microseconds.
+func (t *Trace) SpanTotalUS() float64 {
+	var total float64
+	for _, s := range t.Spans {
+		total += s.DurUS
+	}
+	return total
+}
+
+// QueryTrace converts a finished query's phase breakdown (core.Stats) into
+// a Trace. The three phases become back-to-back spans starting at offset 0;
+// total is the caller-observed wall time, which bounds the span sum from
+// above (the difference is parameter validation, allocation, etc.).
+func QueryTrace(id string, source int32, start time.Time, total time.Duration, st core.Stats, err error) *Trace {
+	tr := &Trace{
+		ID:      id,
+		Kind:    "query",
+		Source:  source,
+		Start:   start,
+		TotalUS: us(total),
+		Summary: st.String(),
+	}
+	if err != nil {
+		tr.Error = err.Error()
+	}
+	offset := 0.0
+	add := func(name string, d time.Duration, attrs map[string]float64) {
+		tr.Spans = append(tr.Spans, Span{Name: name, StartUS: offset, DurUS: us(d), Attrs: attrs})
+		offset += us(d)
+	}
+	add("hopfwd", st.HopFWD, map[string]float64{
+		"pushes":        float64(st.HopPushes),
+		"subgraph_size": float64(st.SubgraphSize),
+		"frontier_size": float64(st.FrontierSize),
+		"loop_count":    float64(st.T),
+		"r_sum_after":   st.RSumAfterHop,
+	})
+	add("omfwd", st.OMFWD, map[string]float64{
+		"pushes":      float64(st.OMFWDPushes),
+		"r_sum_after": st.RSumAfterOMFWD,
+	})
+	add("remedy", st.Remedy, map[string]float64{
+		"walks": float64(st.Walks),
+	})
+	return tr
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// TraceRing keeps the last N traces for postmortem inspection. It is safe
+// for concurrent use; once full, each Add evicts the oldest trace.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	full bool
+}
+
+// NewTraceRing returns a ring that retains the newest capacity traces
+// (capacity < 1 is treated as 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]*Trace, capacity)}
+}
+
+// Add publishes a trace, evicting the oldest if the ring is full.
+func (r *TraceRing) Add(t *Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained traces.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Snapshot returns the retained traces newest-first.
+func (r *TraceRing) Snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"resacc/internal/core"
+)
+
+func sampleStats() core.Stats {
+	return core.Stats{
+		HopFWD:         2 * time.Millisecond,
+		OMFWD:          3 * time.Millisecond,
+		Remedy:         5 * time.Millisecond,
+		HopPushes:      120,
+		OMFWDPushes:    40,
+		SubgraphSize:   30,
+		FrontierSize:   12,
+		T:              4,
+		RSumAfterHop:   0.6,
+		RSumAfterOMFWD: 0.2,
+		Walks:          999,
+	}
+}
+
+func TestQueryTraceSpans(t *testing.T) {
+	st := sampleStats()
+	start := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	tr := QueryTrace("q-000001", 42, start, 11*time.Millisecond, st, nil)
+
+	if tr.ID != "q-000001" || tr.Kind != "query" || tr.Source != 42 {
+		t.Fatalf("trace header: %+v", tr)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("got %d spans", len(tr.Spans))
+	}
+	names := []string{tr.Spans[0].Name, tr.Spans[1].Name, tr.Spans[2].Name}
+	if strings.Join(names, ",") != "hopfwd,omfwd,remedy" {
+		t.Fatalf("span order %v", names)
+	}
+	// Spans are back-to-back: each starts where the previous ended.
+	if tr.Spans[0].StartUS != 0 || tr.Spans[1].StartUS != 2000 || tr.Spans[2].StartUS != 5000 {
+		t.Fatalf("span offsets: %v %v %v", tr.Spans[0].StartUS, tr.Spans[1].StartUS, tr.Spans[2].StartUS)
+	}
+	// Phase durations sum to within the reported total.
+	if sum := tr.SpanTotalUS(); sum != 10000 || sum > tr.TotalUS {
+		t.Fatalf("span sum %g vs total %g", sum, tr.TotalUS)
+	}
+	if tr.Spans[0].Attrs["pushes"] != 120 || tr.Spans[2].Attrs["walks"] != 999 {
+		t.Fatalf("attrs: %v", tr.Spans)
+	}
+	if !strings.Contains(tr.Summary, "h-HopFWD=2ms") {
+		t.Fatalf("summary %q", tr.Summary)
+	}
+}
+
+func TestQueryTraceError(t *testing.T) {
+	tr := QueryTrace("q-1", 7, time.Now(), time.Millisecond, core.Stats{}, errors.New("boom"))
+	if tr.Error != "boom" {
+		t.Fatalf("error=%q", tr.Error)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := QueryTrace("q-2", 1, time.Now(), 11*time.Millisecond, sampleStats(), nil)
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != tr.ID || len(back.Spans) != 3 || back.TotalUS != tr.TotalUS {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	r := NewTraceRing(3)
+	if r.Len() != 0 {
+		t.Fatal("new ring not empty")
+	}
+	for i := 1; i <= 5; i++ {
+		r.Add(&Trace{ID: fmt.Sprintf("q-%d", i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len=%d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	// Newest first; q-1 and q-2 were evicted.
+	want := []string{"q-5", "q-4", "q-3"}
+	for i, tr := range got {
+		if tr.ID != want[i] {
+			t.Errorf("snapshot[%d]=%s, want %s", i, tr.ID, want[i])
+		}
+	}
+}
+
+func TestTraceRingPartial(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Add(&Trace{ID: "a"})
+	r.Add(&Trace{ID: "b"})
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].ID != "b" || got[1].ID != "a" {
+		t.Fatalf("partial snapshot: %v", got)
+	}
+}
+
+func TestTraceRingTinyCapacity(t *testing.T) {
+	r := NewTraceRing(0) // clamps to 1
+	r.Add(&Trace{ID: "x"})
+	r.Add(&Trace{ID: "y"})
+	got := r.Snapshot()
+	if len(got) != 1 || got[0].ID != "y" {
+		t.Fatalf("capacity-1 ring: %v", got)
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(&Trace{ID: fmt.Sprintf("w%d-%d", w, i)})
+				_ = r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("len=%d, want 16", r.Len())
+	}
+}

@@ -3,6 +3,7 @@ package resacc
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"resacc/internal/core"
 	"resacc/internal/eval"
@@ -44,7 +45,9 @@ func (r *Result) TopK(k int) []Ranked {
 
 // Query answers an approximate SSRWR query with ResAcc.
 func Query(g *Graph, source int32, p Params) (*Result, error) {
+	start := time.Now()
 	scores, stats, err := core.Solver{}.Query(g, source, p)
+	notifyQueryHooks(QueryEvent{Graph: g, Source: source, Start: start, Duration: time.Since(start), Stats: stats, Err: err})
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package resacc
 
 import (
 	"fmt"
+	"time"
 
 	"resacc/internal/core"
 )
@@ -31,7 +32,9 @@ func QueryTopK(g *Graph, source int32, k int, p Params) ([]Ranked, float64, erro
 		}
 		q := p
 		q.NScale = scale
-		scores, _, err := core.Solver{}.Query(g, source, q)
+		roundStart := time.Now()
+		scores, stats, err := core.Solver{}.Query(g, source, q)
+		notifyQueryHooks(QueryEvent{Graph: g, Source: source, Start: roundStart, Duration: time.Since(roundStart), Stats: stats, Err: err})
 		if err != nil {
 			return nil, 0, err
 		}
