@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check bench
+.PHONY: build test race vet fmt-check staticcheck check bench load
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,23 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# staticcheck is optional locally (skipped when the binary is absent) but
+# CI installs it, so the gate is always enforced on pull requests.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI enforces it)"; \
+	fi
+
 # check is the CI gate: formatting, static analysis, and the full test
 # suite under the race detector.
-check: fmt-check vet race
+check: fmt-check vet staticcheck race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# load smoke-runs the rwrload driver against a local rwrd instance on a
+# small generated graph: single-query and batch modes, a few seconds each.
+load:
+	./scripts/loadsmoke.sh

@@ -8,15 +8,20 @@
 //
 //	GET /v1/query?source=42&k=10            top-k ranking
 //	GET /v1/pair?source=42&target=7         single pair estimate
-//	GET /v1/stats                            graph + server statistics
+//	POST /v1/batch {"sources":[1,2],"k":10}  per-source rankings in one call
+//	GET /v1/stats                            graph + server + engine statistics
 //	GET /v1/traces?n=20                      recent query traces (JSON)
 //	GET /metrics                             Prometheus text exposition
 //	GET /healthz                             liveness
 //	GET /debug/pprof/                        profiling (with -pprof)
 //
-// Responses are JSON (except /metrics). Concurrency is safe: the graph is
-// immutable and each query owns its state. SIGINT/SIGTERM trigger a
-// graceful shutdown that drains in-flight queries.
+// Responses are JSON (except /metrics). Every query routes through a
+// serving engine (see docs/SERVING.md): a sharded result cache keyed by
+// (source, params, graph epoch), singleflight deduplication of identical
+// concurrent queries, and admission control — when the bounded wait queue
+// is full the server answers 429 with a Retry-After header instead of
+// queueing unboundedly. SIGINT/SIGTERM trigger a graceful shutdown that
+// drains in-flight queries.
 package main
 
 import (
@@ -47,6 +52,14 @@ func main() {
 		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+
+		workers    = flag.Int("workers", 0, "engine computation concurrency (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 0, "engine wait-queue depth before shedding (0 = 4x workers)")
+		cacheMB    = flag.Int64("cache-mb", 64, "result-cache capacity in MiB")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "result-cache entry TTL (0 = never expire)")
+		cacheShard = flag.Int("cache-shards", 0, "result-cache shard count (0 = 16)")
+		queryTO    = flag.Duration("query-timeout", 30*time.Second, "per-request answer deadline")
+		maxBatch   = flag.Int("max-batch", 1024, "max sources per /v1/batch request")
 	)
 	flag.Parse()
 
@@ -66,7 +79,20 @@ func main() {
 		p.Epsilon = *epsilon
 	}
 
-	srv := newServer(g, p, serverOpts{Log: logger, TraceBuffer: *traceBuf, Pprof: *withPprof})
+	srv := newServer(g, p, serverOpts{
+		Log:         logger,
+		TraceBuffer: *traceBuf,
+		Pprof:       *withPprof,
+		Engine: resacc.EngineOptions{
+			Workers:     *workers,
+			QueueDepth:  *queueDepth,
+			CacheBytes:  *cacheMB << 20,
+			CacheTTL:    *cacheTTL,
+			CacheShards: *cacheShard,
+		},
+		QueryTimeout: *queryTO,
+		MaxBatch:     *maxBatch,
+	})
 	defer srv.Close()
 
 	httpSrv := &http.Server{

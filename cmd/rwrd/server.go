@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -16,7 +18,8 @@ import (
 	"resacc/internal/obs"
 )
 
-// serverOpts configures the observability side of the daemon.
+// serverOpts configures the daemon: observability plus the serving-engine
+// knobs (cache, admission control, batching).
 type serverOpts struct {
 	// Log receives structured request and query logs (nil = slog.Default).
 	Log *slog.Logger
@@ -25,17 +28,29 @@ type serverOpts struct {
 	TraceBuffer int
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
 	Pprof bool
+	// Engine tunes the query-serving engine every route goes through
+	// (Metrics is overwritten with the server's registry).
+	Engine resacc.EngineOptions
+	// QueryTimeout bounds each request's wait for an answer (≤ 0 = 30s).
+	QueryTimeout time.Duration
+	// MaxBatch caps the source count of one /v1/batch request (≤ 0 = 1024).
+	MaxBatch int
 }
 
-// server holds the immutable graph and default parameters; handlers are
-// safe for concurrent use.
+// server routes every request through a resacc.Engine (result cache,
+// singleflight dedup, admission control); handlers are safe for
+// concurrent use.
 type server struct {
 	mux     *http.ServeMux
 	handler http.Handler
 	g       *resacc.Graph
 	params  resacc.Params
+	engine  *resacc.Engine
 	queries atomic.Int64
 	started time.Time
+
+	queryTimeout time.Duration
+	maxBatch     int
 
 	log      *slog.Logger
 	reg      *obs.Registry
@@ -55,21 +70,32 @@ func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
 	if opts.TraceBuffer <= 0 {
 		opts.TraceBuffer = 64
 	}
+	if opts.QueryTimeout <= 0 {
+		opts.QueryTimeout = 30 * time.Second
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 1024
+	}
 	s := &server{
-		mux:     http.NewServeMux(),
-		g:       g,
-		params:  p,
-		started: time.Now(),
-		log:     opts.Log,
-		reg:     obs.NewRegistry(),
-		traces:  obs.NewTraceRing(opts.TraceBuffer),
+		mux:          http.NewServeMux(),
+		g:            g,
+		params:       p,
+		started:      time.Now(),
+		queryTimeout: opts.QueryTimeout,
+		maxBatch:     opts.MaxBatch,
+		log:          opts.Log,
+		reg:          obs.NewRegistry(),
+		traces:       obs.NewTraceRing(opts.TraceBuffer),
 	}
 	s.registerMetrics()
+	opts.Engine.Metrics = s.reg
+	s.engine = resacc.NewEngine(g, p, opts.Engine)
 	s.unhook = resacc.RegisterQueryHook(s.observeQuery)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -141,12 +167,13 @@ func (s *server) observeQuery(ev resacc.QueryEvent) {
 		"dur_ms", float64(ev.Duration.Microseconds())/1000, "stats", ev.Stats.String())
 }
 
-// Close unregisters the query hook; the server stops observing queries but
-// keeps serving whatever is in flight.
+// Close unregisters the query hook and stops the engine's worker pool
+// after draining admitted work.
 func (s *server) Close() {
 	if s.unhook != nil {
 		s.unhook()
 	}
+	s.engine.Close()
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
@@ -158,6 +185,21 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 type rankedJSON struct {
 	Node  int32   `json:"node"`
 	Score float64 `json:"score"`
+}
+
+// writeEngineError maps engine failures to HTTP semantics: load-shedding
+// surfaces as 429 + Retry-After (clients should back off, not pile on),
+// deadline/cancellation as 504, everything else as 500.
+func (s *server) writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, resacc.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded, retry later"})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "query deadline exceeded"})
+	default:
+		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	}
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -177,20 +219,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if k > s.g.N() {
 		k = s.g.N()
 	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+	defer cancel()
 	start := time.Now()
-	res, err := resacc.Query(s.g, source, s.params)
+	top, _, err := s.engine.QueryTopK(ctx, source, k)
 	if err != nil {
-		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		s.writeEngineError(w, err)
 		return
 	}
 	s.queries.Add(1)
-	top := res.TopK(k)
 	out := struct {
 		Source  int32        `json:"source"`
 		K       int          `json:"k"`
 		Results []rankedJSON `json:"results"`
 		Millis  float64      `json:"query_ms"`
-	}{Source: source, K: k, Millis: float64(time.Since(start).Microseconds()) / 1000}
+	}{Source: source, K: k, Results: []rankedJSON{},
+		Millis: float64(time.Since(start).Microseconds()) / 1000}
 	for _, t := range top {
 		out.Results = append(out.Results, rankedJSON{t.Node, t.Score})
 	}
@@ -208,9 +252,11 @@ func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	est, err := resacc.QueryPair(s.g, source, target, s.params)
+	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+	defer cancel()
+	est, err := s.engine.QueryPair(ctx, source, target)
 	if err != nil {
-		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		s.writeEngineError(w, err)
 		return
 	}
 	s.queries.Add(1)
@@ -220,6 +266,7 @@ func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	es := s.engine.Stats()
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"nodes":          s.g.N(),
 		"edges":          s.g.M(),
@@ -228,6 +275,16 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"epsilon":        s.params.Epsilon,
 		"alpha":          s.params.Alpha,
+		"engine": map[string]any{
+			"cache_hits":    es.Hits,
+			"cache_misses":  es.Misses,
+			"dedup_joins":   es.Joins,
+			"shed":          es.Shed,
+			"cache_entries": es.CacheEntries,
+			"cache_bytes":   es.CacheBytes,
+			"queue_depth":   es.QueueDepth,
+			"graph_epoch":   es.Epoch,
+		},
 	})
 }
 

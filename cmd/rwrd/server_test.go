@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"resacc"
 )
@@ -133,23 +135,37 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("content type %q", ct)
 	}
 	body := rec.Body.String()
+	// One HTTP query runs the adaptive top-k loop, which fires one query
+	// event per refinement round — so phase counts are ≥ 1, not exactly 1.
 	for _, want := range []string{
 		"# TYPE rwr_query_duration_seconds histogram",
-		`rwr_query_duration_seconds_count{phase="hopfwd"} 1`,
-		`rwr_query_duration_seconds_count{phase="omfwd"} 1`,
-		`rwr_query_duration_seconds_count{phase="remedy"} 1`,
-		`rwr_query_duration_seconds_count{phase="total"} 1`,
+		`rwr_query_duration_seconds_count{phase="hopfwd"}`,
+		`rwr_query_duration_seconds_count{phase="omfwd"}`,
+		`rwr_query_duration_seconds_count{phase="remedy"}`,
+		`rwr_query_duration_seconds_count{phase="total"}`,
 		"# TYPE rwr_http_requests_total counter",
 		`rwr_http_requests_total{code="200",path="/v1/query"} 1`,
-		`rwr_queries_total{status="ok"} 1`,
+		`rwr_queries_total{status="ok"}`,
 		"rwr_graph_nodes 200",
 		"rwr_walks_total",
 		"rwr_pushes_total",
 		"rwr_http_inflight_requests",
+		// Engine families (cache, dedup, admission) must be exposed.
+		"rwr_engine_cache_hits_total",
+		"rwr_engine_cache_misses_total",
+		`rwr_engine_cache_evictions_total{reason="capacity"}`,
+		"rwr_engine_dedup_joins_total",
+		"rwr_engine_shed_total",
+		"rwr_engine_queue_depth",
+		`rwr_engine_latency_seconds_bucket{path="cache",le="0.0001"}`,
+		`rwr_engine_latency_seconds_bucket{path="compute",le="0.0001"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q\n%s", want, body)
 		}
+	}
+	if strings.Contains(body, `rwr_queries_total{status="ok"} 0`) {
+		t.Error("no ok query counted after a served request")
 	}
 }
 
@@ -159,11 +175,13 @@ func TestTracesEndpoint(t *testing.T) {
 	get(t, s, "/v1/query?source=5")
 
 	_, body := get(t, s, "/v1/traces")
-	if body["count"].(float64) != 2 {
-		t.Fatalf("count=%v, want 2", body["count"])
+	// Each HTTP query fires one trace per adaptive top-k round, so two
+	// requests leave at least two traces.
+	if body["count"].(float64) < 2 {
+		t.Fatalf("count=%v, want >= 2", body["count"])
 	}
 	traces := body["traces"].([]any)
-	// Newest first: the source=5 query is traces[0].
+	// Newest first: the source=5 query produced the latest round.
 	first := traces[0].(map[string]any)
 	if first["source"].(float64) != 5 {
 		t.Fatalf("newest trace source=%v, want 5", first["source"])
@@ -246,8 +264,16 @@ func TestConcurrentQueries(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	if !strings.Contains(rec.Body.String(), `rwr_queries_total{status="ok"} 16`) {
-		t.Error("metrics did not count 16 concurrent queries")
+	body := rec.Body.String()
+	if !strings.Contains(body, `rwr_http_requests_total{code="200",path="/v1/query"} 16`) {
+		t.Error("metrics did not count 16 served requests")
+	}
+	// Identical concurrent queries must collapse: the engine answers most
+	// of them from the shared flight or the cache.
+	_, stats := get(t, s, "/v1/stats")
+	engine := stats["engine"].(map[string]any)
+	if engine["cache_hits"].(float64)+engine["dedup_joins"].(float64) == 0 {
+		t.Errorf("no sharing across 16 identical queries: %v", engine)
 	}
 }
 
@@ -261,5 +287,190 @@ func TestLoadGraphHelpers(t *testing.T) {
 	}
 	if g.N() == 0 {
 		t.Fatal("empty graph")
+	}
+}
+
+func postJSON(t *testing.T, s *server, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s: non-JSON body %q", path, rec.Body.String())
+	}
+	return rec, out
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := postJSON(t, s, "/v1/batch", `{"sources":[1,2,1,3],"k":4}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if body["count"].(float64) != 4 || body["failed"].(float64) != 0 {
+		t.Fatalf("count/failed: %v", body)
+	}
+	items := body["results"].([]any)
+	for i, raw := range items {
+		item := raw.(map[string]any)
+		results := item["results"].([]any)
+		if len(results) != 4 {
+			t.Fatalf("item %d: %d results, want 4", i, len(results))
+		}
+		top := results[0].(map[string]any)
+		if top["score"].(float64) <= 0 {
+			t.Fatalf("item %d: non-positive top score", i)
+		}
+	}
+	// Sources 1 appears twice: the second occurrence shares work.
+	_, stats := get(t, s, "/v1/stats")
+	engine := stats["engine"].(map[string]any)
+	if engine["cache_hits"].(float64)+engine["dedup_joins"].(float64) == 0 {
+		t.Errorf("repeated batch source did not share: %v", engine)
+	}
+}
+
+func TestBatchPerSourceErrors(t *testing.T) {
+	s := testServer(t)
+	rec, body := postJSON(t, s, "/v1/batch", `{"sources":[1,99999]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if body["failed"].(float64) != 1 {
+		t.Fatalf("failed=%v, want 1", body["failed"])
+	}
+	items := body["results"].([]any)
+	good := items[0].(map[string]any)
+	if good["error"] != nil {
+		t.Fatalf("valid source errored: %v", good["error"])
+	}
+	bad := items[1].(map[string]any)
+	if bad["error"] == nil || bad["error"].(string) == "" {
+		t.Fatal("invalid source did not report an error")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	s := testServer(t)
+	for _, body := range []string{
+		``, `not json`, `{"sources":[]}`, `{"sources":[1],"bogus":true}`,
+	} {
+		rec, _ := postJSON(t, s, "/v1/batch", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, rec.Code)
+		}
+	}
+	// Batch size limit.
+	small := newServer(s.g, s.params, serverOpts{Log: discardLogger(), MaxBatch: 2})
+	defer small.Close()
+	rec, _ := postJSON(t, small, "/v1/batch", `{"sources":[1,2,3]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversize batch: status %d, want 400", rec.Code)
+	}
+}
+
+// TestQueryEmptyResultsIsArray pins the JSON contract: even when the
+// ranking is empty, "results" must be [] — never null.
+func TestQueryEmptyResultsIsArray(t *testing.T) {
+	g := resacc.GenerateBarabasiAlbert(50, 2, 3)
+	empty := func(_ context.Context, _ *resacc.Graph, source int32, _ resacc.Params) (*resacc.Result, error) {
+		return &resacc.Result{Source: source, Scores: []float64{}}, nil
+	}
+	s := newServer(g, resacc.DefaultParams(g), serverOpts{
+		Log:    discardLogger(),
+		Engine: resacc.EngineOptions{Compute: empty},
+	})
+	defer s.Close()
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/query?source=1&k=5", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if strings.Contains(rec.Body.String(), `"results":null`) {
+		t.Fatalf("results serialised as null: %s", rec.Body.String())
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	results, ok := body["results"].([]any)
+	if !ok {
+		t.Fatalf("results is %T, want JSON array", body["results"])
+	}
+	if len(results) != 0 {
+		t.Fatalf("want empty results, got %v", results)
+	}
+}
+
+// TestSaturationReturns429 pins the admission-control contract: when the
+// worker pool and wait queue are full, /v1/query answers 429 with a
+// Retry-After header instead of queueing unboundedly.
+func TestSaturationReturns429(t *testing.T) {
+	g := resacc.GenerateBarabasiAlbert(50, 2, 3)
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	defer unblock()
+	started := make(chan struct{}, 64)
+	slow := func(_ context.Context, g *resacc.Graph, source int32, _ resacc.Params) (*resacc.Result, error) {
+		started <- struct{}{}
+		<-release
+		return &resacc.Result{Source: source, Scores: make([]float64, g.N())}, nil
+	}
+	s := newServer(g, resacc.DefaultParams(g), serverOpts{
+		Log:          discardLogger(),
+		QueryTimeout: 10 * time.Second,
+		Engine:       resacc.EngineOptions{Workers: 1, QueueDepth: 1, Compute: slow},
+	})
+	defer s.Close()
+
+	// Occupy the single worker, then the single queue slot, with distinct
+	// sources so nothing is deduplicated.
+	codes := make(chan int, 2)
+	fire := func(source string) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/query?source="+source, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		codes <- rec.Code
+	}
+	go fire("1")
+	<-started
+	go fire("2")
+	deadline := time.Now().Add(2 * time.Second)
+	for s.engine.Stats().QueueDepth != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/query?source=3", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == nil {
+		t.Fatalf("429 body not a JSON error: %s", rec.Body.String())
+	}
+	// /metrics must surface the shed.
+	mreq := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, mreq)
+	if !strings.Contains(mrec.Body.String(), "rwr_engine_shed_total 1") {
+		t.Error("shed not counted in /metrics")
+	}
+	// Unblock the two in-flight queries so Close can drain.
+	unblock()
+	if c := <-codes; c != http.StatusOK {
+		t.Errorf("in-flight query finished with %d", c)
+	}
+	if c := <-codes; c != http.StatusOK {
+		t.Errorf("queued query finished with %d", c)
 	}
 }

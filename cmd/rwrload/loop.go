@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type loadConfig struct {
+	base     string // server base URL, no trailing slash
+	workers  int
+	duration time.Duration
+	skew     float64
+	k        int
+	batch    int // 0 = single-query mode
+	n        int32
+	seed     int64
+	client   *http.Client
+}
+
+// runLoad drives cfg.workers closed loops against the server for
+// cfg.duration (or until ctx is cancelled) and returns the aggregate
+// outcome counts and latency distribution.
+func runLoad(ctx context.Context, cfg loadConfig) (*report, error) {
+	if cfg.workers <= 0 {
+		return nil, fmt.Errorf("workers must be positive")
+	}
+	if cfg.n <= 0 {
+		return nil, fmt.Errorf("node count must be positive")
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	rep := newReport()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := newSampler(cfg.n, cfg.skew, cfg.seed+int64(i))
+			for ctx.Err() == nil {
+				t0 := time.Now()
+				status, err := cfg.fire(ctx, src)
+				if err != nil {
+					if ctx.Err() != nil {
+						return // cancelled mid-request, don't count it
+					}
+					status = -1
+				}
+				rep.record(status, time.Since(t0))
+			}
+		}(i)
+	}
+	wg.Wait()
+	rep.elapsed = time.Since(start)
+	return rep, nil
+}
+
+// fire issues one request — a single query, or a batch when cfg.batch > 0
+// — and returns the HTTP status. The response body is drained and
+// discarded; the driver measures the server, not the client's JSON parser.
+func (cfg *loadConfig) fire(ctx context.Context, src *sampler) (int, error) {
+	var req *http.Request
+	var err error
+	if cfg.batch > 0 {
+		sources := make([]int32, cfg.batch)
+		for i := range sources {
+			sources[i] = src.next()
+		}
+		body, merr := json.Marshal(map[string]any{"sources": sources, "k": cfg.k})
+		if merr != nil {
+			return 0, merr
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.base+"/v1/batch", bytes.NewReader(body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	} else {
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+			fmt.Sprintf("%s/v1/query?source=%d&k=%d", cfg.base, src.next(), cfg.k), nil)
+	}
+	if err != nil {
+		return 0, err
+	}
+	resp, err := cfg.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,91 @@
+// Command rwrload is a closed-loop load driver for rwrd. Each worker
+// issues one request, waits for the answer, and immediately issues the
+// next — so offered load tracks server capacity and the interesting
+// question becomes throughput, tail latency, and how often admission
+// control sheds (HTTP 429).
+//
+//	rwrload -addr http://localhost:8080 -workers 16 -duration 30s
+//	rwrload -addr http://localhost:8080 -zipf 0 -batch 32
+//
+// Sources are sampled Zipfian by default (-zipf 1.3), the skewed access
+// pattern that exercises the server's result cache and singleflight; pass
+// -zipf 0 for uniform, cache-hostile traffic. With -batch N each request
+// is a POST /v1/batch carrying N sources instead of one GET /v1/query.
+// The node count is discovered from /v1/stats unless -nodes is given.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the rwrd server")
+		workers  = flag.Int("workers", 8, "concurrent closed-loop workers")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		zipf     = flag.Float64("zipf", 1.3, "source skew exponent (> 1 Zipfian, <= 1 uniform)")
+		k        = flag.Int("k", 10, "ranking depth per query")
+		batch    = flag.Int("batch", 0, "sources per request via POST /v1/batch (0 = GET /v1/query)")
+		nodes    = flag.Int("nodes", 0, "source id space (0 = discover from /v1/stats)")
+		seed     = flag.Int64("seed", 1, "sampler seed (worker i uses seed+i)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+
+	cfg := loadConfig{
+		base:     strings.TrimRight(*addr, "/"),
+		workers:  *workers,
+		duration: *duration,
+		skew:     *zipf,
+		k:        *k,
+		batch:    *batch,
+		n:        int32(*nodes),
+		seed:     *seed,
+		client:   &http.Client{Timeout: *timeout},
+	}
+	if cfg.n <= 0 {
+		n, err := fetchNodes(cfg.base, cfg.client)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rwrload: discover nodes:", err)
+			os.Exit(1)
+		}
+		cfg.n = n
+	}
+
+	rep, err := runLoad(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rwrload:", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+}
+
+// fetchNodes asks the server how many nodes the served graph has, which
+// bounds the source id space the samplers draw from.
+func fetchNodes(base string, client *http.Client) (int32, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/v1/stats returned %s", resp.Status)
+	}
+	var stats struct {
+		Nodes int32 `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, err
+	}
+	if stats.Nodes <= 0 {
+		return 0, fmt.Errorf("server reports %d nodes", stats.Nodes)
+	}
+	return stats.Nodes, nil
+}

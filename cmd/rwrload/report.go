@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"resacc/internal/obs"
+)
+
+// report accumulates per-request outcomes across all load workers. The
+// latency histogram reuses the same exponential-bucket sketch the server
+// exports on /metrics, so client- and server-side quantiles are directly
+// comparable.
+type report struct {
+	requests atomic.Uint64 // every attempt, any outcome
+	ok       atomic.Uint64 // HTTP 200
+	shed     atomic.Uint64 // HTTP 429 (admission control)
+	errs     atomic.Uint64 // transport errors and other statuses
+
+	latency *obs.Histogram // successful requests only, seconds
+	elapsed time.Duration  // wall time of the run, set once at the end
+}
+
+func newReport() *report {
+	return &report{latency: obs.NewHistogram(obs.ExpBuckets(1e-4, 2, 20))}
+}
+
+// record classifies one request. status < 0 means a transport error.
+func (r *report) record(status int, d time.Duration) {
+	r.requests.Add(1)
+	switch {
+	case status == 200:
+		r.ok.Add(1)
+		r.latency.Observe(d.Seconds())
+	case status == 429:
+		r.shed.Add(1)
+	default:
+		r.errs.Add(1)
+	}
+}
+
+// String renders the run summary. Quantiles are upper bucket bounds, the
+// same estimate Prometheus' histogram_quantile would give.
+func (r *report) String() string {
+	var b strings.Builder
+	total := r.requests.Load()
+	secs := r.elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	fmt.Fprintf(&b, "requests   %d (%.1f req/s over %s)\n",
+		total, float64(total)/secs, r.elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "ok         %d\n", r.ok.Load())
+	shed := r.shed.Load()
+	rate := 0.0
+	if total > 0 {
+		rate = 100 * float64(shed) / float64(total)
+	}
+	fmt.Fprintf(&b, "shed (429) %d (%.1f%%)\n", shed, rate)
+	fmt.Fprintf(&b, "errors     %d\n", r.errs.Load())
+	if r.ok.Load() > 0 {
+		fmt.Fprintf(&b, "latency    p50 %s  p90 %s  p99 %s",
+			fmtSecs(r.latency.Quantile(0.50)),
+			fmtSecs(r.latency.Quantile(0.90)),
+			fmtSecs(r.latency.Quantile(0.99)))
+	}
+	return b.String()
+}
+
+func fmtSecs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

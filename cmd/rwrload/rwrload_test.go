@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSamplerUniformCoversRange(t *testing.T) {
+	s := newSampler(16, 0, 42)
+	seen := make(map[int32]bool)
+	for i := 0; i < 4096; i++ {
+		v := s.next()
+		if v < 0 || v >= 16 {
+			t.Fatalf("sample %d out of [0,16)", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 16 {
+		t.Fatalf("uniform sampler hit %d/16 ids", len(seen))
+	}
+}
+
+func TestSamplerZipfSkews(t *testing.T) {
+	s := newSampler(1000, 1.3, 42)
+	counts := make(map[int32]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		v := s.next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("sample %d out of [0,1000)", v)
+		}
+		counts[v]++
+	}
+	// Zipf with exponent 1.3: id 0 alone should dwarf a uniform share
+	// (draws/1000 = 20) by an order of magnitude.
+	if counts[0] < 10*draws/1000 {
+		t.Fatalf("id 0 drawn %d times, too flat for zipf", counts[0])
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	a, b := newSampler(100, 1.3, 7), newSampler(100, 1.3, 7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestReportCountsAndQuantiles(t *testing.T) {
+	r := newReport()
+	for i := 0; i < 90; i++ {
+		r.record(200, time.Millisecond)
+	}
+	for i := 0; i < 9; i++ {
+		r.record(429, 0)
+	}
+	r.record(-1, 0)
+	r.elapsed = time.Second
+
+	if got := r.requests.Load(); got != 100 {
+		t.Fatalf("requests=%d", got)
+	}
+	if r.ok.Load() != 90 || r.shed.Load() != 9 || r.errs.Load() != 1 {
+		t.Fatalf("ok=%d shed=%d errs=%d", r.ok.Load(), r.shed.Load(), r.errs.Load())
+	}
+	p99 := r.latency.Quantile(0.99)
+	if p99 < 1e-3 || p99 > 1e-1 {
+		t.Fatalf("p99=%g, want near 1ms", p99)
+	}
+	out := r.String()
+	for _, want := range []string{"requests", "shed (429) 9 (9.0%)", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunLoadAgainstStub drives the closed loop against a stub server
+// that sheds every fourth request, checking classification end to end.
+func TestRunLoadAgainstStub(t *testing.T) {
+	var hits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/query" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if hits.Add(1)%4 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"results": []any{}})
+	}))
+	defer srv.Close()
+
+	rep, err := runLoad(context.Background(), loadConfig{
+		base: srv.URL, workers: 4, duration: 200 * time.Millisecond,
+		skew: 1.3, k: 5, n: 50, seed: 1, client: srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := rep.requests.Load()
+	if total == 0 {
+		t.Fatal("no requests issued")
+	}
+	if rep.ok.Load()+rep.shed.Load()+rep.errs.Load() != total {
+		t.Fatalf("counts don't add up: %s", rep)
+	}
+	if rep.shed.Load() == 0 {
+		t.Fatalf("stub sheds 25%% but report saw none: %s", rep)
+	}
+	if rep.errs.Load() != 0 {
+		t.Fatalf("unexpected errors: %s", rep)
+	}
+}
+
+// TestRunLoadBatchMode checks that -batch N posts N sources per request.
+func TestRunLoadBatchMode(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/batch" || r.Method != http.MethodPost {
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+		var req struct {
+			Sources []int32 `json:"sources"`
+			K       int     `json:"k"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		if len(req.Sources) != 8 || req.K != 5 {
+			t.Errorf("batch carried %d sources k=%d, want 8 k=5", len(req.Sources), req.K)
+		}
+		json.NewEncoder(w).Encode(map[string]any{"count": len(req.Sources)})
+	}))
+	defer srv.Close()
+
+	rep, err := runLoad(context.Background(), loadConfig{
+		base: srv.URL, workers: 2, duration: 100 * time.Millisecond,
+		skew: 0, k: 5, batch: 8, n: 50, seed: 1, client: srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ok.Load() == 0 {
+		t.Fatalf("no batches succeeded: %s", rep)
+	}
+}
+
+func TestFetchNodes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"nodes": 123, "edges": 456})
+	}))
+	defer srv.Close()
+	n, err := fetchNodes(srv.URL, srv.Client())
+	if err != nil || n != 123 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "math/rand"
+
+// sampler draws query sources from [0, n). With skew > 1 it is Zipfian —
+// a small set of "celebrity" nodes absorbs most of the traffic, which is
+// the access pattern that makes a result cache worth having. With skew
+// <= 1 it degenerates to uniform, the cache-hostile worst case.
+//
+// A sampler is not safe for concurrent use; give each load worker its own.
+type sampler struct {
+	n    int32
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+func newSampler(n int32, skew float64, seed int64) *sampler {
+	s := &sampler{n: n, rng: rand.New(rand.NewSource(seed))}
+	if skew > 1 {
+		s.zipf = rand.NewZipf(s.rng, skew, 1, uint64(n-1))
+	}
+	return s
+}
+
+func (s *sampler) next() int32 {
+	if s.zipf != nil {
+		return int32(s.zipf.Uint64())
+	}
+	return s.rng.Int31n(s.n)
+}

@@ -1,0 +1,332 @@
+package resacc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resacc/internal/obs"
+	"resacc/internal/serve"
+)
+
+// ErrOverloaded is returned by Engine queries that were load-shed because
+// the engine's wait queue was full. Servers should map it to HTTP 429.
+var ErrOverloaded = serve.ErrOverloaded
+
+// ComputeFunc produces a full single-source result; it is the pluggable
+// core of an Engine (default: Query, i.e. ResAcc). Computations are shared
+// by every request waiting on the same key, so they run detached from any
+// single caller; ctx carries no request deadline.
+type ComputeFunc func(ctx context.Context, g *Graph, source int32, p Params) (*Result, error)
+
+// EngineOptions tunes NewEngine. The zero value is production-usable:
+// 64 MiB cache in 16 shards, no TTL, GOMAXPROCS workers and a 4×workers
+// wait queue.
+type EngineOptions struct {
+	// CacheBytes bounds the result cache in bytes (≤ 0 = 64 MiB). One
+	// full result costs ≈ 8·n bytes.
+	CacheBytes int64
+	// CacheShards is the cache shard count (≤ 0 = 16).
+	CacheShards int
+	// CacheTTL expires cached results (≤ 0 = never).
+	CacheTTL time.Duration
+	// Workers bounds concurrent computations (≤ 0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds computations waiting for a worker (0 =
+	// 4×workers); beyond it, interactive queries shed with ErrOverloaded.
+	QueueDepth int
+	// Metrics, when non-nil, receives the engine metric families (cache
+	// hits/misses/evictions, dedup joins, sheds, queue depth, cache
+	// size, cached-vs-computed latency). Note the registry type lives in
+	// an internal package, so only code inside this module can set it.
+	Metrics *obs.Registry
+	// Compute overrides the solver (nil = Query, i.e. ResAcc). Top-k and
+	// pair answers derive from the custom full result when set.
+	Compute ComputeFunc
+}
+
+// Engine is the query-serving layer of the package: a result cache keyed
+// by (query, params fingerprint, graph epoch), singleflight deduplication
+// of concurrent identical queries, and admission control via a bounded
+// worker pool. It is safe for concurrent use and is the recommended way to
+// serve RWR traffic (cmd/rwrd routes every request through one).
+//
+// Serving workloads repeat sources heavily (hot users, trending items), so
+// the cache converts the skew into sub-microsecond answers, while the
+// admission pool keeps worst-case load from queueing unboundedly.
+type Engine struct {
+	params Params
+	fp     uint64
+
+	graph   atomic.Pointer[Graph]
+	epoch   atomic.Uint64
+	inner   *serve.Engine[*engineEntry]
+	compute ComputeFunc
+	custom  bool
+
+	// syncMu serialises SyncDynamic snapshot/swap pairs; dynVer is the
+	// last Dynamic.Version applied.
+	syncMu sync.Mutex
+	dynVer uint64
+}
+
+// engineEntry is one cached answer; exactly one field group is set
+// depending on the key kind.
+type engineEntry struct {
+	res    *Result  // KindFull
+	ranked []Ranked // KindTopK
+	level  float64  // KindTopK: precision level (see QueryTopK)
+	pair   float64  // KindPair
+}
+
+func (en *engineEntry) bytes() int64 {
+	const overhead = 96 // entry + key + list bookkeeping, approximate
+	s := int64(overhead)
+	if en.res != nil {
+		s += int64(len(en.res.Scores)) * 8
+	}
+	s += int64(len(en.ranked)) * 16
+	return s
+}
+
+// NewEngine returns a started engine serving queries on g with fixed
+// parameters p. Close it to stop the worker pool.
+func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
+	e := &Engine{
+		params:  p,
+		fp:      serve.Fingerprint(p),
+		compute: opts.Compute,
+		custom:  opts.Compute != nil,
+	}
+	if e.compute == nil {
+		e.compute = func(_ context.Context, g *Graph, source int32, p Params) (*Result, error) {
+			return Query(g, source, p)
+		}
+	}
+	e.graph.Store(g)
+	e.inner = serve.New[*engineEntry](serve.Config{
+		CapacityBytes: opts.CacheBytes,
+		Shards:        opts.CacheShards,
+		TTL:           opts.CacheTTL,
+		Workers:       opts.Workers,
+		QueueDepth:    opts.QueueDepth,
+		Metrics:       opts.Metrics,
+	})
+	return e
+}
+
+// Close stops the engine's worker pool after draining admitted work.
+// Queries after Close fail.
+func (e *Engine) Close() { e.inner.Close() }
+
+// Graph returns the graph snapshot currently being served.
+func (e *Engine) Graph() *Graph { return e.graph.Load() }
+
+// Params returns the engine's fixed query parameters.
+func (e *Engine) Params() Params { return e.params }
+
+// Epoch returns the current graph epoch; it increments on every
+// UpdateGraph/Invalidate and is part of every cache key.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// key builds the cache key for the current epoch.
+func (e *Engine) key(kind serve.Kind, source, aux int32) serve.Key {
+	return serve.Key{
+		Source: source, Aux: aux, Kind: kind,
+		Fingerprint: e.fp, Epoch: e.epoch.Load(),
+	}
+}
+
+// Query answers a full single-source query through the cache, dedup and
+// admission layers. ctx bounds only this caller's wait (queueing and
+// joining), not the shared computation; a full queue sheds the request
+// with ErrOverloaded.
+func (e *Engine) Query(ctx context.Context, source int32) (*Result, error) {
+	return e.queryFull(ctx, source, false)
+}
+
+func (e *Engine) queryFull(ctx context.Context, source int32, wait bool) (*Result, error) {
+	en, _, err := e.inner.Do(ctx, e.key(serve.KindFull, source, 0), wait,
+		func() (*engineEntry, int64, error) {
+			res, err := e.compute(context.Background(), e.graph.Load(), source, e.params)
+			if err != nil {
+				return nil, 0, err
+			}
+			en := &engineEntry{res: res}
+			return en, en.bytes(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return en.res, nil
+}
+
+// QueryTopK answers a top-k query through the engine. With the default
+// solver it runs the adaptive top-k refinement of the package-level
+// QueryTopK (cheaper than a full-precision query when the ranking
+// stabilises early) and returns its precision level; a custom Compute is
+// ranked with Result.TopK and reports level 0.
+func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) ([]Ranked, float64, error) {
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("resacc: engine QueryTopK needs k > 0, got %d", k)
+	}
+	if n := e.graph.Load().N(); k > n {
+		k = n
+	}
+	en, _, err := e.inner.Do(ctx, e.key(serve.KindTopK, source, int32(k)), false,
+		func() (*engineEntry, int64, error) {
+			g := e.graph.Load()
+			var en *engineEntry
+			if e.custom {
+				res, err := e.compute(context.Background(), g, source, e.params)
+				if err != nil {
+					return nil, 0, err
+				}
+				en = &engineEntry{ranked: res.TopK(k)}
+			} else {
+				ranked, level, err := QueryTopK(g, source, k, e.params)
+				if err != nil {
+					return nil, 0, err
+				}
+				en = &engineEntry{ranked: ranked, level: level}
+			}
+			return en, en.bytes(), nil
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+	return en.ranked, en.level, nil
+}
+
+// QueryPair answers a single π(s,t) estimate through the engine (the
+// default solver uses the bidirectional pair estimator, far cheaper than a
+// full single-source query).
+func (e *Engine) QueryPair(ctx context.Context, source, target int32) (float64, error) {
+	en, _, err := e.inner.Do(ctx, e.key(serve.KindPair, source, target), false,
+		func() (*engineEntry, int64, error) {
+			g := e.graph.Load()
+			if target < 0 || int(target) >= g.N() {
+				return nil, 0, fmt.Errorf("resacc: target %d out of range [0,%d)", target, g.N())
+			}
+			var pair float64
+			if e.custom {
+				res, err := e.compute(context.Background(), g, source, e.params)
+				if err != nil {
+					return nil, 0, err
+				}
+				pair = res.Scores[target]
+			} else {
+				var err error
+				pair, err = QueryPair(g, source, target, e.params)
+				if err != nil {
+					return nil, 0, err
+				}
+			}
+			return &engineEntry{pair: pair}, 96, nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	return en.pair, nil
+}
+
+// QueryBatch fans sources across the worker pool and returns per-source
+// results and errors (results[i] is nil iff errs[i] != nil). Unlike
+// interactive queries, batch items wait for queue room instead of
+// shedding — the batch itself was already admitted — with the fan-out
+// paced to the pool width so one batch cannot monopolise the queue.
+// Repeated sources inside one batch are deduplicated by the engine's
+// singleflight layer, and every item shares the result cache.
+func (e *Engine) QueryBatch(ctx context.Context, sources []int32) ([]*Result, []error) {
+	results := make([]*Result, len(sources))
+	errs := make([]error, len(sources))
+	window := e.inner.Pool().Workers()
+	if window > len(sources) {
+		window = len(sources)
+	}
+	if window < 1 {
+		window = 1
+	}
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	for i := range sources {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			results[i], errs[i] = e.queryFull(ctx, sources[i], true)
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// UpdateGraph swaps the served graph for g and bumps the epoch, so every
+// cached result is invalidated (and purged) atomically with the swap.
+// In-flight computations finish against the snapshot they started with.
+func (e *Engine) UpdateGraph(g *Graph) {
+	e.graph.Store(g)
+	e.epoch.Add(1)
+	e.inner.Purge()
+}
+
+// Invalidate bumps the epoch and purges the cache without changing the
+// graph — for callers whose freshness policy is time- or event-based
+// (e.g. randomized re-scoring) rather than graph edits.
+func (e *Engine) Invalidate() {
+	e.epoch.Add(1)
+	e.inner.Purge()
+}
+
+// SyncDynamic is the invalidation hook for dynamic graphs: if d has been
+// edited since the last sync (per Dynamic.Version), it materialises a
+// fresh snapshot, swaps it in and invalidates the cache. It reports
+// whether a swap happened. Typical serving loop: apply edits to d on the
+// write path, call SyncDynamic on whatever cadence freshness requires.
+func (e *Engine) SyncDynamic(d *DynamicGraph) (bool, error) {
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	v := d.Version()
+	if v == e.dynVer {
+		return false, nil
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		return false, err
+	}
+	e.UpdateGraph(snap)
+	e.dynVer = v
+	return true, nil
+}
+
+// EngineStats is a point-in-time snapshot of the serving counters, for
+// stats endpoints and tests (the same numbers are exported continuously
+// when EngineOptions.Metrics is set).
+type EngineStats struct {
+	Hits, Misses, Joins, Shed float64
+	CacheEntries              int
+	CacheBytes                int64
+	QueueDepth                int
+	Epoch                     uint64
+}
+
+// Stats returns current serving counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Hits:         e.inner.Hits(),
+		Misses:       e.inner.Misses(),
+		Joins:        e.inner.Joins(),
+		Shed:         e.inner.Shed(),
+		CacheEntries: e.inner.Cache().Len(),
+		CacheBytes:   e.inner.Cache().Bytes(),
+		QueueDepth:   e.inner.Pool().QueueDepth(),
+		Epoch:        e.epoch.Load(),
+	}
+}

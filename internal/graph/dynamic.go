@@ -18,6 +18,7 @@ type Dynamic struct {
 	n       int
 	added   map[int64]struct{}
 	removed map[int64]struct{}
+	version uint64
 }
 
 // NewDynamic starts an edit session over g.
@@ -37,6 +38,13 @@ func (d *Dynamic) N() int { return d.n }
 func (d *Dynamic) PendingEdits() (adds, removes int) {
 	return len(d.added), len(d.removed)
 }
+
+// Version is a monotonic edit counter: it increments every time the edited
+// state actually changes (no-op edits do not count). Serving layers cache
+// query results against a graph epoch and compare versions to decide when
+// a cached snapshot is stale — the index-free analogue of an index rebuild
+// trigger.
+func (d *Dynamic) Version() uint64 { return d.version }
 
 func (d *Dynamic) encode(u, v int32) int64 {
 	return int64(u)*int64(d.n) + int64(v)
@@ -82,12 +90,16 @@ func (d *Dynamic) AddEdge(u, v int32) error {
 	key := d.encode(u, v)
 	if _, ok := d.removed[key]; ok {
 		delete(d.removed, key)
+		d.version++
 		return nil
 	}
 	if d.inBase(u, v) {
 		return nil
 	}
-	d.added[key] = struct{}{}
+	if _, ok := d.added[key]; !ok {
+		d.added[key] = struct{}{}
+		d.version++
+	}
 	return nil
 }
 
@@ -100,10 +112,12 @@ func (d *Dynamic) RemoveEdge(u, v int32) error {
 	key := d.encode(u, v)
 	if _, ok := d.added[key]; ok {
 		delete(d.added, key)
+		d.version++
 		return nil
 	}
-	if d.inBase(u, v) {
+	if _, gone := d.removed[key]; !gone && d.inBase(u, v) {
 		d.removed[key] = struct{}{}
+		d.version++
 	}
 	return nil
 }
@@ -116,6 +130,7 @@ func (d *Dynamic) RemoveEdge(u, v int32) error {
 func (d *Dynamic) AddNode() int32 {
 	old := d.n
 	d.n++
+	d.version++
 	if len(d.added)+len(d.removed) > 0 {
 		reEncode := func(m map[int64]struct{}) map[int64]struct{} {
 			out := make(map[int64]struct{}, len(m))
@@ -156,6 +171,7 @@ func (d *Dynamic) IsolateNode(v int32) error {
 		w := int32(key % int64(d.n))
 		if u == v || w == v {
 			delete(d.added, key)
+			d.version++
 		}
 	}
 	return nil

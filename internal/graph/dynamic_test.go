@@ -212,3 +212,30 @@ func TestDynamicSnapshotMatchesRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDynamicVersion(t *testing.T) {
+	g := line(4) // 0->1->2->3
+	d := NewDynamic(g)
+	if d.Version() != 0 {
+		t.Fatalf("fresh session version %d, want 0", d.Version())
+	}
+	mustBump := func(op func() error, wantBump uint64, what string) {
+		t.Helper()
+		before := d.Version()
+		if err := op(); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if got := d.Version() - before; got != wantBump {
+			t.Fatalf("%s: version moved by %d, want %d", what, got, wantBump)
+		}
+	}
+	mustBump(func() error { return d.AddEdge(3, 0) }, 1, "add new edge")
+	mustBump(func() error { return d.AddEdge(3, 0) }, 0, "re-add pending edge")
+	mustBump(func() error { return d.AddEdge(0, 1) }, 0, "add existing base edge")
+	mustBump(func() error { return d.RemoveEdge(0, 1) }, 1, "remove base edge")
+	mustBump(func() error { return d.RemoveEdge(0, 1) }, 0, "remove already-removed edge")
+	mustBump(func() error { return d.AddEdge(0, 1) }, 1, "restore removed edge")
+	mustBump(func() error { return d.RemoveEdge(2, 0) }, 0, "remove non-existent edge")
+	mustBump(func() error { _ = d.AddNode(); return nil }, 1, "add node")
+	mustBump(func() error { return d.IsolateNode(3) }, 2, "isolate node with two incident edges")
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"time"
+
+	"resacc/internal/obs"
+)
+
+// Config tunes one Engine. The zero value is usable: 64 MiB cache in 16
+// shards, no TTL, GOMAXPROCS workers, a 4×workers wait queue and no
+// metrics export.
+type Config struct {
+	// CapacityBytes bounds the result cache (≤ 0 = 64 MiB).
+	CapacityBytes int64
+	// Shards is the cache shard count, rounded up to a power of two
+	// (≤ 0 = 16).
+	Shards int
+	// TTL expires cache entries (≤ 0 = never). Even an epoch-correct
+	// entry goes stale for randomized solvers only in the sense of
+	// freshness policy, so TTL is a knob, not a correctness requirement.
+	TTL time.Duration
+	// Workers is the computation concurrency (≤ 0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds how many admitted computations may wait for a
+	// worker (0 = 4×workers; values below workers are raised to workers
+	// so a task per worker can always park). Beyond it, non-waiting
+	// requests shed.
+	QueueDepth int
+	// Metrics, when non-nil, receives every engine metric family
+	// (hits, misses, evictions, dedup joins, sheds, queue depth,
+	// cache size, cached-vs-computed latency histograms).
+	Metrics *obs.Registry
+}
+
+// Outcome says how a Do call was answered.
+type Outcome uint8
+
+const (
+	// OutcomeHit was served from the cache.
+	OutcomeHit Outcome = iota
+	// OutcomeComputed ran the computation (this caller was the leader).
+	OutcomeComputed
+	// OutcomeShared joined another caller's in-flight computation.
+	OutcomeShared
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeShared:
+		return "shared"
+	default:
+		return "computed"
+	}
+}
+
+// Engine composes the cache, the singleflight group and the admission
+// pool. V is whatever the caller caches (the root resacc facade uses its
+// result type); compute callbacks report the byte size of each value so
+// the cache budget means something.
+type Engine[V any] struct {
+	cache   *Cache[V]
+	flights flightGroup[V]
+	pool    *Pool
+
+	hits, misses, joins, shed *obs.Counter
+	evictCap, evictTTL        *obs.Counter
+	evictInv                  *obs.Counter
+	histHit, histCompute      *obs.Histogram
+}
+
+// New returns a started engine; Close it to stop the worker pool.
+func New[V any](cfg Config) *Engine[V] {
+	if cfg.CapacityBytes <= 0 {
+		cfg.CapacityBytes = 64 << 20
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	e := &Engine[V]{
+		cache: NewCache[V](cfg.CapacityBytes, cfg.Shards, cfg.TTL),
+		pool:  NewPool(cfg.Workers, cfg.QueueDepth),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		e.hits = reg.Counter("rwr_engine_cache_hits_total",
+			"Engine queries answered from the result cache.")
+		e.misses = reg.Counter("rwr_engine_cache_misses_total",
+			"Engine queries that missed the result cache.")
+		e.joins = reg.Counter("rwr_engine_dedup_joins_total",
+			"Engine queries that joined an in-flight identical computation.")
+		e.shed = reg.Counter("rwr_engine_shed_total",
+			"Engine queries shed because the wait queue was full.")
+		const evHelp = "Result-cache evictions, by reason."
+		e.evictCap = reg.Counter("rwr_engine_cache_evictions_total", evHelp, "reason", "capacity")
+		e.evictTTL = reg.Counter("rwr_engine_cache_evictions_total", evHelp, "reason", "expired")
+		e.evictInv = reg.Counter("rwr_engine_cache_evictions_total", evHelp, "reason", "invalidated")
+		reg.GaugeFunc("rwr_engine_queue_depth",
+			"Admitted computations waiting for a worker.",
+			func() float64 { return float64(e.pool.QueueDepth()) })
+		reg.GaugeFunc("rwr_engine_cache_bytes",
+			"Bytes held by the result cache.",
+			func() float64 { return float64(e.cache.Bytes()) })
+		reg.GaugeFunc("rwr_engine_cache_entries",
+			"Entries held by the result cache.",
+			func() float64 { return float64(e.cache.Len()) })
+		const latHelp = "Engine answer latency, cached vs computed."
+		e.histHit = reg.Histogram("rwr_engine_latency_seconds", latHelp,
+			obs.DefBuckets, "path", "cache")
+		e.histCompute = reg.Histogram("rwr_engine_latency_seconds", latHelp,
+			obs.DefBuckets, "path", "compute")
+	} else {
+		e.hits, e.misses, e.joins, e.shed = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		e.evictCap, e.evictTTL, e.evictInv = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		e.histHit, e.histCompute = obs.NewHistogram(nil), obs.NewHistogram(nil)
+	}
+	e.cache.hits = e.hits.Inc
+	e.cache.miss = e.misses.Inc
+	e.cache.evictCap = e.evictCap.Inc
+	e.cache.evictTTL = e.evictTTL.Inc
+	e.cache.evictInv = e.evictInv.Inc
+	return e
+}
+
+// Do answers key: cache hit, join of an in-flight computation, or a fresh
+// computation admitted through the pool. compute runs on a pool worker,
+// detached from any single request (N callers may be waiting on it); ctx
+// bounds only this caller's wait. With wait=false a full queue sheds the
+// request (ErrOverloaded); with wait=true admission blocks until there is
+// queue room or ctx expires — the batch path uses that to pace fan-out
+// instead of shedding its own items.
+func (e *Engine[V]) Do(ctx context.Context, key Key, wait bool,
+	compute func() (V, int64, error)) (V, Outcome, error) {
+	start := time.Now()
+	if v, ok := e.cache.Get(key); ok {
+		e.histHit.Observe(time.Since(start).Seconds())
+		return v, OutcomeHit, nil
+	}
+	if err := ctx.Err(); err != nil {
+		var zero V
+		return zero, OutcomeComputed, err
+	}
+	v, joined, err := e.flights.do(ctx, key, func(finish func(V, error)) {
+		run := func() {
+			v, bytes, err := compute()
+			if err == nil {
+				e.cache.Put(key, v, bytes)
+			}
+			finish(v, err)
+		}
+		if wait {
+			if err := e.pool.Submit(ctx, run); err != nil {
+				var zero V
+				finish(zero, err)
+			}
+			return
+		}
+		if err := e.pool.TrySubmit(run); err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				e.shed.Inc()
+			}
+			var zero V
+			finish(zero, err)
+		}
+	})
+	outcome := OutcomeComputed
+	if joined {
+		outcome = OutcomeShared
+		e.joins.Inc()
+	}
+	if err == nil {
+		e.histCompute.Observe(time.Since(start).Seconds())
+	}
+	return v, outcome, err
+}
+
+// Purge empties the cache (counted as invalidation evictions). The root
+// facade calls it on graph-epoch bumps so dead-epoch entries free their
+// bytes immediately instead of aging out.
+func (e *Engine[V]) Purge() { e.cache.Purge() }
+
+// Close drains and stops the worker pool. In-flight Do calls complete;
+// calling Do afterwards panics.
+func (e *Engine[V]) Close() { e.pool.Close() }
+
+// Cache exposes the underlying cache for size inspection.
+func (e *Engine[V]) Cache() *Cache[V] { return e.cache }
+
+// Pool exposes the admission pool for depth/worker inspection.
+func (e *Engine[V]) Pool() *Pool { return e.pool }
+
+// Hits returns the cache-hit count (tests and stats endpoints).
+func (e *Engine[V]) Hits() float64 { return e.hits.Value() }
+
+// Misses returns the cache-miss count.
+func (e *Engine[V]) Misses() float64 { return e.misses.Value() }
+
+// Joins returns how many calls shared an in-flight computation.
+func (e *Engine[V]) Joins() float64 { return e.joins.Value() }
+
+// Shed returns how many calls were load-shed.
+func (e *Engine[V]) Shed() float64 { return e.shed.Value() }

@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resacc/internal/algo"
+	"resacc/internal/graph/gen"
+	"resacc/internal/obs"
+)
+
+func paramsForTest() algo.Params {
+	return algo.DefaultParams(gen.ErdosRenyi(100, 500, 1))
+}
+
+func value(n int32) func() (int, int64, error) {
+	return func() (int, int64, error) { return int(n), 8, nil }
+}
+
+func TestEngineHitMissComputed(t *testing.T) {
+	e := New[int](Config{Workers: 2})
+	defer e.Close()
+	ctx := context.Background()
+
+	v, out, err := e.Do(ctx, key(1), false, value(1))
+	if err != nil || v != 1 || out != OutcomeComputed {
+		t.Fatalf("first: v=%d out=%v err=%v", v, out, err)
+	}
+	v, out, err = e.Do(ctx, key(1), false, func() (int, int64, error) {
+		t.Error("compute ran on a cached key")
+		return 0, 0, nil
+	})
+	if err != nil || v != 1 || out != OutcomeHit {
+		t.Fatalf("second: v=%d out=%v err=%v", v, out, err)
+	}
+	if e.Hits() != 1 || e.Misses() != 1 {
+		t.Fatalf("hits=%v misses=%v", e.Hits(), e.Misses())
+	}
+}
+
+func TestEngineErrorsNotCached(t *testing.T) {
+	e := New[int](Config{Workers: 1})
+	defer e.Close()
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, _, err := e.Do(context.Background(), key(9), false, func() (int, int64, error) {
+			calls++
+			return 0, 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err=%v", err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("calls=%d, want 2 (errors must not be cached)", calls)
+	}
+}
+
+func TestEngineSingleflightCollapse(t *testing.T) {
+	e := New[int](Config{Workers: 4, QueueDepth: 64})
+	defer e.Close()
+
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	outcomes := make([]Outcome, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := e.Do(context.Background(), key(5), false, func() (int, int64, error) {
+				computes.Add(1)
+				<-release
+				return 42, 8, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i], outcomes[i] = v, out
+		}(i)
+	}
+	// Give every caller time to reach the flight group, then release the
+	// single computation.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	leaders := 0
+	for i := range results {
+		if results[i] != 42 {
+			t.Fatalf("caller %d got %d", i, results[i])
+		}
+		if outcomes[i] == OutcomeComputed {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want 1", leaders)
+	}
+	if e.Joins() != callers-1 {
+		t.Fatalf("joins=%v, want %d", e.Joins(), callers-1)
+	}
+}
+
+func TestEngineShedsWhenQueueFull(t *testing.T) {
+	e := New[int](Config{Workers: 1, QueueDepth: 1})
+	defer e.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the worker...
+	go e.Do(context.Background(), key(1), false, func() (int, int64, error) {
+		close(started)
+		<-block
+		return 1, 8, nil
+	})
+	<-started
+	// ...and the single queue slot.
+	go e.Do(context.Background(), key(2), false, value(2))
+	waitFor(t, func() bool { return e.Pool().QueueDepth() == 1 })
+
+	_, _, err := e.Do(context.Background(), key(3), false, value(3))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err=%v, want ErrOverloaded", err)
+	}
+	if e.Shed() != 1 {
+		t.Fatalf("shed=%v, want 1", e.Shed())
+	}
+	close(block)
+}
+
+func TestEngineWaitSubmitBlocksInsteadOfShedding(t *testing.T) {
+	e := New[int](Config{Workers: 1, QueueDepth: 1})
+	defer e.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go e.Do(context.Background(), key(1), false, func() (int, int64, error) {
+		close(started)
+		<-block
+		return 1, 8, nil
+	})
+	<-started
+	go e.Do(context.Background(), key(2), false, value(2))
+	waitFor(t, func() bool { return e.Pool().QueueDepth() == 1 })
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.Do(context.Background(), key(3), true, value(3))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("wait submit returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatalf("wait submit failed after drain: %v", err)
+	}
+	if e.Shed() != 0 {
+		t.Fatalf("shed=%v, want 0", e.Shed())
+	}
+}
+
+func TestEngineWaiterHonoursContext(t *testing.T) {
+	e := New[int](Config{Workers: 1, QueueDepth: 4})
+	defer e.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go e.Do(context.Background(), key(1), false, func() (int, int64, error) {
+		close(started)
+		<-release
+		return 7, 8, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := e.Do(ctx, key(1), false, func() (int, int64, error) {
+		t.Error("joiner must not compute")
+		return 0, 0, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want DeadlineExceeded", err)
+	}
+	close(release)
+	// The detached computation still populates the cache.
+	waitFor(t, func() bool {
+		v, out, err := e.Do(context.Background(), key(1), false, value(0))
+		return err == nil && v == 7 && out == OutcomeHit
+	})
+}
+
+// TestEngineHammer drives one engine with mixed hot/cold traffic under
+// -race: hot keys must collapse to few computations, every computation
+// must happen on a pool worker, and cache hits must never invoke compute.
+func TestEngineHammer(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := New[int](Config{Workers: 4, QueueDepth: 256, CapacityBytes: 1 << 20, Metrics: reg})
+	defer e.Close()
+
+	var computes atomic.Int64
+	const (
+		goroutines = 16
+		iters      = 200
+		hotKeys    = 4
+		coldKeys   = 512
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				var k Key
+				if rng.Intn(10) < 8 {
+					k = key(int32(rng.Intn(hotKeys)))
+				} else {
+					k = key(int32(100 + rng.Intn(coldKeys)))
+				}
+				v, _, err := e.Do(context.Background(), k, true, func() (int, int64, error) {
+					computes.Add(1)
+					return int(k.Source), 64, nil
+				})
+				if err != nil {
+					t.Errorf("do: %v", err)
+					return
+				}
+				if v != int(k.Source) {
+					t.Errorf("key %d got %d", k.Source, v)
+					return
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+
+	total := float64(goroutines * iters)
+	if got := e.Hits() + e.Misses(); got != total {
+		t.Fatalf("hits+misses=%v, want %v", got, total)
+	}
+	// Every answer is either a hit, a join, or one of the computations.
+	if got := e.Hits() + e.Joins() + float64(computes.Load()); got != total {
+		t.Fatalf("hits+joins+computes=%v, want %v", got, total)
+	}
+	// The workload repeats keys heavily; compute count must stay well
+	// under the request count (collapse + caching working at all).
+	if c := computes.Load(); c > int64(total)/2 {
+		t.Fatalf("computed %d of %v requests — cache/dedup not effective", c, total)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		"rwr_engine_cache_hits_total",
+		"rwr_engine_cache_misses_total",
+		"rwr_engine_dedup_joins_total",
+		"rwr_engine_shed_total",
+		"rwr_engine_queue_depth",
+		"rwr_engine_latency_seconds_bucket",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestPoolTrySubmitAndClose(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		if err := p.TrySubmit(func() { ran.Add(1); wg.Done() }); err != nil {
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if ran.Load() == 0 {
+		t.Fatal("no task ran")
+	}
+	if p.Workers() != 2 {
+		t.Fatalf("workers=%d", p.Workers())
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after close: %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolSubmitContext(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.TrySubmit(func() { close(started); <-block }); err != nil {
+		t.Fatalf("first submit rejected: %v", err)
+	}
+	<-started // worker is now busy; fill the single queue slot
+	if err := p.TrySubmit(func() {}); err != nil {
+		t.Fatalf("queue-slot submit rejected: %v", err)
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overfull TrySubmit: %v, want ErrOverloaded", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Submit(ctx, func() {}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want DeadlineExceeded", err)
+	}
+	close(block)
+}
+
+func TestOutcomeString(t *testing.T) {
+	for out, want := range map[Outcome]string{
+		OutcomeHit: "hit", OutcomeComputed: "computed", OutcomeShared: "shared",
+	} {
+		if got := fmt.Sprint(out); got != want {
+			t.Errorf("Outcome %d = %q, want %q", out, got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package serve is the query-serving engine that sits between callers
+// and the ResAcc core: a sharded, bytes-bounded LRU result cache keyed by
+// (source, params fingerprint, graph epoch), singleflight deduplication of
+// concurrent identical queries, and admission control (a bounded worker
+// pool with a bounded wait queue that sheds load instead of queueing
+// unboundedly).
+//
+// The package is value-type generic and knows nothing about the root
+// resacc package; the root Engine facade instantiates it with its result
+// type, and cmd/rwrd exposes it over HTTP. Real RWR serving workloads are
+// dominated by skewed, repeated sources (TPA, Yoon et al. 2017), which is
+// exactly what the cache + dedup pair exploits; the epoch component of the
+// key realises the dynamic-graph invalidation story (cached scores die
+// when the graph is edited and rebuilt).
+package serve
+
+import (
+	"math"
+
+	"resacc/internal/algo"
+)
+
+// Kind discriminates what a cache entry holds, so full-vector, top-k and
+// pair answers for the same source coexist without colliding.
+type Kind uint8
+
+const (
+	// KindFull is a full single-source score vector.
+	KindFull Kind = iota
+	// KindTopK is a top-k ranking; Key.Aux carries k.
+	KindTopK
+	// KindPair is a single π(s,t) estimate; Key.Aux carries t.
+	KindPair
+)
+
+// Key identifies one cacheable answer: the query shape plus the parameter
+// fingerprint and the graph epoch it was computed against. Bumping the
+// epoch (graph edit, rebuild) changes every key, so stale entries can
+// never be served again and age out of the LRU.
+type Key struct {
+	// Source is the query source node.
+	Source int32
+	// Aux is the kind-specific second argument (k for KindTopK, target
+	// for KindPair, 0 for KindFull).
+	Aux int32
+	// Kind is the answer shape.
+	Kind Kind
+	// Fingerprint hashes the query parameters (see Fingerprint).
+	Fingerprint uint64
+	// Epoch is the graph version the answer is valid for.
+	Epoch uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+// hash folds every key component into a 64-bit FNV-1a value used for
+// shard selection.
+func (k Key) hash() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvMix(h, uint64(uint32(k.Source)))
+	h = fnvMix(h, uint64(uint32(k.Aux)))
+	h = fnvMix(h, uint64(k.Kind))
+	h = fnvMix(h, k.Fingerprint)
+	h = fnvMix(h, k.Epoch)
+	return h
+}
+
+// Fingerprint hashes every field of p that influences query answers, so
+// two engines (or one engine reconfigured) never share entries across
+// parameter settings.
+func Fingerprint(p algo.Params) uint64 {
+	h := uint64(fnvOffset)
+	for _, f := range []float64{
+		p.Alpha, p.Epsilon, p.Delta, p.PFail,
+		p.RMaxF, p.RMaxHop, p.RMaxB, p.NScale,
+	} {
+		h = fnvMix(h, math.Float64bits(f))
+	}
+	h = fnvMix(h, uint64(p.H))
+	h = fnvMix(h, p.Seed)
+	h = fnvMix(h, uint64(p.MaxWalks))
+	return h
+}

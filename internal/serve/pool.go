@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned when the wait queue is full and the work was
+// shed instead of admitted. cmd/rwrd maps it to HTTP 429 + Retry-After.
+var ErrOverloaded = errors.New("serve: engine overloaded, request shed")
+
+// ErrPoolClosed is returned by Submit/TrySubmit after Close.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// Pool is the admission controller: a fixed set of worker goroutines
+// draining a bounded queue. TrySubmit sheds immediately when the queue is
+// full (interactive traffic must fail fast under overload); Submit blocks
+// until there is room or the caller's context expires (batch fan-out is
+// already admitted as one request and should be paced, not shed).
+type Pool struct {
+	queue   chan func()
+	wg      sync.WaitGroup
+	mu      sync.RWMutex // guards closed vs in-flight sends
+	closed  bool
+	workers int
+}
+
+// NewPool starts workers goroutines behind a queue of depth queueDepth
+// (workers ≤ 0 defaults to 1; queueDepth < 1 defaults to workers, so a
+// task per worker can always be parked even before the workers are
+// scheduled).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = workers
+	}
+	p := &Pool{queue: make(chan func(), queueDepth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn if the queue has room; a full queue returns
+// ErrOverloaded without blocking.
+func (p *Pool) TrySubmit(fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- fn:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// Submit enqueues fn, waiting for queue room until ctx expires.
+func (p *Pool) Submit(ctx context.Context, fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- fn:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// QueueDepth returns how many admitted tasks are waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.queue) }
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close rejects further submissions, then waits for the workers to drain
+// whatever was already admitted.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

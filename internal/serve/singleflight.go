@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightCall is one in-flight computation that any number of waiters share.
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// flightGroup deduplicates concurrent work per Key: the first caller for a
+// key becomes the leader and starts the computation; everyone arriving
+// before it finishes joins and shares the result. Unlike
+// golang.org/x/sync/singleflight, waiters honour their own context — a
+// joiner whose deadline expires unblocks with ctx.Err() while the shared
+// computation keeps running (it is not owned by any single request) and
+// still populates the cache for the next caller.
+type flightGroup[V any] struct {
+	mu    sync.Mutex
+	calls map[Key]*flightCall[V]
+}
+
+// do runs start exactly once per key among concurrent callers. start
+// receives a finish callback that publishes the result; it must arrange
+// for finish to be called exactly once (possibly on another goroutine).
+// The returned bool reports whether this caller joined an existing flight.
+func (g *flightGroup[V]) do(ctx context.Context, key Key,
+	start func(finish func(V, error))) (V, bool, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[Key]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		return g.wait(ctx, c, true)
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	start(func(v V, err error) {
+		c.val, c.err = v, err
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	})
+	return g.wait(ctx, c, false)
+}
+
+func (g *flightGroup[V]) wait(ctx context.Context, c *flightCall[V], joined bool) (V, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, joined, c.err
+	case <-ctx.Done():
+		var zero V
+		return zero, joined, ctx.Err()
+	}
+}

@@ -1,0 +1,48 @@
+#!/bin/sh
+# loadsmoke.sh — build rwrd + rwrload, serve a small synthetic graph, and
+# drive a few seconds of closed-loop load in both single-query and batch
+# mode. Exercises the serving engine (cache, singleflight, admission
+# control) end to end over real HTTP. Used by `make load`.
+set -eu
+
+PORT="${PORT:-18080}"
+ADDR="http://127.0.0.1:$PORT"
+BIN="$(mktemp -d)"
+SRV=""
+cleanup() {
+	[ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+	rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building rwrd + rwrload"
+go build -o "$BIN/rwrd" ./cmd/rwrd
+go build -o "$BIN/rwrload" ./cmd/rwrload
+
+echo "== starting rwrd on $ADDR (dblp-s @ scale 0.1)"
+"$BIN/rwrd" -dataset dblp-s -scale 0.1 -addr "127.0.0.1:$PORT" &
+SRV=$!
+
+# Wait for readiness: rwrload exits non-zero until /v1/stats answers.
+ready=0
+i=0
+while [ "$i" -lt 50 ]; do
+	if "$BIN/rwrload" -addr "$ADDR" -workers 1 -duration 100ms >/dev/null 2>&1; then
+		ready=1
+		break
+	fi
+	i=$((i + 1))
+	sleep 0.2
+done
+if [ "$ready" -ne 1 ]; then
+	echo "rwrd did not become ready" >&2
+	exit 1
+fi
+
+echo "== single-query load (zipfian sources)"
+"$BIN/rwrload" -addr "$ADDR" -workers 8 -duration 3s -k 10
+
+echo "== batch load (16 sources per request)"
+"$BIN/rwrload" -addr "$ADDR" -workers 4 -duration 2s -batch 16
+
+echo "== load smoke OK"
