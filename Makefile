@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check staticcheck check bench load
+.PHONY: build test race vet fmt-check staticcheck check bench bench-json load
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ check: fmt-check vet staticcheck race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-json runs the query-path benchmarks with -benchmem and writes
+# BENCH_resacc.json (ns/op, B/op, allocs/op, plus the committed pre-pooling
+# baseline). CI uploads it as an artifact.
+bench-json:
+	./scripts/benchjson.sh
 
 # load smoke-runs the rwrload driver against a local rwrd instance on a
 # small generated graph: single-query and batch modes, a few seconds each.

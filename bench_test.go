@@ -21,6 +21,7 @@ import (
 	"resacc/internal/core"
 	"resacc/internal/dataset"
 	"resacc/internal/rng"
+	"resacc/internal/ws"
 )
 
 const (
@@ -93,6 +94,7 @@ func benchQuery(b *testing.B, ds string, mk func(g *Graph) Solver) {
 	p.H = info.H
 	s := mk(g)
 	srcs := []int32{1, int32(g.N() / 3), int32(g.N() / 2)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.SingleSource(g, srcs[i%len(srcs)], p); err != nil {
@@ -124,6 +126,7 @@ func BenchmarkQueryTable3(b *testing.B) {
 func BenchmarkForwardPush(b *testing.B) {
 	g := dataset.MustBuild("twitter-s", 0.1)
 	p := algo.DefaultParams(g)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := forward.NewState(g.N(), 1)
@@ -134,6 +137,7 @@ func BenchmarkForwardPush(b *testing.B) {
 func BenchmarkRandomWalk(b *testing.B) {
 	g := dataset.MustBuild("twitter-s", 0.1)
 	r := rng.New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		algo.Walk(g, int32(i%g.N()), 0.2, r)
@@ -143,12 +147,30 @@ func BenchmarkRandomWalk(b *testing.B) {
 func BenchmarkHHopFWDPhase(b *testing.B) {
 	g := dataset.MustBuild("twitter-s", 0.1)
 	p := algo.DefaultParams(g)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, err := (core.Solver{}).Query(g, 1, p)
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQueryPooledRepeat is the steady-state serving shape: the same
+// query answered again and again on one warmed workspace (what a cache-miss
+// recomputation costs inside the engine). Expect 0 allocs/op — the
+// allocation regression tests pin the same property.
+func BenchmarkQueryPooledRepeat(b *testing.B) {
+	g := dataset.MustBuild("twitter-s", 0.1)
+	p := algo.DefaultParams(g)
+	s := core.Solver{}
+	w := ws.New(g.N())
+	s.QueryWS(g, 1, p, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.QueryWS(g, 1, p, w)
 	}
 }
 

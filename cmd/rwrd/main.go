@@ -54,6 +54,7 @@ func main() {
 		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 
 		workers    = flag.Int("workers", 0, "engine computation concurrency (0 = GOMAXPROCS)")
+		walkWkrs   = flag.Int("walk-workers", 0, "per-query remedy walk concurrency, clamped to GOMAXPROCS/workers (0 = that quotient)")
 		queueDepth = flag.Int("queue-depth", 0, "engine wait-queue depth before shedding (0 = 4x workers)")
 		cacheMB    = flag.Int64("cache-mb", 64, "result-cache capacity in MiB")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "result-cache entry TTL (0 = never expire)")
@@ -85,6 +86,7 @@ func main() {
 		Pprof:       *withPprof,
 		Engine: resacc.EngineOptions{
 			Workers:     *workers,
+			WalkWorkers: *walkWkrs,
 			QueueDepth:  *queueDepth,
 			CacheBytes:  *cacheMB << 20,
 			CacheTTL:    *cacheTTL,

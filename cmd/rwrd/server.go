@@ -113,6 +113,7 @@ func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
 // registerMetrics pre-creates the metric families so /metrics shows them
 // (at zero) before the first query, and holds the hot-path series.
 func (s *server) registerMetrics() {
+	obs.RegisterRuntimeMetrics(s.reg)
 	s.inflight = s.reg.Gauge("rwr_http_inflight_requests",
 		"HTTP requests currently being served.")
 	s.reg.GaugeFunc("rwr_graph_nodes", "Nodes in the served graph.",

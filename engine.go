@@ -3,12 +3,15 @@ package resacc
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"resacc/internal/core"
 	"resacc/internal/obs"
 	"resacc/internal/serve"
+	"resacc/internal/ws"
 )
 
 // ErrOverloaded is returned by Engine queries that were load-shed because
@@ -37,6 +40,14 @@ type EngineOptions struct {
 	// QueueDepth bounds computations waiting for a worker (0 =
 	// 4×workers); beyond it, interactive queries shed with ErrOverloaded.
 	QueueDepth int
+	// WalkWorkers parallelizes each query's remedy-phase random walks.
+	// It is clamped to GOMAXPROCS/Workers so that Workers concurrent
+	// queries never oversubscribe the machine (≤ 0 = exactly that
+	// quotient, i.e. "use whatever the serve pool leaves idle"; with the
+	// default worker count that is 1, the sequential remedy). Results are
+	// deterministic per (seed, effective walk workers), so changing this
+	// knob changes which deterministic estimate is produced.
+	WalkWorkers int
 	// Metrics, when non-nil, receives the engine metric families (cache
 	// hits/misses/evictions, dedup joins, sheds, queue depth, cache
 	// size, cached-vs-computed latency). Note the registry type lives in
@@ -65,6 +76,14 @@ type Engine struct {
 	inner   *serve.Engine[*engineEntry]
 	compute ComputeFunc
 	custom  bool
+
+	// wsPool recycles per-query workspaces across the worker pool; it is
+	// invalidated together with the result cache on every graph swap so
+	// scratch sized for a retired snapshot is not pinned. walkWorkers is
+	// the resolved per-query remedy parallelism (see
+	// EngineOptions.WalkWorkers).
+	wsPool      *ws.Pool
+	walkWorkers int
 
 	// syncMu serialises SyncDynamic snapshot/swap pairs; dynVer is the
 	// last Dynamic.Version applied.
@@ -99,10 +118,25 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 		fp:      serve.Fingerprint(p),
 		compute: opts.Compute,
 		custom:  opts.Compute != nil,
+		wsPool:  ws.NewPool(),
+	}
+	serveWorkers := opts.Workers
+	if serveWorkers <= 0 {
+		serveWorkers = runtime.GOMAXPROCS(0)
+	}
+	// Clamp walk parallelism so serveWorkers concurrent queries use at most
+	// ~GOMAXPROCS goroutines for walks between them.
+	cap := runtime.GOMAXPROCS(0) / serveWorkers
+	if cap < 1 {
+		cap = 1
+	}
+	e.walkWorkers = opts.WalkWorkers
+	if e.walkWorkers <= 0 || e.walkWorkers > cap {
+		e.walkWorkers = cap
 	}
 	if e.compute == nil {
 		e.compute = func(_ context.Context, g *Graph, source int32, p Params) (*Result, error) {
-			return Query(g, source, p)
+			return querySolver(g, source, p, e.solver())
 		}
 	}
 	e.graph.Store(g)
@@ -116,6 +150,15 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 	})
 	return e
 }
+
+// solver is the ResAcc solver default computations run with: the engine's
+// workspace pool plus its resolved walk parallelism.
+func (e *Engine) solver() core.Solver {
+	return core.Solver{Workers: e.walkWorkers, Pool: e.wsPool}
+}
+
+// WalkWorkers returns the resolved per-query remedy walk parallelism.
+func (e *Engine) WalkWorkers() int { return e.walkWorkers }
 
 // Close stops the engine's worker pool after draining admitted work.
 // Queries after Close fail.
@@ -186,7 +229,7 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) ([]Ranked, 
 				}
 				en = &engineEntry{ranked: res.TopK(k)}
 			} else {
-				ranked, level, err := QueryTopK(g, source, k, e.params)
+				ranked, level, err := queryTopKSolver(g, source, k, e.params, e.solver())
 				if err != nil {
 					return nil, 0, err
 				}
@@ -275,6 +318,7 @@ func (e *Engine) UpdateGraph(g *Graph) {
 	e.graph.Store(g)
 	e.epoch.Add(1)
 	e.inner.Purge()
+	e.wsPool.Invalidate()
 }
 
 // Invalidate bumps the epoch and purges the cache without changing the
@@ -283,6 +327,7 @@ func (e *Engine) UpdateGraph(g *Graph) {
 func (e *Engine) Invalidate() {
 	e.epoch.Add(1)
 	e.inner.Purge()
+	e.wsPool.Invalidate()
 }
 
 // SyncDynamic is the invalidation hook for dynamic graphs: if d has been

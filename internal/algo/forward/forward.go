@@ -8,6 +8,7 @@ package forward
 import (
 	"resacc/internal/algo"
 	"resacc/internal/graph"
+	"resacc/internal/ws"
 )
 
 // State holds the reserve π^f(s,·) and residue r^f(s,·) vectors of a
@@ -18,9 +19,16 @@ type State struct {
 	// Pushes counts forward push operations performed, for the paper's
 	// cost accounting.
 	Pushes int64
+	// Track, when non-nil, receives every node whose Reserve or Residue
+	// this search writes. Pooled callers (ResAcc's OMFWD on a borrowed
+	// workspace) set it to the workspace's dirty set so reset stays sparse.
+	Track *ws.Marks
 
 	inQueue []bool
 	queue   []int32
+	// queueMarks, when set via UseScratch, replaces the O(n) inQueue
+	// bookkeeping with a generation-stamped set borrowed from a workspace.
+	queueMarks *ws.Marks
 }
 
 // NewState returns the initial state for source s: r(s)=1, all else zero
@@ -37,11 +45,30 @@ func NewState(n int, s int32) *State {
 
 // EnsureQueue sizes the internal queue bookkeeping; it must be called on a
 // State assembled from pre-existing reserve/residue vectors (as ResAcc's
-// OMFWD phase does) before Run or RunFrom.
+// OMFWD phase does) before Run or RunFrom, unless UseScratch supplied
+// pooled bookkeeping instead.
 func (st *State) EnsureQueue(n int) {
-	if len(st.inQueue) < n {
+	if st.queueMarks == nil && len(st.inQueue) < n {
 		st.inQueue = make([]bool, n)
 	}
+}
+
+// UseScratch replaces the search's internal queue bookkeeping with
+// caller-owned scratch: inQueue becomes the generation-stamped set (cleared
+// here in O(1)) and queue the reusable work buffer. Reclaim the possibly
+// grown buffer with TakeQueue after the search.
+func (st *State) UseScratch(inQueue *ws.Marks, queue []int32) {
+	inQueue.Clear()
+	st.queueMarks = inQueue
+	st.queue = queue[:0]
+}
+
+// TakeQueue detaches and returns the (emptied) work-queue buffer so pooled
+// callers can retain its capacity for the next query.
+func (st *State) TakeQueue() []int32 {
+	q := st.queue
+	st.queue = nil
+	return q[:0]
 }
 
 // ResidueSum returns Σ_v r(v), the r_sum the remedy phase needs.
@@ -72,7 +99,7 @@ func Run(g *graph.Graph, alpha, rmax float64, st *State) {
 func RunFrom(g *graph.Graph, alpha, rmax float64, st *State, seeds []int32, force bool) {
 	if force {
 		for _, v := range seeds {
-			if st.Residue[v] > 0 && !st.inQueue[v] {
+			if st.Residue[v] > 0 {
 				st.enqueue(v)
 			}
 		}
@@ -97,22 +124,45 @@ func satisfies(g *graph.Graph, rmax, r float64, v int32) bool {
 }
 
 func (st *State) enqueue(v int32) {
+	if st.queueMarks != nil {
+		if st.queueMarks.Mark(v) {
+			st.queue = append(st.queue, v)
+		}
+		return
+	}
 	if !st.inQueue[v] {
 		st.inQueue[v] = true
 		st.queue = append(st.queue, v)
 	}
 }
 
+func (st *State) dequeued(v int32) {
+	if st.queueMarks != nil {
+		st.queueMarks.Unmark(v)
+		return
+	}
+	st.inQueue[v] = false
+}
+
+// touch records a Reserve/Residue write for pooled callers.
+func (st *State) touch(v int32) {
+	if st.Track != nil {
+		st.Track.Mark(v)
+	}
+}
+
 // drain processes the queue until empty (Definition 7's push operation).
+// The queue is consumed by index rather than re-slicing so the buffer's
+// full capacity survives for reuse via TakeQueue.
 func (st *State) drain(g *graph.Graph, alpha, rmax float64) {
-	for len(st.queue) > 0 {
-		v := st.queue[0]
-		st.queue = st.queue[1:]
-		st.inQueue[v] = false
+	for head := 0; head < len(st.queue); head++ {
+		v := st.queue[head]
+		st.dequeued(v)
 		rv := st.Residue[v]
 		if rv == 0 {
 			continue
 		}
+		st.touch(v)
 		st.Residue[v] = 0
 		st.Pushes++
 		d := g.OutDegree(v)
@@ -124,12 +174,14 @@ func (st *State) drain(g *graph.Graph, alpha, rmax float64) {
 		st.Reserve[v] += alpha * rv
 		share := (1 - alpha) * rv / float64(d)
 		for _, w := range g.Out(v) {
+			st.touch(w)
 			st.Residue[w] += share
 			if satisfies(g, rmax, st.Residue[w], w) {
 				st.enqueue(w)
 			}
 		}
 	}
+	st.queue = st.queue[:0]
 }
 
 // Solver is the standalone Forward Search baseline: it runs push to a fixed

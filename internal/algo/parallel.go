@@ -71,7 +71,7 @@ func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64
 	}
 
 	root := rng.New(seed)
-	locals := make([][]float64, workers)
+	accums := make([]*walkAccum, workers)
 	streams := make([]*rng.Source, workers)
 	for w := range streams {
 		streams[w] = root.Split()
@@ -82,25 +82,29 @@ func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := make([]float64, g.N())
+			a := getAccum(g.N())
 			r := streams[w]
 			for i := w; i < len(jobs); i += workers {
 				j := jobs[i]
 				for k := int64(0); k < j.n; k++ {
 					t := Walk(g, j.v, p.Alpha, r)
-					local[t] += j.inc
+					a.marks.Mark(t)
+					a.val[t] += j.inc
 				}
 			}
-			locals[w] = local
+			accums[w] = a
 		}()
 	}
 	wg.Wait()
-	for _, local := range locals {
-		for t, x := range local {
-			if x != 0 {
-				pi[t] += x
-			}
+	// Merge in worker order over touched entries only — O(walk endpoints)
+	// rather than O(workers·n). Each worker holds at most one partial per
+	// node, so per-slot addition order (worker 0, 1, …) is unchanged and
+	// the result is bit-identical to the dense merge.
+	for _, a := range accums {
+		for _, t := range a.marks.Touched() {
+			pi[t] += a.val[t]
 		}
+		putAccum(a)
 	}
 	AddWalks(st.Walks)
 	return st

@@ -1,0 +1,169 @@
+package algo
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"resacc/internal/graph"
+	"resacc/internal/ws"
+)
+
+// RemedyWS is the remedy phase (Algorithm 2 lines 5-17) running on a query
+// workspace instead of caller-provided dense vectors. It differs from
+// Remedy/RemedyParallel only in bookkeeping, not in estimates:
+//
+//   - Walk-start candidates come from the workspace's dirty set — the only
+//     slots that can hold residue — sorted ascending, which reproduces the
+//     dense ascending scan's float summation and walk order bit-for-bit
+//     (skipped zero entries contribute exactly nothing to either).
+//   - Walk credits are added through w.AddReserve so result extraction and
+//     the next sparse reset see them.
+//   - With workers > 1, per-worker accumulation uses pooled touched-list
+//     accumulators and the merge walks only touched entries, so
+//     accumulation and merge cost O(walk endpoints), not O(workers·n).
+//
+// Determinism: for a fixed (seed, workers) the result is bit-identical to
+// the dense Remedy (workers ≤ 1) or RemedyParallel (workers > 1) on the
+// same reserve/residue vectors.
+func RemedyWS(g *graph.Graph, p Params, w *ws.Workspace, seed uint64, workers int) RemedyStats {
+	var st RemedyStats
+	w.Cands = w.Cands[:0]
+	for _, v := range w.Dirty.Touched() {
+		if w.Residue[v] > 0 {
+			w.Cands = append(w.Cands, v)
+		}
+	}
+	slices.Sort(w.Cands)
+	for _, v := range w.Cands {
+		st.RSum += w.Residue[v]
+	}
+	if st.RSum <= 0 {
+		return st
+	}
+	st.NR = st.RSum * p.WalkCoefficient() * p.EffectiveNScale()
+	if st.NR < 1 {
+		st.NR = 1
+	}
+	budget := int64(math.MaxInt64)
+	if p.MaxWalks > 0 {
+		budget = int64(p.MaxWalks)
+	}
+
+	if workers <= 1 {
+		w.Rng.Reseed(seed)
+		for _, v := range w.Cands {
+			rv := w.Residue[v]
+			nv := int64(math.Ceil(rv * st.NR / st.RSum))
+			if nv < 1 {
+				nv = 1
+			}
+			if st.Walks+nv > budget {
+				nv = budget - st.Walks
+				if nv <= 0 {
+					break
+				}
+			}
+			inc := rv / float64(nv)
+			for i := int64(0); i < nv; i++ {
+				t := Walk(g, v, p.Alpha, &w.Rng)
+				w.AddReserve(t, inc)
+			}
+			st.Walks += nv
+		}
+		AddWalks(st.Walks)
+		return st
+	}
+
+	// Plan the walk assignment sequentially (cheap) so the MaxWalks cap
+	// behaves exactly like the sequential phase, then execute in parallel.
+	w.JobNodes = w.JobNodes[:0]
+	w.JobCounts = w.JobCounts[:0]
+	w.JobIncs = w.JobIncs[:0]
+	for _, v := range w.Cands {
+		rv := w.Residue[v]
+		nv := int64(math.Ceil(rv * st.NR / st.RSum))
+		if nv < 1 {
+			nv = 1
+		}
+		if st.Walks+nv > budget {
+			nv = budget - st.Walks
+			if nv <= 0 {
+				break
+			}
+		}
+		w.JobNodes = append(w.JobNodes, v)
+		w.JobCounts = append(w.JobCounts, nv)
+		w.JobIncs = append(w.JobIncs, rv/float64(nv))
+		st.Walks += nv
+	}
+
+	w.Rng.Reseed(seed)
+	streams := w.GrowStreams(workers)
+	for i := range streams {
+		w.Rng.SplitInto(&streams[i])
+	}
+	accums := make([]*walkAccum, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wk := wk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := getAccum(g.N())
+			r := &streams[wk]
+			for i := wk; i < len(w.JobNodes); i += workers {
+				v, n, inc := w.JobNodes[i], w.JobCounts[i], w.JobIncs[i]
+				for k := int64(0); k < n; k++ {
+					t := Walk(g, v, p.Alpha, r)
+					a.marks.Mark(t)
+					a.val[t] += inc
+				}
+			}
+			accums[wk] = a
+		}()
+	}
+	wg.Wait()
+	// Merge in worker order: each worker holds at most one partial per
+	// node, so per-slot addition order matches the dense per-worker merge
+	// and the result is bit-identical to it.
+	for _, a := range accums {
+		for _, t := range a.marks.Touched() {
+			w.AddReserve(t, a.val[t])
+		}
+		putAccum(a)
+	}
+	AddWalks(st.Walks)
+	return st
+}
+
+// walkAccum is a per-worker walk-credit accumulator: a dense value vector
+// plus a touched-list so zeroing on release and merging are O(touched).
+type walkAccum struct {
+	val   []float64
+	marks ws.Marks
+}
+
+var accumPool = sync.Pool{New: func() any { return &walkAccum{} }}
+
+// getAccum borrows an accumulator sized for n nodes, all-zero and empty.
+func getAccum(n int) *walkAccum {
+	a := accumPool.Get().(*walkAccum)
+	if len(a.val) < n || (len(a.val) > 1<<16 && len(a.val) > 8*n) {
+		// Too small, or so oversized for the current workload that pinning
+		// it would waste memory: start fresh (the old vector is garbage).
+		a.val = make([]float64, n)
+		a.marks = ws.Marks{}
+	}
+	a.marks.Grow(n)
+	a.marks.Clear()
+	return a
+}
+
+// putAccum zeroes the touched slots and returns the accumulator to the pool.
+func putAccum(a *walkAccum) {
+	for _, t := range a.marks.Touched() {
+		a.val[t] = 0
+	}
+	accumPool.Put(a)
+}

@@ -1,0 +1,96 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/graph/gen"
+	"resacc/internal/rng"
+	"resacc/internal/ws"
+)
+
+// remedyFixture builds a workspace with a spread of residues plus dense
+// copies of its vectors, so the workspace remedy can be compared slot-for-
+// slot against the dense reference implementations.
+func remedyFixture(t *testing.T, n int) (*ws.Workspace, []float64, []float64) {
+	t.Helper()
+	w := ws.New(n)
+	r := rng.New(99)
+	for i := 0; i < n/3; i++ {
+		v := int32(r.Intn(n))
+		w.SetResidue(v, r.Float64()*0.01)
+		w.AddReserve(v, r.Float64()*0.1)
+	}
+	pi := make([]float64, n)
+	residue := make([]float64, n)
+	copy(pi, w.Reserve)
+	copy(residue, w.Residue)
+	return w, pi, residue
+}
+
+// TestRemedyWSMatchesDenseSequential: RemedyWS with workers ≤ 1 must be
+// bit-identical to the dense Remedy for the same seed — same walk order,
+// same float summation order.
+func TestRemedyWSMatchesDenseSequential(t *testing.T) {
+	g := gen.RMAT(9, 5, 17)
+	w, pi, residue := remedyFixture(t, g.N())
+	p := DefaultParams(g)
+	const seed = 31
+	stDense := Remedy(g, p, pi, residue, rng.New(seed))
+	stWS := RemedyWS(g, p, w, seed, 1)
+	if stDense.RSum != stWS.RSum || stDense.NR != stWS.NR || stDense.Walks != stWS.Walks {
+		t.Fatalf("stats diverge: dense %+v vs ws %+v", stDense, stWS)
+	}
+	for v := range pi {
+		if math.Float64bits(pi[v]) != math.Float64bits(w.Reserve[v]) {
+			t.Fatalf("pi[%d]: dense %v vs ws %v", v, pi[v], w.Reserve[v])
+		}
+	}
+}
+
+// TestRemedyWSMatchesDenseParallel: same bit-identity against RemedyParallel
+// for workers > 1 (same job plan, same per-worker streams, same merge order).
+func TestRemedyWSMatchesDenseParallel(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 23)
+	for _, workers := range []int{2, 4, 7} {
+		w, pi, residue := remedyFixture(t, g.N())
+		p := DefaultParams(g)
+		const seed = 5
+		stDense := RemedyParallel(g, p, pi, residue, seed, workers)
+		stWS := RemedyWS(g, p, w, seed, workers)
+		if stDense.Walks != stWS.Walks {
+			t.Fatalf("workers=%d: walks %d vs %d", workers, stDense.Walks, stWS.Walks)
+		}
+		for v := range pi {
+			if math.Float64bits(pi[v]) != math.Float64bits(w.Reserve[v]) {
+				t.Fatalf("workers=%d pi[%d]: dense %v vs ws %v", workers, v, pi[v], w.Reserve[v])
+			}
+		}
+	}
+}
+
+// TestRemedyWSBudget: the MaxWalks cap must bind exactly as in the dense
+// phase.
+func TestRemedyWSBudget(t *testing.T) {
+	g := gen.Grid(15, 15)
+	for _, workers := range []int{1, 3} {
+		w, _, _ := remedyFixture(t, g.N())
+		p := DefaultParams(g)
+		p.MaxWalks = 50
+		st := RemedyWS(g, p, w, 1, workers)
+		if st.Walks > 50 {
+			t.Fatalf("workers=%d: %d walks exceed MaxWalks=50", workers, st.Walks)
+		}
+	}
+}
+
+// TestRemedyWSZeroResidue: nothing to do, nothing done.
+func TestRemedyWSZeroResidue(t *testing.T) {
+	g := gen.Grid(5, 5)
+	w := ws.New(g.N())
+	w.AddReserve(3, 1) // dirty reserve but zero residue everywhere
+	st := RemedyWS(g, DefaultParams(g), w, 1, 1)
+	if st.Walks != 0 || st.RSum != 0 {
+		t.Fatalf("zero-residue remedy did work: %+v", st)
+	}
+}

@@ -4,19 +4,20 @@ import (
 	"math"
 
 	"resacc/internal/graph"
+	"resacc/internal/ws"
 )
 
-// hopState is the working state of the h-HopFWD phase (paper Algorithm 3).
-type hopState struct {
-	reserve []float64
-	residue []float64
-	// dist[v] is the BFS distance from s, or -1 if beyond h+1 hops.
-	dist []int32
+// hopInfo summarises the h-HopFWD phase (paper Algorithm 3). The reserve
+// and residue vectors themselves live in the query's workspace; hopInfo
+// carries only the scalars and the frontier view the later phases need.
+type hopInfo struct {
 	// frontier is L_{(h+1)-hop}(s): the nodes that receive pushed residue
-	// but are not allowed to push, so their residue accumulates (§V).
+	// but are not allowed to push, so their residue accumulates (§V). It
+	// aliases the workspace's BFS order buffer and is valid until the
+	// workspace's next reset.
 	frontier []int32
-	// inSub reports membership in V_{h-hop}(s).
-	inSub []bool
+	// subSize is |V_{h-hop}(s)|.
+	subSize int
 
 	pushes int64
 	// Diagnostics from the updating phase.
@@ -28,182 +29,194 @@ type hopState struct {
 // runHHopFWD executes Algorithm 3: the accumulating phase pushes residues
 // inside the h-hop induced subgraph, never re-pushing at the source, and
 // the updating phase collapses the T would-be "looping" cascades at s into
-// one closed-form geometric rescaling.
+// one closed-form geometric rescaling. All state lives in w, which is reset
+// here; every reserve/residue write is recorded in w.Dirty so the
+// workspace's next reset is sparse.
 //
 // When wholeGraph is true the subgraph restriction is removed (every node
-// may push, there is no frontier); this is the No-SG ablation of Appendix K.
-func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeGraph bool) *hopState {
+// may push, there is no frontier); this is the No-SG ablation of
+// Appendix K. The ablation is a flag, not a filled membership vector: it
+// pays neither the allocation nor the O(n) "everything is in the subgraph"
+// memset the dense representation needed.
+func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeGraph bool, w *ws.Workspace) hopInfo {
 	n := g.N()
-	st := &hopState{
-		reserve: make([]float64, n),
-		residue: make([]float64, n),
-		inSub:   make([]bool, n),
-	}
-	st.residue[src] = 1
+	w.Reset(n)
+	info := hopInfo{t: 1, s: 1}
+	w.SetResidue(src, 1)
 
+	var within []int32
 	if wholeGraph {
-		st.dist = nil
-		for i := range st.inSub {
-			st.inSub[i] = true
-		}
+		info.subSize = n
 	} else {
-		layers := graph.BFSLayers(g, src, h+1)
-		st.dist = layers.DistanceMap(n)
-		for _, v := range layers.Within(h) {
-			st.inSub[v] = true
+		layers := graph.BFSLayersScratch(g, src, h+1, &w.Visited, w.Order, w.Start)
+		w.Order, w.Start = layers.Order, layers.Start
+		within = layers.Within(h)
+		for _, v := range within {
+			w.InSub.Mark(v)
 		}
-		st.frontier = layers.Layer(h + 1)
+		info.subSize = len(within)
+		info.frontier = layers.Layer(h + 1)
 	}
 
 	// --- Accumulating phase ---------------------------------------------
 	// Line 2: a single push at s. If s is a dead end the whole unit of mass
 	// becomes reserve and we are done.
 	dSrc := g.OutDegree(src)
-	st.pushes++
+	info.pushes++
 	if dSrc == 0 {
-		st.reserve[src] = 1
-		st.residue[src] = 0
-		st.s, st.t = 1, 1
-		return st
+		w.SetReserve(src, 1)
+		w.SetResidue(src, 0)
+		return info
 	}
-	st.reserve[src] = alpha
-	st.residue[src] = 0
+	w.SetReserve(src, alpha)
+	w.SetResidue(src, 0)
 	share := (1 - alpha) / float64(dSrc)
-	queue := make([]int32, 0, dSrc)
-	inQueue := make([]bool, n)
+	w.Queue = w.Queue[:0]
+	w.InQueue.Clear()
 	pushable := func(v int32) bool {
-		if v == src || !st.inSub[v] {
+		if v == src || !(wholeGraph || w.InSub.Has(v)) {
 			return false
 		}
 		d := g.OutDegree(v)
 		if d == 0 {
-			return st.residue[v] >= rmaxHop
+			return w.Residue[v] >= rmaxHop
 		}
-		return st.residue[v] >= rmaxHop*float64(d)
+		return w.Residue[v] >= rmaxHop*float64(d)
 	}
 	enqueue := func(v int32) {
-		if !inQueue[v] && pushable(v) {
-			inQueue[v] = true
-			queue = append(queue, v)
+		if !w.InQueue.Has(v) && pushable(v) {
+			w.InQueue.Mark(v)
+			w.Queue = append(w.Queue, v)
 		}
 	}
-	for _, w := range g.Out(src) {
-		st.residue[w] += share
-		enqueue(w)
+	for _, nb := range g.Out(src) {
+		w.AddResidue(nb, share)
+		enqueue(nb)
 	}
 	// Lines 3-7: push at subgraph nodes (never at s) until quiescent.
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		inQueue[v] = false
+	for head := 0; head < len(w.Queue); head++ {
+		v := w.Queue[head]
+		w.InQueue.Unmark(v)
 		if !pushable(v) {
 			continue
 		}
-		rv := st.residue[v]
-		st.residue[v] = 0
-		st.pushes++
+		rv := w.Residue[v]
+		w.SetResidue(v, 0)
+		info.pushes++
 		d := g.OutDegree(v)
 		if d == 0 {
-			st.reserve[v] += rv
+			w.AddReserve(v, rv)
 			continue
 		}
-		st.reserve[v] += alpha * rv
+		w.AddReserve(v, alpha*rv)
 		sh := (1 - alpha) * rv / float64(d)
-		for _, w := range g.Out(v) {
-			st.residue[w] += sh
-			enqueue(w)
+		for _, nb := range g.Out(v) {
+			w.AddResidue(nb, sh)
+			enqueue(nb)
 		}
 	}
+	w.Queue = w.Queue[:0]
 
 	// --- Updating phase (lines 8-18) -------------------------------------
-	st.r1 = st.residue[src]
-	st.t, st.s = 1, 1
+	info.r1 = w.Residue[src]
+	info.t, info.s = 1, 1
 	theta := rmaxHop * float64(dSrc)
-	if st.r1 > 0 && st.r1 >= theta && st.r1 < 1 && theta < 1 {
+	if info.r1 > 0 && info.r1 >= theta && info.r1 < 1 && theta < 1 {
 		// T is the number of accumulating phases until the residue of s,
 		// r1^T, falls below the push threshold θ (Appendix Q).
-		st.t = int(math.Ceil(math.Log(theta) / math.Log(st.r1)))
-		if st.t < 1 {
-			st.t = 1
+		info.t = int(math.Ceil(math.Log(theta) / math.Log(info.r1)))
+		if info.t < 1 {
+			info.t = 1
 		}
 		// Geometric series Σ_{i=1..T} r1^{i-1}. (The paper's closed form
 		// has an off-by-one in the exponent; see DESIGN.md.)
-		st.s = (1 - math.Pow(st.r1, float64(st.t))) / (1 - st.r1)
+		info.s = (1 - math.Pow(info.r1, float64(info.t))) / (1 - info.r1)
 	}
-	if st.s != 1 || st.t != 1 {
-		rT := math.Pow(st.r1, float64(st.t))
-		for v := int32(0); v < int32(n); v++ {
-			if st.inSub[v] {
-				st.reserve[v] *= st.s
+	if info.s != 1 || info.t != 1 {
+		rT := math.Pow(info.r1, float64(info.t))
+		if wholeGraph {
+			// Every node is "in the subgraph"; scaling the dirty slots
+			// covers every non-zero entry (scaling a zero is a no-op).
+			for _, v := range w.Dirty.Touched() {
+				w.Reserve[v] *= info.s
 				if v != src {
-					st.residue[v] *= st.s
+					w.Residue[v] *= info.s
+				}
+			}
+		} else {
+			for _, v := range within {
+				w.Reserve[v] *= info.s
+				if v != src {
+					w.Residue[v] *= info.s
 				}
 			}
 		}
-		st.residue[src] = rT
-		for _, v := range st.frontier {
-			st.residue[v] *= st.s
+		w.SetResidue(src, rT)
+		for _, v := range info.frontier {
+			// Frontier slots that never received residue stay zero; no
+			// dirty mark needed for a 0·S write.
+			w.Residue[v] *= info.s
 		}
 	}
-	return st
+	return info
 }
 
 // runRestrictedForward is the No-Loop ablation (Appendix K): plain forward
 // search with threshold rmaxHop restricted to the h-hop subgraph, with the
 // source pushing repeatedly like any other node (the looping phenomenon of
 // §IV-A is incurred in full).
-func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h int) *hopState {
+func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, w *ws.Workspace) hopInfo {
 	n := g.N()
-	st := &hopState{
-		reserve: make([]float64, n),
-		residue: make([]float64, n),
-		inSub:   make([]bool, n),
-		t:       0, s: 1,
+	w.Reset(n)
+	info := hopInfo{t: 0, s: 1}
+	w.SetResidue(src, 1)
+	layers := graph.BFSLayersScratch(g, src, h+1, &w.Visited, w.Order, w.Start)
+	w.Order, w.Start = layers.Order, layers.Start
+	within := layers.Within(h)
+	for _, v := range within {
+		w.InSub.Mark(v)
 	}
-	st.residue[src] = 1
-	layers := graph.BFSLayers(g, src, h+1)
-	st.dist = layers.DistanceMap(n)
-	for _, v := range layers.Within(h) {
-		st.inSub[v] = true
-	}
-	st.frontier = layers.Layer(h + 1)
+	info.subSize = len(within)
+	info.frontier = layers.Layer(h + 1)
 
-	queue := []int32{src}
-	inQueue := make([]bool, n)
-	inQueue[src] = true
+	w.Queue = append(w.Queue[:0], src)
+	w.InQueue.Clear()
+	w.InQueue.Mark(src)
 	pushable := func(v int32) bool {
-		if !st.inSub[v] {
+		if !w.InSub.Has(v) {
 			return false
 		}
 		d := g.OutDegree(v)
 		if d == 0 {
-			return st.residue[v] >= rmaxHop
+			return w.Residue[v] >= rmaxHop
 		}
-		return st.residue[v] >= rmaxHop*float64(d)
+		return w.Residue[v] >= rmaxHop*float64(d)
 	}
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		inQueue[v] = false
+	for head := 0; head < len(w.Queue); head++ {
+		v := w.Queue[head]
+		w.InQueue.Unmark(v)
 		if !pushable(v) {
 			continue
 		}
-		rv := st.residue[v]
-		st.residue[v] = 0
-		st.pushes++
+		rv := w.Residue[v]
+		w.SetResidue(v, 0)
+		info.pushes++
 		d := g.OutDegree(v)
 		if d == 0 {
-			st.reserve[v] += rv
+			w.AddReserve(v, rv)
 			continue
 		}
-		st.reserve[v] += alpha * rv
+		w.AddReserve(v, alpha*rv)
 		sh := (1 - alpha) * rv / float64(d)
-		for _, w := range g.Out(v) {
-			st.residue[w] += sh
-			if !inQueue[w] && pushable(w) {
-				inQueue[w] = true
-				queue = append(queue, w)
+		for _, nb := range g.Out(v) {
+			w.AddResidue(nb, sh)
+			if !w.InQueue.Has(nb) && pushable(nb) {
+				w.InQueue.Mark(nb)
+				w.Queue = append(w.Queue, nb)
 			}
 		}
 	}
-	st.r1 = st.residue[src]
-	return st
+	w.Queue = w.Queue[:0]
+	info.r1 = w.Residue[src]
+	return info
 }

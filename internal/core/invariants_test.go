@@ -8,6 +8,7 @@ import (
 	"resacc/internal/algo"
 	"resacc/internal/graph"
 	"resacc/internal/graph/gen"
+	"resacc/internal/ws"
 )
 
 // TestPipelineMassConservation checks Σπ + Σr = 1 after each deterministic
@@ -17,12 +18,13 @@ func TestPipelineMassConservation(t *testing.T) {
 	check := func(seed uint64, hRaw uint8) bool {
 		g := gen.ErdosRenyi(120, 700, seed)
 		h := int(hRaw%4) + 1
-		hop := runHHopFWD(g, 0, 0.2, 1e-10, h, false)
-		if math.Abs(sum(hop.reserve)+sum(hop.residue)-1) > 1e-9 {
+		w := ws.New(g.N())
+		hop := runHHopFWD(g, 0, 0.2, 1e-10, h, false, w)
+		if math.Abs(sum(w.Reserve)+sum(w.Residue)-1) > 1e-9 {
 			return false
 		}
-		runOMFWD(g, 0.2, 1e-5, hop)
-		return math.Abs(sum(hop.reserve)+sum(hop.residue)-1) < 1e-9
+		runOMFWD(g, 0.2, 1e-5, w, hop.frontier)
+		return math.Abs(sum(w.Reserve)+sum(w.Residue)-1) < 1e-9
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -34,10 +36,11 @@ func TestPipelineMassConservation(t *testing.T) {
 func TestOMFWDReducesResidue(t *testing.T) {
 	check := func(seed uint64) bool {
 		g := gen.RMAT(8, 5, seed)
-		hop := runHHopFWD(g, 1, 0.2, 1e-12, 2, false)
-		before := sum(hop.residue)
-		runOMFWD(g, 0.2, 1e-6, hop)
-		after := sum(hop.residue)
+		w := ws.New(g.N())
+		hop := runHHopFWD(g, 1, 0.2, 1e-12, 2, false, w)
+		before := sum(w.Residue)
+		runOMFWD(g, 0.2, 1e-6, w, hop.frontier)
+		after := sum(w.Residue)
 		return after <= before+1e-12
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {

@@ -1,10 +1,11 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"resacc/internal/algo/forward"
 	"resacc/internal/graph"
+	"resacc/internal/ws"
 )
 
 // runOMFWD executes the One-More Forward search (paper Algorithm 4): the
@@ -12,22 +13,35 @@ import (
 // accumulate during h-HopFWD, are pushed in decreasing order of residue,
 // and the push cascade then proceeds anywhere in the graph under the
 // (larger) threshold r_max^f. It returns the number of push operations.
-func runOMFWD(g *graph.Graph, alpha, rmaxF float64, hop *hopState) int64 {
-	seeds := make([]int32, 0, len(hop.frontier))
-	for _, v := range hop.frontier {
-		if hop.residue[v] > 0 {
-			seeds = append(seeds, v)
+//
+// The search runs entirely on the workspace: reserve/residue writes are
+// tracked in w.Dirty and the queue bookkeeping borrows w.InQueue/w.Queue,
+// so the phase allocates nothing in steady state.
+func runOMFWD(g *graph.Graph, alpha, rmaxF float64, w *ws.Workspace, frontier []int32) int64 {
+	w.Seeds = w.Seeds[:0]
+	for _, v := range frontier {
+		if w.Residue[v] > 0 {
+			w.Seeds = append(w.Seeds, v)
 		}
 	}
-	sort.Slice(seeds, func(i, j int) bool {
-		ri, rj := hop.residue[seeds[i]], hop.residue[seeds[j]]
-		if ri != rj {
-			return ri > rj
+	slices.SortFunc(w.Seeds, func(a, b int32) int {
+		ra, rb := w.Residue[a], w.Residue[b]
+		switch {
+		case ra > rb:
+			return -1
+		case ra < rb:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
 		}
-		return seeds[i] < seeds[j]
 	})
-	st := &forward.State{Reserve: hop.reserve, Residue: hop.residue}
-	st.EnsureQueue(g.N())
-	forward.RunFrom(g, alpha, rmaxF, st, seeds, true)
+	st := &forward.State{Reserve: w.Reserve, Residue: w.Residue, Track: &w.Dirty}
+	st.UseScratch(&w.InQueue, w.Queue)
+	forward.RunFrom(g, alpha, rmaxF, st, w.Seeds, true)
+	w.Queue = st.TakeQueue()
 	return st.Pushes
 }

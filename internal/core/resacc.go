@@ -10,6 +10,10 @@
 //  3. Remedy (Algorithm 2 lines 5-17): FORA-style random walks from the
 //     remaining residues.
 //
+// All three phases run on a pooled per-query workspace (package ws), so a
+// steady-state query performs no O(n) allocation or clearing: vectors are
+// recycled and reset sparsely via generation-stamped touched-lists.
+//
 // The Solver exposes the ablation switches of Appendix K (No-Loop, No-SG,
 // No-OFD) and per-phase statistics matching Appendix J's breakdown.
 package core
@@ -20,7 +24,7 @@ import (
 
 	"resacc/internal/algo"
 	"resacc/internal/graph"
-	"resacc/internal/rng"
+	"resacc/internal/ws"
 )
 
 // Variant selects the full algorithm or one of the paper's ablations
@@ -92,6 +96,10 @@ func (s Stats) String() string {
 		s.Total().Round(time.Microsecond))
 }
 
+// defaultPool backs Solvers that were not handed an explicit pool, so even
+// ad-hoc Query calls recycle workspaces process-wide.
+var defaultPool = ws.NewPool()
+
 // Solver answers SSRWR queries with ResAcc.
 type Solver struct {
 	// Variant selects the full algorithm (zero value) or an ablation.
@@ -102,6 +110,10 @@ type Solver struct {
 	// phase dominates wall time on large graphs and parallelizes
 	// embarrassingly. Results stay deterministic per (Seed, Workers).
 	Workers int
+	// Pool supplies the per-query workspace. Nil uses a package-wide
+	// default pool; the serving engine injects its own so graph swaps can
+	// invalidate scratch together with the result cache.
+	Pool *ws.Pool
 }
 
 // Name implements algo.SingleSource.
@@ -113,7 +125,16 @@ func (s Solver) SingleSource(g *graph.Graph, src int32, p algo.Params) ([]float6
 	return pi, err
 }
 
-// Query answers the SSRWR query and returns the per-phase statistics.
+func (s Solver) pool() *ws.Pool {
+	if s.Pool != nil {
+		return s.Pool
+	}
+	return defaultPool
+}
+
+// Query answers the SSRWR query and returns the per-phase statistics. It
+// borrows a workspace from the solver's pool for the duration of the query;
+// the returned score slice is freshly allocated and owned by the caller.
 func (s Solver) Query(g *graph.Graph, src int32, p algo.Params) ([]float64, Stats, error) {
 	var stats Stats
 	if err := p.Validate(g); err != nil {
@@ -122,49 +143,55 @@ func (s Solver) Query(g *graph.Graph, src int32, p algo.Params) ([]float64, Stat
 	if err := algo.CheckSource(g, src); err != nil {
 		return nil, stats, err
 	}
+	pool := s.pool()
+	w := pool.Get(g.N())
+	defer pool.Put(w)
+	stats = s.QueryWS(g, src, p, w)
+	return w.ExtractScores(), stats, nil
+}
+
+// QueryWS runs the three phases on the caller-provided workspace and leaves
+// the answer in w.Reserve (valid until the workspace's next reset). Inputs
+// are assumed valid — Query performs the validation — and the call itself
+// allocates nothing in steady state, which is what the allocation
+// regression tests pin down. Results are identical whether w is fresh or
+// recycled.
+func (s Solver) QueryWS(g *graph.Graph, src int32, p algo.Params, w *ws.Workspace) Stats {
+	var stats Stats
 
 	// Phase 1: h-HopFWD (or its ablated replacements).
 	start := time.Now()
-	var hop *hopState
+	var hop hopInfo
 	switch s.Variant {
 	case NoLoop:
-		hop = runRestrictedForward(g, src, p.Alpha, p.RMaxHop, p.H)
+		hop = runRestrictedForward(g, src, p.Alpha, p.RMaxHop, p.H, w)
 	case NoSubgraph:
-		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, true)
+		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, true, w)
 	default:
-		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, false)
+		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, false, w)
 	}
 	stats.HopFWD = time.Since(start)
 	stats.HopPushes = hop.pushes
 	stats.R1, stats.T, stats.S = hop.r1, hop.t, hop.s
-	for _, in := range hop.inSub {
-		if in {
-			stats.SubgraphSize++
-		}
-	}
+	stats.SubgraphSize = hop.subSize
 	stats.FrontierSize = len(hop.frontier)
-	stats.RSumAfterHop = sum(hop.residue)
+	stats.RSumAfterHop = w.SumResidue()
 
 	// Phase 2: OMFWD.
 	if s.Variant != NoOMFWD && s.Variant != NoSubgraph {
 		start = time.Now()
-		stats.OMFWDPushes = runOMFWD(g, p.Alpha, p.RMaxF, hop)
+		stats.OMFWDPushes = runOMFWD(g, p.Alpha, p.RMaxF, w, hop.frontier)
 		stats.OMFWD = time.Since(start)
 	}
-	stats.RSumAfterOMFWD = sum(hop.residue)
+	stats.RSumAfterOMFWD = w.SumResidue()
 
 	// Phase 3: remedy.
 	start = time.Now()
-	var rs algo.RemedyStats
-	if s.Workers > 1 {
-		rs = algo.RemedyParallel(g, p, hop.reserve, hop.residue, p.Seed, s.Workers)
-	} else {
-		rs = algo.Remedy(g, p, hop.reserve, hop.residue, rng.New(p.Seed))
-	}
+	rs := algo.RemedyWS(g, p, w, p.Seed, s.Workers)
 	stats.Remedy = time.Since(start)
 	stats.Walks = rs.Walks
 	algo.AddPushes(stats.HopPushes + stats.OMFWDPushes)
-	return hop.reserve, stats, nil
+	return stats
 }
 
 func sum(xs []float64) float64 {

@@ -9,6 +9,7 @@ import (
 	"resacc/internal/eval"
 	"resacc/internal/graph"
 	"resacc/internal/graph/gen"
+	"resacc/internal/ws"
 )
 
 // figure3Graph is the 3-cycle of the paper's Fig. 3: s -> v1 -> v2 -> s.
@@ -30,11 +31,23 @@ func figure1Graph() *graph.Graph {
 	return b.MustBuild()
 }
 
+// hopRun pairs a phase-1 result with the workspace holding its vectors, so
+// the tests can keep reading reserve/residue by node.
+type hopRun struct {
+	hopInfo
+	w *ws.Workspace
+}
+
+func runHop(g *graph.Graph, src int32, alpha, rmax float64, h int, whole bool) hopRun {
+	w := ws.New(g.N())
+	return hopRun{runHHopFWD(g, src, alpha, rmax, h, whole, w), w}
+}
+
 func TestHHopFWDFigure3Trace(t *testing.T) {
 	// Reproduce Fig. 3(b): α=0.2, pushes at s, v1, v2 leave reserves
 	// (0.2, 0.16, 0.128) and residue 0.512 back at s.
 	g := figure3Graph()
-	st := runHHopFWD(g, 0, 0.2, 0.1, 2, false)
+	st := runHop(g, 0, 0.2, 0.1, 2, false)
 	if math.Abs(st.r1-0.512) > 1e-12 {
 		t.Fatalf("r1=%v, want 0.512", st.r1)
 	}
@@ -49,15 +62,15 @@ func TestHHopFWDFigure3Trace(t *testing.T) {
 	}
 	// Reserves are the single-phase reserves scaled by S.
 	for i, base := range []float64{0.2, 0.16, 0.128} {
-		if got := st.reserve[i]; math.Abs(got-base*wantS) > 1e-12 {
+		if got := st.w.Reserve[i]; math.Abs(got-base*wantS) > 1e-12 {
 			t.Fatalf("reserve[%d]=%v, want %v", i, got, base*wantS)
 		}
 	}
 	// Final source residue is r1^T, below the push threshold.
-	if got := st.residue[0]; math.Abs(got-math.Pow(0.512, 4)) > 1e-12 {
+	if got := st.w.Residue[0]; math.Abs(got-math.Pow(0.512, 4)) > 1e-12 {
 		t.Fatalf("residue[s]=%v, want %v", got, math.Pow(0.512, 4))
 	}
-	if st.residue[0] >= 0.1*1 {
+	if st.w.Residue[0] >= 0.1*1 {
 		t.Fatal("source residue should be below the push threshold after updating")
 	}
 }
@@ -79,8 +92,8 @@ func TestHHopFWDMassConservation(t *testing.T) {
 	for name, g := range graphs {
 		for _, h := range []int{0, 1, 2, 3} {
 			for _, whole := range []bool{false, true} {
-				st := runHHopFWD(g, 0, 0.2, 1e-9, h, whole)
-				total := sum(st.reserve) + sum(st.residue)
+				st := runHop(g, 0, 0.2, 1e-9, h, whole)
+				total := sum(st.w.Reserve) + sum(st.w.Residue)
 				if math.Abs(total-1) > 1e-9 {
 					t.Errorf("%s h=%d whole=%v: mass=%v, want 1", name, h, whole, total)
 				}
@@ -96,9 +109,9 @@ func TestHHopFWDSourceBelowThreshold(t *testing.T) {
 		if g.OutDegree(src) == 0 {
 			continue
 		}
-		st := runHHopFWD(g, src, 0.2, 1e-6, 2, false)
-		if st.residue[src] >= 1e-6*float64(g.OutDegree(src)) {
-			t.Errorf("src=%d: residue %v not below threshold", src, st.residue[src])
+		st := runHop(g, src, 0.2, 1e-6, 2, false)
+		if st.w.Residue[src] >= 1e-6*float64(g.OutDegree(src)) {
+			t.Errorf("src=%d: residue %v not below threshold", src, st.w.Residue[src])
 		}
 	}
 }
@@ -108,9 +121,9 @@ func TestHHopFWDDanglingSource(t *testing.T) {
 	b.AddEdge(1, 0)
 	b.AddEdge(1, 2)
 	g := b.MustBuild()
-	st := runHHopFWD(g, 0, 0.2, 1e-9, 2, false)
-	if st.reserve[0] != 1 || sum(st.residue) != 0 {
-		t.Fatalf("dangling source: reserve=%v residue sum=%v", st.reserve[0], sum(st.residue))
+	st := runHop(g, 0, 0.2, 1e-9, 2, false)
+	if st.w.Reserve[0] != 1 || sum(st.w.Residue) != 0 {
+		t.Fatalf("dangling source: reserve=%v residue sum=%v", st.w.Reserve[0], sum(st.w.Residue))
 	}
 }
 
@@ -118,20 +131,20 @@ func TestHHopFWDResidueOnlyWithinHPlus1(t *testing.T) {
 	// Residue may live only inside V_{h+1}; reserves only inside V_h.
 	g := lineGraph(10)
 	h := 3
-	st := runHHopFWD(g, 0, 0.2, 1e-12, h, false)
+	st := runHop(g, 0, 0.2, 1e-12, h, false)
 	for v := 0; v < g.N(); v++ {
-		if v > h && st.reserve[v] != 0 {
+		if v > h && st.w.Reserve[v] != 0 {
 			t.Errorf("reserve leaked to node %d beyond h", v)
 		}
-		if v > h+1 && st.residue[v] != 0 {
+		if v > h+1 && st.w.Residue[v] != 0 {
 			t.Errorf("residue leaked to node %d beyond h+1", v)
 		}
 	}
 	// On the line the frontier node h+1 accumulates everything not yet
 	// reserved: (1-α)^{h+1}.
 	want := math.Pow(0.8, float64(h+1))
-	if math.Abs(st.residue[h+1]-want) > 1e-12 {
-		t.Errorf("frontier residue=%v, want %v", st.residue[h+1], want)
+	if math.Abs(st.w.Residue[h+1]-want) > 1e-12 {
+		t.Errorf("frontier residue=%v, want %v", st.w.Residue[h+1], want)
 	}
 }
 
@@ -141,9 +154,9 @@ func TestLemma4FrontierBound(t *testing.T) {
 	graphs := []*graph.Graph{gen.Grid(10, 10), gen.ErdosRenyi(200, 1200, 5), figure1Graph()}
 	for gi, g := range graphs {
 		for _, h := range []int{1, 2, 3} {
-			st := runHHopFWD(g, 0, 0.2, 1e-13, h, false)
+			st := runHop(g, 0, 0.2, 1e-13, h, false)
 			bound := math.Pow(0.8, float64(h))
-			if got := sum(st.residue); got > bound+1e-9 {
+			if got := sum(st.w.Residue); got > bound+1e-9 {
 				t.Errorf("graph %d h=%d: r_sum=%v exceeds (1-α)^h=%v", gi, h, got, bound)
 			}
 		}
@@ -156,10 +169,10 @@ func TestUpdatingPhaseMatchesExplicitLoops(t *testing.T) {
 	g := figure3Graph()
 	alpha, rmax := 0.2, 0.01
 	// Closed form.
-	st := runHHopFWD(g, 0, alpha, rmax, 2, false)
+	st := runHop(g, 0, alpha, rmax, 2, false)
 	// Explicit: run phase 1 to get per-phase deltas, then iterate.
 	one := runOneAccumulatingPhase(g, 0, alpha, rmax, 2)
-	r1 := one.residue[0]
+	r1 := one.w.Residue[0]
 	if math.Abs(r1-st.r1) > 1e-15 {
 		t.Fatalf("phase-1 r1 mismatch: %v vs %v", r1, st.r1)
 	}
@@ -172,9 +185,9 @@ func TestUpdatingPhaseMatchesExplicitLoops(t *testing.T) {
 	phases := 0
 	for rs >= theta && phases < 10000 {
 		for v := 0; v < n; v++ {
-			reserve[v] += one.reserve[v] * scale
+			reserve[v] += one.w.Reserve[v] * scale
 			if v != 0 {
-				residue[v] += one.residue[v] * scale
+				residue[v] += one.w.Residue[v] * scale
 			}
 		}
 		rs = r1 * scale
@@ -186,11 +199,11 @@ func TestUpdatingPhaseMatchesExplicitLoops(t *testing.T) {
 		t.Fatalf("explicit phases=%d, closed-form T=%d", phases, st.t)
 	}
 	for v := 0; v < n; v++ {
-		if math.Abs(reserve[v]-st.reserve[v]) > 1e-12 {
-			t.Errorf("reserve[%d]: explicit %v vs closed form %v", v, reserve[v], st.reserve[v])
+		if math.Abs(reserve[v]-st.w.Reserve[v]) > 1e-12 {
+			t.Errorf("reserve[%d]: explicit %v vs closed form %v", v, reserve[v], st.w.Reserve[v])
 		}
-		if math.Abs(residue[v]-st.residue[v]) > 1e-12 {
-			t.Errorf("residue[%d]: explicit %v vs closed form %v", v, residue[v], st.residue[v])
+		if math.Abs(residue[v]-st.w.Residue[v]) > 1e-12 {
+			t.Errorf("residue[%d]: explicit %v vs closed form %v", v, residue[v], st.w.Residue[v])
 		}
 	}
 }
@@ -202,24 +215,24 @@ func TestUpdatingPhaseMatchesExplicitLoops(t *testing.T) {
 // a copy of the accumulating logic would drift, so we run runHHopFWD with a
 // threshold large enough that the updating phase is a no-op is impossible
 // here (r1 depends on rmax). We therefore run it and undo the scaling.
-func runOneAccumulatingPhase(g *graph.Graph, src int32, alpha, rmax float64, h int) *hopState {
-	st := runHHopFWD(g, src, alpha, rmax, h, false)
+func runOneAccumulatingPhase(g *graph.Graph, src int32, alpha, rmax float64, h int) hopRun {
+	st := runHop(g, src, alpha, rmax, h, false)
 	if st.s == 1 && st.t == 1 {
 		return st
 	}
 	// Undo Eq. (4)/(5): reserves and non-source residues divide by S; the
 	// source residue is r1.
 	for v := int32(0); int(v) < g.N(); v++ {
-		if st.inSub[v] && v != src {
-			st.reserve[v] /= st.s
-			st.residue[v] /= st.s
+		if st.w.InSub.Has(v) && v != src {
+			st.w.Reserve[v] /= st.s
+			st.w.Residue[v] /= st.s
 		}
 	}
-	st.reserve[src] /= st.s
+	st.w.Reserve[src] /= st.s
 	for _, v := range st.frontier {
-		st.residue[v] /= st.s
+		st.w.Residue[v] /= st.s
 	}
-	st.residue[src] = st.r1
+	st.w.Residue[src] = st.r1
 	return st
 }
 

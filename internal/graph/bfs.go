@@ -1,5 +1,7 @@
 package graph
 
+import "resacc/internal/ws"
+
 // Layers is a breadth-first layer decomposition rooted at a source node:
 // Layers.Order lists nodes grouped by shortest distance from the source, and
 // Layers.Start[i] is the index in Order of the first node at distance i.
@@ -63,6 +65,46 @@ func BFSLayers(g *Graph, s int32, maxDepth int) *Layers {
 			for _, v := range g.Out(u) {
 				if dist[v] < 0 {
 					dist[v] = int32(depth + 1)
+					l.Order = append(l.Order, v)
+				}
+			}
+		}
+		if len(l.Order) == tail {
+			break // no new layer
+		}
+		l.Start = append(l.Start, len(l.Order))
+		depth++
+	}
+	return l
+}
+
+// BFSLayersScratch is BFSLayers built on caller-provided scratch, for the
+// query hot path: seen is the visited set (cleared here in O(1) via its
+// generation stamp), and order/start are appended to from length zero, so a
+// workspace that recycles them across queries makes the whole BFS
+// allocation-free in steady state. The returned Layers aliases order/start;
+// callers reclaim the (possibly grown) buffers from its fields.
+func BFSLayersScratch(g *Graph, s int32, maxDepth int, seen *ws.Marks, order []int32, start []int) Layers {
+	if s < 0 || int(s) >= g.N() {
+		panic("graph: BFSLayersScratch source out of range")
+	}
+	seen.Grow(g.N())
+	seen.Clear()
+	l := Layers{Source: s}
+	l.Order = append(order[:0], s)
+	l.Start = append(start[:0], 0, 1)
+	seen.Mark(s)
+	head := 0
+	depth := 0
+	for depth < maxDepth {
+		tail := len(l.Order)
+		if head == tail {
+			break // frontier exhausted
+		}
+		for ; head < tail; head++ {
+			u := l.Order[head]
+			for _, v := range g.Out(u) {
+				if seen.Mark(v) {
 					l.Order = append(l.Order, v)
 				}
 			}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches a runtime.MemStats snapshot between scrapes.
+// ReadMemStats stops the world, and one /metrics scrape reads several
+// families from the same snapshot, so the sampler refreshes at most once
+// per ttl and every gauge reads the cached copy under the lock.
+type runtimeSampler struct {
+	ttl time.Duration
+
+	mu   sync.Mutex
+	last time.Time
+	ms   runtime.MemStats
+}
+
+// read refreshes the snapshot if stale and applies f to it under the lock.
+func (rs *runtimeSampler) read(f func(*runtime.MemStats) float64) float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.last.IsZero() || time.Since(rs.last) >= rs.ttl {
+		runtime.ReadMemStats(&rs.ms)
+		rs.last = time.Now()
+	}
+	return f(&rs.ms)
+}
+
+// gcPauseP99 returns the 99th-percentile GC stop-the-world pause over the
+// pauses the runtime still remembers (its ring keeps the most recent 256).
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		// PauseNs is a circular buffer indexed by GC number mod its length.
+		pauses[i] = ms.PauseNs[(int(ms.NumGC)-1-i+256*len(ms.PauseNs))%len(ms.PauseNs)]
+	}
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (n*99 + 99) / 100 // ceil(0.99·n)
+	if idx > n {
+		idx = n
+	}
+	return float64(pauses[idx-1]) / 1e9
+}
+
+// RegisterRuntimeMetrics adds Go runtime health gauges to reg: heap usage,
+// GC activity (count and p99 stop-the-world pause) and goroutine count —
+// the signals that tell a pooled-workspace regression (steady-state heap
+// growth, GC churn under load) apart from a traffic change. Values are
+// sampled lazily at scrape time, with MemStats snapshots cached for one
+// second so frequent scrapes do not add stop-the-world pauses.
+func RegisterRuntimeMetrics(reg *Registry) {
+	rs := &runtimeSampler{ttl: time.Second}
+	reg.GaugeFunc("go_goroutines", "Goroutines currently live.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_memstats_heap_inuse_bytes", "Bytes in in-use heap spans.",
+		func() float64 { return rs.read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapInuse) }) })
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of live heap objects.",
+		func() float64 { return rs.read(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }) })
+	reg.CounterFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated on the heap.",
+		func() float64 { return rs.read(func(ms *runtime.MemStats) float64 { return float64(ms.TotalAlloc) }) })
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return rs.read(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }) })
+	reg.GaugeFunc("go_gc_pause_p99_seconds", "p99 GC stop-the-world pause over the recent pause ring.",
+		func() float64 { return rs.read(gcPauseP99) })
+}

@@ -21,26 +21,39 @@ type Source struct {
 // Distinct seeds yield statistically independent streams.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed re-initialises s in place to the exact state New(seed) produces —
+// the allocation-free form of New for callers that keep a Source value in
+// pooled scratch.
+func (s *Source) Reseed(seed uint64) {
 	sm := seed
-	for i := range src.s {
+	for i := range s.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		src.s[i] = z ^ (z >> 31)
+		s.s[i] = z ^ (z >> 31)
 	}
 	// A xoshiro state of all zeros is a fixed point; splitmix64 of any seed
 	// cannot produce four zero words, but guard anyway.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 1
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 1
 	}
-	return &src
 }
 
 // Split returns a new Source whose stream is independent of s and of any
 // other Split result, suitable for handing to a worker goroutine.
 func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// SplitInto is Split writing into dst instead of allocating: dst receives
+// the same state the corresponding Split call would have produced.
+func (s *Source) SplitInto(dst *Source) {
+	dst.Reseed(s.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -1,0 +1,90 @@
+package ws
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool recycles Workspaces across queries. It wraps sync.Pool with two
+// policies the serving layer needs:
+//
+//   - Capacity awareness: a workspace whose capacity dwarfs the requested
+//     size (beyond shrinkFactor×) is discarded instead of reused, so one
+//     query against a huge graph does not pin huge scratch vectors for a
+//     workload that moved to small graphs.
+//   - Epoch keying: Invalidate bumps the pool epoch and Get drops
+//     workspaces issued under older epochs. Engine.SyncDynamic calls it
+//     alongside its result-cache purge so a graph swap retires scratch
+//     sized for the old snapshot together with the stale results.
+//
+// A nil *Pool is valid and falls back to fresh allocation per Get — the
+// unpooled path, kept for golden comparisons against the pooled one.
+type Pool struct {
+	pool  sync.Pool
+	epoch atomic.Uint64
+}
+
+// shrinkFactor is the capacity slack tolerated on reuse: a pooled workspace
+// serves a request for n nodes only while cap ≤ shrinkFactor·n (or the
+// capacity is trivially small).
+const (
+	shrinkFactor = 8
+	shrinkFloor  = 1 << 16
+)
+
+// NewPool returns an empty workspace pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a workspace reset and sized for an n-node graph: pooled if a
+// suitably-sized one from the current epoch is available, fresh otherwise.
+// Callers must return it with Put (typically deferred).
+func (p *Pool) Get(n int) *Workspace {
+	if p == nil {
+		return New(n)
+	}
+	epoch := p.epoch.Load()
+	for {
+		v := p.pool.Get()
+		if v == nil {
+			w := New(n)
+			w.epoch = epoch
+			return w
+		}
+		w := v.(*Workspace)
+		if w.epoch != epoch {
+			continue // stale epoch: drop and keep looking
+		}
+		if c := len(w.Reserve); c > shrinkFloor && c > shrinkFactor*n {
+			continue // oversized for this workload: let the GC have it
+		}
+		w.Reset(n)
+		return w
+	}
+}
+
+// Put returns w to the pool. Reset is deferred to the next Get so the
+// release path stays O(1); the workspace keeps its dirty state until then.
+func (p *Pool) Put(w *Workspace) {
+	if p == nil || w == nil {
+		return
+	}
+	p.pool.Put(w)
+}
+
+// Invalidate retires every pooled workspace: subsequent Gets allocate
+// fresh. It is O(1); stale workspaces are dropped lazily as Get encounters
+// them (sync.Pool empties itself across GCs regardless).
+func (p *Pool) Invalidate() {
+	if p == nil {
+		return
+	}
+	p.epoch.Add(1)
+}
+
+// Epoch returns the current pool epoch (diagnostics and tests).
+func (p *Pool) Epoch() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.epoch.Load()
+}

@@ -45,8 +45,15 @@ func (r *Result) TopK(k int) []Ranked {
 
 // Query answers an approximate SSRWR query with ResAcc.
 func Query(g *Graph, source int32, p Params) (*Result, error) {
+	return querySolver(g, source, p, core.Solver{})
+}
+
+// querySolver is Query with an explicit solver, so callers that hold a
+// workspace pool or a walk-worker setting (the serving engine) reuse the
+// same hook/result plumbing.
+func querySolver(g *Graph, source int32, p Params, s core.Solver) (*Result, error) {
 	start := time.Now()
-	scores, stats, err := core.Solver{}.Query(g, source, p)
+	scores, stats, err := s.Query(g, source, p)
 	notifyQueryHooks(QueryEvent{Graph: g, Source: source, Start: start, Duration: time.Since(start), Stats: stats, Err: err})
 	if err != nil {
 		return nil, err

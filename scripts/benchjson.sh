@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# benchjson.sh — run the query-path benchmarks and emit BENCH_resacc.json:
+# ns/op, B/op and allocs/op per benchmark in a stable machine-readable
+# shape, paired with the committed pre-pooling baseline
+# (scripts/bench_baseline.json) so before/after allocation regressions are
+# visible in one file. CI uploads the result as a build artifact.
+#
+# Usage: scripts/benchjson.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_resacc.json}
+filter='^BenchmarkQueryTable3/(dblp-s|webstan-s)/(resacc|fora)$|^BenchmarkForwardPush$|^BenchmarkHHopFWDPhase$|^BenchmarkQueryPooledRepeat$'
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench "$filter" -benchmem -benchtime 10x . | tee "$tmp" 1>&2
+
+{
+	printf '{\n  "baseline": %s,\n  "current": {\n' \
+		"$(sed 's/^/  /' scripts/bench_baseline.json | sed '1s/^  //')"
+	awk '
+	/^Benchmark/ && /ns\/op/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		line = sprintf("      {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7)
+		entries = entries sep line
+		sep = ",\n"
+	}
+	END { printf "    \"benchmarks\": [\n%s\n    ]\n", entries }
+	' "$tmp"
+	printf '  }\n}\n'
+} > "$out"
+echo "wrote $out" 1>&2

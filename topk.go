@@ -21,6 +21,11 @@ import (
 // whenever the adaptive loop runs to the full budget, and are flagged
 // otherwise via the returned precision level.
 func QueryTopK(g *Graph, source int32, k int, p Params) ([]Ranked, float64, error) {
+	return queryTopKSolver(g, source, k, p, core.Solver{})
+}
+
+// queryTopKSolver is QueryTopK with an explicit solver (see querySolver).
+func queryTopKSolver(g *Graph, source int32, k int, p Params, s core.Solver) ([]Ranked, float64, error) {
 	if k <= 0 {
 		return nil, 0, fmt.Errorf("resacc: QueryTopK needs k > 0, got %d", k)
 	}
@@ -33,7 +38,7 @@ func QueryTopK(g *Graph, source int32, k int, p Params) ([]Ranked, float64, erro
 		q := p
 		q.NScale = scale
 		roundStart := time.Now()
-		scores, stats, err := core.Solver{}.Query(g, source, q)
+		scores, stats, err := s.Query(g, source, q)
 		notifyQueryHooks(QueryEvent{Graph: g, Source: source, Start: roundStart, Duration: time.Since(roundStart), Stats: stats, Err: err})
 		if err != nil {
 			return nil, 0, err
