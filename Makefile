@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check staticcheck check bench bench-json load
+.PHONY: build test race vet fmt-check staticcheck check chaos bench bench-json load
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# -lostcancel guards the context plumbing through the query path: every
+# WithCancel/WithDeadline must release its timer (the singleflight flight
+# contexts in particular).
 vet:
+	$(GO) vet -lostcancel ./...
 	$(GO) vet ./...
 
 fmt-check:
@@ -32,6 +36,12 @@ staticcheck:
 # check is the CI gate: formatting, static analysis, and the full test
 # suite under the race detector.
 check: fmt-check vet staticcheck race
+
+# chaos compiles the fault-injection points in (build tag "faultinject")
+# and runs the whole suite — including the phase-targeted deadline and
+# panic-containment tests — under the race detector.
+chaos:
+	$(GO) test -race -tags faultinject ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -16,11 +16,15 @@ type batchRequest struct {
 }
 
 // batchItemJSON is one per-source answer; exactly one of Results/Error is
-// meaningful (Results is always a JSON array, never null).
+// meaningful (Results is always a JSON array, never null). Degraded marks
+// a deadline-truncated item: its scores are anytime underestimates, each
+// within Bound of the true value (same contract as /v1/query).
 type batchItemJSON struct {
-	Source  int32        `json:"source"`
-	Results []rankedJSON `json:"results,omitempty"`
-	Error   string       `json:"error,omitempty"`
+	Source   int32        `json:"source"`
+	Results  []rankedJSON `json:"results,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Degraded bool         `json:"degraded,omitempty"`
+	Bound    float64      `json:"bound,omitempty"`
 }
 
 // handleBatch answers many sources in one request: the engine fans the
@@ -58,7 +62,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results, errs := s.engine.QueryBatch(ctx, req.Sources)
 
 	items := make([]batchItemJSON, len(req.Sources))
-	failed := 0
+	failed, degraded := 0, 0
 	for i, source := range req.Sources {
 		items[i] = batchItemJSON{Source: source, Results: []rankedJSON{}}
 		if errs[i] != nil {
@@ -70,11 +74,21 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for _, t := range results[i].TopK(k) {
 			items[i].Results = append(items[i].Results, rankedJSON{t.Node, t.Score})
 		}
+		if results[i].Degraded {
+			items[i].Degraded = true
+			items[i].Bound = results[i].Bound
+			degraded++
+		}
 		s.queries.Add(1)
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	status := http.StatusOK
+	if degraded > 0 {
+		status = http.StatusPartialContent
+	}
+	s.writeJSON(w, status, map[string]any{
 		"count":    len(items),
 		"failed":   failed,
+		"degraded": degraded,
 		"k":        k,
 		"batch_ms": float64(time.Since(start).Microseconds()) / 1000,
 		"results":  items,

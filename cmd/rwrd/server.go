@@ -60,7 +60,8 @@ type server struct {
 	inflight *obs.Gauge
 	unhook   func()
 
-	phaseHist map[string]*obs.Histogram
+	phaseHist     map[string]*obs.Histogram
+	degradedBound *obs.Histogram
 }
 
 func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
@@ -138,6 +139,18 @@ func (s *server) registerMetrics() {
 		s.reg.Counter("rwr_queries_total",
 			"SSRWR queries answered, by outcome.", "status", status)
 	}
+	for _, kind := range []string{"deadline", "client_cancel"} {
+		s.reg.Counter("rwr_request_cancellations_total",
+			"Requests that ended without a full answer, by cause.", "kind", kind)
+	}
+	for _, phase := range []string{"hhopfwd", "omfwd", "remedy"} {
+		s.reg.Counter("rwr_query_cancellations_total",
+			"Queries whose deadline interrupted a solver phase (the phase label).",
+			"phase", phase)
+	}
+	s.degradedBound = s.reg.Histogram("rwr_degraded_bound",
+		"Additive error bound of degraded (deadline-truncated) answers.",
+		obs.ExpBuckets(1e-6, 10, 8))
 }
 
 // observeQuery is the resacc.QueryHook: it turns each completed query on
@@ -160,6 +173,11 @@ func (s *server) observeQuery(ev resacc.QueryEvent) {
 		s.reg.Histogram("rwr_query_walks",
 			"Remedy-phase random walks per query.",
 			obs.ExpBuckets(1, 4, 16)).Observe(float64(ev.Stats.Walks))
+		if ev.Stats.Degraded {
+			s.reg.Counter("rwr_query_cancellations_total", "",
+				"phase", ev.Stats.DegradedPhase.String()).Inc()
+			s.degradedBound.Observe(ev.Stats.ResidualBound)
+		}
 	}
 	id := fmt.Sprintf("q-%06d", s.querySeq.Add(1))
 	tr := obs.QueryTrace(id, ev.Source, ev.Start, ev.Duration, ev.Stats, ev.Err)
@@ -190,13 +208,22 @@ type rankedJSON struct {
 
 // writeEngineError maps engine failures to HTTP semantics: load-shedding
 // surfaces as 429 + Retry-After (clients should back off, not pile on),
-// deadline/cancellation as 504, everything else as 500.
-func (s *server) writeEngineError(w http.ResponseWriter, err error) {
+// a server-imposed deadline as 504, a client that hung up as a logged 408
+// with no body (nobody is reading it; the status feeds access logs), and
+// everything else as 500. The two cancellation causes get distinct metric
+// labels: "deadline" is the server's capacity/latency story,
+// "client_cancel" is the clients'.
+func (s *server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, resacc.ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		s.writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded, retry later"})
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled):
+		s.reg.Counter("rwr_request_cancellations_total", "", "kind", "client_cancel").Inc()
+		s.log.Debug("request cancelled by client", "path", r.URL.Path)
+		w.WriteHeader(http.StatusRequestTimeout)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.Counter("rwr_request_cancellations_total", "", "kind", "deadline").Inc()
 		s.writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "query deadline exceeded"})
 	default:
 		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
@@ -223,9 +250,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
 	defer cancel()
 	start := time.Now()
-	top, _, err := s.engine.QueryTopK(ctx, source, k)
+	top, err := s.engine.QueryTopK(ctx, source, k)
 	if err != nil {
-		s.writeEngineError(w, err)
+		s.writeEngineError(w, r, err)
+		return
+	}
+	if top.Degraded && top.Bound >= 1 {
+		// The deadline fired before any mass converted; there is nothing
+		// useful to serve.
+		s.reg.Counter("rwr_request_cancellations_total", "", "kind", "deadline").Inc()
+		s.writeJSON(w, http.StatusGatewayTimeout, map[string]string{
+			"error": "query deadline exceeded before any useful work completed"})
 		return
 	}
 	s.queries.Add(1)
@@ -234,12 +269,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		K       int          `json:"k"`
 		Results []rankedJSON `json:"results"`
 		Millis  float64      `json:"query_ms"`
+		// Degradation contract: when degraded is true the scores are
+		// anytime underestimates and every true score is within bound of
+		// the reported one (see docs/SERVING.md).
+		Degraded bool    `json:"degraded,omitempty"`
+		Bound    float64 `json:"bound,omitempty"`
+		Phase    string  `json:"phase,omitempty"`
 	}{Source: source, K: k, Results: []rankedJSON{},
 		Millis: float64(time.Since(start).Microseconds()) / 1000}
-	for _, t := range top {
+	for _, t := range top.Ranked {
 		out.Results = append(out.Results, rankedJSON{t.Node, t.Score})
 	}
-	s.writeJSON(w, http.StatusOK, out)
+	status := http.StatusOK
+	if top.Degraded {
+		status = http.StatusPartialContent
+		out.Degraded, out.Bound, out.Phase = true, top.Bound, top.Phase
+	}
+	s.writeJSON(w, status, out)
 }
 
 func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
@@ -257,7 +303,7 @@ func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	est, err := s.engine.QueryPair(ctx, source, target)
 	if err != nil {
-		s.writeEngineError(w, err)
+		s.writeEngineError(w, r, err)
 		return
 	}
 	s.queries.Add(1)
@@ -281,6 +327,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"cache_misses":  es.Misses,
 			"dedup_joins":   es.Joins,
 			"shed":          es.Shed,
+			"panics":        es.Panics,
 			"cache_entries": es.CacheEntries,
 			"cache_bytes":   es.CacheBytes,
 			"queue_depth":   es.QueueDepth,

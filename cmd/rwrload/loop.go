@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -20,6 +22,8 @@ type loadConfig struct {
 	batch    int // 0 = single-query mode
 	n        int32
 	seed     int64
+	retries  int           // retries per request on 429/503 (0 = fail fast)
+	backoff  time.Duration // base retry backoff (0 = 100ms when retrying)
 	client   *http.Client
 }
 
@@ -44,9 +48,10 @@ func runLoad(ctx context.Context, cfg loadConfig) (*report, error) {
 		go func(i int) {
 			defer wg.Done()
 			src := newSampler(cfg.n, cfg.skew, cfg.seed+int64(i))
+			jit := rand.New(rand.NewSource(cfg.seed + int64(i)*0x9e3779b9))
 			for ctx.Err() == nil {
 				t0 := time.Now()
-				status, err := cfg.fire(ctx, src)
+				status, err := cfg.fireRetry(ctx, src, jit, rep)
 				if err != nil {
 					if ctx.Err() != nil {
 						return // cancelled mid-request, don't count it
@@ -62,38 +67,96 @@ func runLoad(ctx context.Context, cfg loadConfig) (*report, error) {
 	return rep, nil
 }
 
-// fire issues one request — a single query, or a batch when cfg.batch > 0
-// — and returns the HTTP status. The response body is drained and
-// discarded; the driver measures the server, not the client's JSON parser.
-func (cfg *loadConfig) fire(ctx context.Context, src *sampler) (int, error) {
-	var req *http.Request
-	var err error
+// fireRetry issues one logical request, retrying the SAME sampled request
+// up to cfg.retries times when the server asks for backoff (429/503). Each
+// retry waits an exponentially growing, jittered delay, raised to the
+// server's Retry-After when it names a longer one, and aborts early when
+// ctx expires. The final status is what gets recorded; retries are counted
+// separately in the report.
+func (cfg *loadConfig) fireRetry(ctx context.Context, src *sampler, jit *rand.Rand, rep *report) (int, error) {
+	method, url, body, err := cfg.buildReq(src)
+	if err != nil {
+		return 0, err
+	}
+	status, retryAfter, err := cfg.send(ctx, method, url, body)
+	for attempt := 0; attempt < cfg.retries && err == nil && retryable(status); attempt++ {
+		select {
+		case <-time.After(cfg.retryDelay(attempt, retryAfter, jit)):
+		case <-ctx.Done():
+			return status, nil // run is over; record the last answer we got
+		}
+		rep.retries.Add(1)
+		status, retryAfter, err = cfg.send(ctx, method, url, body)
+	}
+	return status, err
+}
+
+// retryable reports whether the server asked the client to come back later.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryDelay computes the wait before retry #attempt: exponential from
+// cfg.backoff (default 100ms) capped at 5s, raised to the server's
+// Retry-After when longer, with half the delay jittered so a fleet of shed
+// clients doesn't return in lockstep.
+func (cfg *loadConfig) retryDelay(attempt int, retryAfter time.Duration, jit *rand.Rand) time.Duration {
+	base := cfg.backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << attempt
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d/2 + time.Duration(jit.Int63n(int64(d/2)+1))
+}
+
+// buildReq samples one request — a single query, or a batch when
+// cfg.batch > 0 — so retries can re-send the identical request.
+func (cfg *loadConfig) buildReq(src *sampler) (method, url string, body []byte, err error) {
 	if cfg.batch > 0 {
 		sources := make([]int32, cfg.batch)
 		for i := range sources {
 			sources[i] = src.next()
 		}
-		body, merr := json.Marshal(map[string]any{"sources": sources, "k": cfg.k})
-		if merr != nil {
-			return 0, merr
+		body, err = json.Marshal(map[string]any{"sources": sources, "k": cfg.k})
+		if err != nil {
+			return "", "", nil, err
 		}
-		req, err = http.NewRequestWithContext(ctx, http.MethodPost,
-			cfg.base+"/v1/batch", bytes.NewReader(body))
-		if req != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-	} else {
-		req, err = http.NewRequestWithContext(ctx, http.MethodGet,
-			fmt.Sprintf("%s/v1/query?source=%d&k=%d", cfg.base, src.next(), cfg.k), nil)
+		return http.MethodPost, cfg.base + "/v1/batch", body, nil
 	}
+	return http.MethodGet,
+		fmt.Sprintf("%s/v1/query?source=%d&k=%d", cfg.base, src.next(), cfg.k), nil, nil
+}
+
+// send performs one HTTP attempt and returns the status plus any parsed
+// Retry-After hint. The response body is drained and discarded; the driver
+// measures the server, not the client's JSON parser.
+func (cfg *loadConfig) send(ctx context.Context, method, url string, body []byte) (int, time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := cfg.client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	return resp.StatusCode, retryAfter, nil
 }

@@ -11,6 +11,9 @@
 // pattern that exercises the server's result cache and singleflight; pass
 // -zipf 0 for uniform, cache-hostile traffic. With -batch N each request
 // is a POST /v1/batch carrying N sources instead of one GET /v1/query.
+// Shed (429) and unavailable (503) answers are retried up to -retries
+// times with jittered exponential backoff, honouring the server's
+// Retry-After hint; the report counts retries separately from requests.
 // The node count is discovered from /v1/stats unless -nodes is given.
 package main
 
@@ -36,6 +39,8 @@ func main() {
 		nodes    = flag.Int("nodes", 0, "source id space (0 = discover from /v1/stats)")
 		seed     = flag.Int64("seed", 1, "sampler seed (worker i uses seed+i)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		retries  = flag.Int("retries", 3, "retries per request on 429/503 (0 = fail fast)")
+		backoff  = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, jittered, raised to Retry-After)")
 	)
 	flag.Parse()
 
@@ -48,6 +53,8 @@ func main() {
 		batch:    *batch,
 		n:        int32(*nodes),
 		seed:     *seed,
+		retries:  *retries,
+		backoff:  *backoff,
 		client:   &http.Client{Timeout: *timeout},
 	}
 	if cfg.n <= 0 {

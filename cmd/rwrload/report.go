@@ -14,10 +14,12 @@ import (
 // exports on /metrics, so client- and server-side quantiles are directly
 // comparable.
 type report struct {
-	requests atomic.Uint64 // every attempt, any outcome
+	requests atomic.Uint64 // every logical request, any outcome
 	ok       atomic.Uint64 // HTTP 200
+	degraded atomic.Uint64 // HTTP 206 (deadline-truncated, partial answer)
 	shed     atomic.Uint64 // HTTP 429 (admission control)
 	errs     atomic.Uint64 // transport errors and other statuses
+	retries  atomic.Uint64 // extra attempts spent on 429/503 backoff
 
 	latency *obs.Histogram // successful requests only, seconds
 	elapsed time.Duration  // wall time of the run, set once at the end
@@ -33,6 +35,9 @@ func (r *report) record(status int, d time.Duration) {
 	switch {
 	case status == 200:
 		r.ok.Add(1)
+		r.latency.Observe(d.Seconds())
+	case status == 206:
+		r.degraded.Add(1)
 		r.latency.Observe(d.Seconds())
 	case status == 429:
 		r.shed.Add(1)
@@ -53,6 +58,9 @@ func (r *report) String() string {
 	fmt.Fprintf(&b, "requests   %d (%.1f req/s over %s)\n",
 		total, float64(total)/secs, r.elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "ok         %d\n", r.ok.Load())
+	if deg := r.degraded.Load(); deg > 0 {
+		fmt.Fprintf(&b, "degraded   %d (HTTP 206)\n", deg)
+	}
 	shed := r.shed.Load()
 	rate := 0.0
 	if total > 0 {
@@ -60,7 +68,10 @@ func (r *report) String() string {
 	}
 	fmt.Fprintf(&b, "shed (429) %d (%.1f%%)\n", shed, rate)
 	fmt.Fprintf(&b, "errors     %d\n", r.errs.Load())
-	if r.ok.Load() > 0 {
+	if ret := r.retries.Load(); ret > 0 {
+		fmt.Fprintf(&b, "retries    %d\n", ret)
+	}
+	if r.ok.Load()+r.degraded.Load() > 0 {
 		fmt.Fprintf(&b, "latency    p50 %s  p90 %s  p99 %s",
 			fmtSecs(r.latency.Quantile(0.50)),
 			fmtSecs(r.latency.Quantile(0.90)),

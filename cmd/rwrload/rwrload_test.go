@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -118,6 +119,62 @@ func TestRunLoadAgainstStub(t *testing.T) {
 	}
 	if rep.errs.Load() != 0 {
 		t.Fatalf("unexpected errors: %s", rep)
+	}
+}
+
+// TestRunLoadRetriesShedRequests flips the stub between 429 and 200 so
+// every shed answer succeeds on its first retry: with retries enabled the
+// report should show successes and a retry count but no shed outcomes.
+func TestRunLoadRetriesShedRequests(t *testing.T) {
+	var hits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1)%2 == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"results": []any{}})
+	}))
+	defer srv.Close()
+
+	rep, err := runLoad(context.Background(), loadConfig{
+		base: srv.URL, workers: 1, duration: 200 * time.Millisecond,
+		skew: 0, k: 5, n: 50, seed: 1, retries: 2, backoff: time.Millisecond,
+		client: srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ok.Load() == 0 {
+		t.Fatalf("no requests succeeded: %s", rep)
+	}
+	if rep.shed.Load() != 0 {
+		t.Fatalf("shed outcomes recorded despite retries: %s", rep)
+	}
+	if rep.retries.Load() == 0 {
+		t.Fatalf("no retries counted: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "retries") {
+		t.Fatalf("summary missing retry line:\n%s", rep)
+	}
+}
+
+// TestRetryDelayHonoursRetryAfter checks the backoff schedule: the server's
+// Retry-After wins when longer than the exponential delay, and jitter keeps
+// the wait within (d/2, d].
+func TestRetryDelayHonoursRetryAfter(t *testing.T) {
+	cfg := &loadConfig{backoff: 10 * time.Millisecond}
+	jit := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if d := cfg.retryDelay(0, 2*time.Second, jit); d < time.Second || d > 2*time.Second {
+			t.Fatalf("Retry-After=2s gave delay %s", d)
+		}
+		if d := cfg.retryDelay(0, 0, jit); d < 5*time.Millisecond || d > 10*time.Millisecond {
+			t.Fatalf("base delay %s outside (5ms,10ms]", d)
+		}
+		// Exponential growth, capped at 5s.
+		if d := cfg.retryDelay(20, 0, jit); d > 5*time.Second {
+			t.Fatalf("capped delay %s exceeds 5s", d)
+		}
 	}
 }
 

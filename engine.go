@@ -21,7 +21,12 @@ var ErrOverloaded = serve.ErrOverloaded
 // ComputeFunc produces a full single-source result; it is the pluggable
 // core of an Engine (default: Query, i.e. ResAcc). Computations are shared
 // by every request waiting on the same key, so they run detached from any
-// single caller; ctx carries no request deadline.
+// single caller; ctx is the flight context — it carries the leading
+// request's deadline (shrunk by a small headroom so the result publishes
+// before the waiters give up) and is cancelled outright once every waiter
+// has abandoned the flight. Implementations should honour it; returning a
+// Result with Degraded set marks the answer as partial, which the engine
+// serves to the current waiters but never caches.
 type ComputeFunc func(ctx context.Context, g *Graph, source int32, p Params) (*Result, error)
 
 // EngineOptions tunes NewEngine. The zero value is production-usable:
@@ -92,12 +97,17 @@ type Engine struct {
 }
 
 // engineEntry is one cached answer; exactly one field group is set
-// depending on the key kind.
+// depending on the key kind. Degraded entries exist only in flight — they
+// are handed to the current waiters and never put in the cache.
 type engineEntry struct {
 	res    *Result  // KindFull
 	ranked []Ranked // KindTopK
 	level  float64  // KindTopK: precision level (see QueryTopK)
 	pair   float64  // KindPair
+
+	degraded bool    // KindTopK: ranking from a deadline-truncated round
+	bound    float64 // KindTopK: additive score error when degraded
+	phase    string  // KindTopK: interrupted phase when degraded
 }
 
 func (en *engineEntry) bytes() int64 {
@@ -135,8 +145,8 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 		e.walkWorkers = cap
 	}
 	if e.compute == nil {
-		e.compute = func(_ context.Context, g *Graph, source int32, p Params) (*Result, error) {
-			return querySolver(g, source, p, e.solver())
+		e.compute = func(ctx context.Context, g *Graph, source int32, p Params) (*Result, error) {
+			return querySolverCtx(ctx, g, source, p, e.solver())
 		}
 	}
 	e.graph.Store(g)
@@ -183,21 +193,28 @@ func (e *Engine) key(kind serve.Kind, source, aux int32) serve.Key {
 }
 
 // Query answers a full single-source query through the cache, dedup and
-// admission layers. ctx bounds only this caller's wait (queueing and
-// joining), not the shared computation; a full queue sheds the request
-// with ErrOverloaded.
+// admission layers. ctx bounds this caller's wait (queueing and joining)
+// and its deadline propagates into the shared computation as the flight
+// deadline: rather than timing out with nothing, a deadline that fires
+// mid-computation yields a Result with Degraded set and an additive error
+// Bound (never cached — the next unhurried caller recomputes). A full
+// queue sheds the request with ErrOverloaded; a panic in the computation
+// is contained and returned as an error.
 func (e *Engine) Query(ctx context.Context, source int32) (*Result, error) {
 	return e.queryFull(ctx, source, false)
 }
 
 func (e *Engine) queryFull(ctx context.Context, source int32, wait bool) (*Result, error) {
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindFull, source, 0), wait,
-		func() (*engineEntry, int64, error) {
-			res, err := e.compute(context.Background(), e.graph.Load(), source, e.params)
+		func(fctx context.Context) (*engineEntry, int64, error) {
+			res, err := e.compute(fctx, e.graph.Load(), source, e.params)
 			if err != nil {
 				return nil, 0, err
 			}
 			en := &engineEntry{res: res}
+			if res.Degraded {
+				return en, -1, nil
+			}
 			return en, en.bytes(), nil
 		})
 	if err != nil {
@@ -210,37 +227,47 @@ func (e *Engine) queryFull(ctx context.Context, source int32, wait bool) (*Resul
 // solver it runs the adaptive top-k refinement of the package-level
 // QueryTopK (cheaper than a full-precision query when the ranking
 // stabilises early) and returns its precision level; a custom Compute is
-// ranked with Result.TopK and reports level 0.
-func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) ([]Ranked, float64, error) {
+// ranked with Result.TopK and reports level 0. A deadline firing
+// mid-computation yields the ranking of the partial scores with the
+// TopK degradation fields set (never cached).
+func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, error) {
 	if k <= 0 {
-		return nil, 0, fmt.Errorf("resacc: engine QueryTopK needs k > 0, got %d", k)
+		return TopK{}, fmt.Errorf("resacc: engine QueryTopK needs k > 0, got %d", k)
 	}
 	if n := e.graph.Load().N(); k > n {
 		k = n
 	}
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindTopK, source, int32(k)), false,
-		func() (*engineEntry, int64, error) {
+		func(fctx context.Context) (*engineEntry, int64, error) {
 			g := e.graph.Load()
 			var en *engineEntry
 			if e.custom {
-				res, err := e.compute(context.Background(), g, source, e.params)
+				res, err := e.compute(fctx, g, source, e.params)
 				if err != nil {
 					return nil, 0, err
 				}
-				en = &engineEntry{ranked: res.TopK(k)}
+				en = &engineEntry{ranked: res.TopK(k), degraded: res.Degraded, bound: res.Bound}
+				if res.Degraded {
+					en.phase = res.Stats.DegradedPhase.String()
+				}
 			} else {
-				ranked, level, err := queryTopKSolver(g, source, k, e.params, e.solver())
+				tk, err := queryTopKSolverCtx(fctx, g, source, k, e.params, e.solver())
 				if err != nil {
 					return nil, 0, err
 				}
-				en = &engineEntry{ranked: ranked, level: level}
+				en = &engineEntry{ranked: tk.Ranked, level: tk.Level,
+					degraded: tk.Degraded, bound: tk.Bound, phase: tk.Phase}
+			}
+			if en.degraded {
+				return en, -1, nil
 			}
 			return en, en.bytes(), nil
 		})
 	if err != nil {
-		return nil, 0, err
+		return TopK{}, err
 	}
-	return en.ranked, en.level, nil
+	return TopK{Ranked: en.ranked, Level: en.level,
+		Degraded: en.degraded, Bound: en.bound, Phase: en.phase}, nil
 }
 
 // QueryPair answers a single π(s,t) estimate through the engine (the
@@ -248,16 +275,22 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) ([]Ranked, 
 // full single-source query).
 func (e *Engine) QueryPair(ctx context.Context, source, target int32) (float64, error) {
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindPair, source, target), false,
-		func() (*engineEntry, int64, error) {
+		func(fctx context.Context) (*engineEntry, int64, error) {
 			g := e.graph.Load()
 			if target < 0 || int(target) >= g.N() {
 				return nil, 0, fmt.Errorf("resacc: target %d out of range [0,%d)", target, g.N())
 			}
 			var pair float64
 			if e.custom {
-				res, err := e.compute(context.Background(), g, source, e.params)
+				res, err := e.compute(fctx, g, source, e.params)
 				if err != nil {
 					return nil, 0, err
+				}
+				if res.Degraded {
+					// A pair estimate has no way to carry its error bound;
+					// serve it to the current waiters but keep it out of
+					// the cache.
+					return &engineEntry{pair: res.Scores[target]}, -1, nil
 				}
 				pair = res.Scores[target]
 			} else {
@@ -356,10 +389,13 @@ func (e *Engine) SyncDynamic(d *DynamicGraph) (bool, error) {
 // when EngineOptions.Metrics is set).
 type EngineStats struct {
 	Hits, Misses, Joins, Shed float64
-	CacheEntries              int
-	CacheBytes                int64
-	QueueDepth                int
-	Epoch                     uint64
+	// Panics counts computations that panicked and were contained (the
+	// query failed with an error, the process kept serving).
+	Panics       float64
+	CacheEntries int
+	CacheBytes   int64
+	QueueDepth   int
+	Epoch        uint64
 }
 
 // Stats returns current serving counters.
@@ -369,6 +405,7 @@ func (e *Engine) Stats() EngineStats {
 		Misses:       e.inner.Misses(),
 		Joins:        e.inner.Joins(),
 		Shed:         e.inner.Shed(),
+		Panics:       e.inner.Panics(),
 		CacheEntries: e.inner.Cache().Len(),
 		CacheBytes:   e.inner.Cache().Bytes(),
 		QueueDepth:   e.inner.Pool().QueueDepth(),

@@ -181,12 +181,16 @@ func TestEngineQueryTopK(t *testing.T) {
 	e, g := testEngine(t, EngineOptions{})
 	ctx := context.Background()
 
-	ranked, _, err := e.QueryTopK(ctx, 3, 5)
+	top, err := e.QueryTopK(ctx, 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ranked := top.Ranked
 	if len(ranked) != 5 {
 		t.Fatalf("got %d ranked, want 5", len(ranked))
+	}
+	if top.Degraded {
+		t.Fatal("undeadlined query reported degraded")
 	}
 	for i := 1; i < len(ranked); i++ {
 		if ranked[i].Score > ranked[i-1].Score {
@@ -194,19 +198,19 @@ func TestEngineQueryTopK(t *testing.T) {
 		}
 	}
 	// k clamps to n.
-	ranked, _, err = e.QueryTopK(ctx, 3, g.N()+100)
+	top, err = e.QueryTopK(ctx, 3, g.N()+100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ranked) != g.N() {
-		t.Fatalf("got %d ranked, want n=%d", len(ranked), g.N())
+	if len(top.Ranked) != g.N() {
+		t.Fatalf("got %d ranked, want n=%d", len(top.Ranked), g.N())
 	}
-	if _, _, err := e.QueryTopK(ctx, 3, 0); err == nil {
+	if _, err := e.QueryTopK(ctx, 3, 0); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 	// Cached: second identical call does no walk/push work.
 	w, p := workCounters()
-	if _, _, err := e.QueryTopK(ctx, 3, 5); err != nil {
+	if _, err := e.QueryTopK(ctx, 3, 5); err != nil {
 		t.Fatal(err)
 	}
 	if w2, p2 := workCounters(); w2 != w || p2 != p {

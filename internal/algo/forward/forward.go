@@ -89,7 +89,7 @@ func Run(g *graph.Graph, alpha, rmax float64, st *State) {
 			st.enqueue(v)
 		}
 	}
-	st.drain(g, alpha, rmax)
+	st.drain(g, alpha, rmax, nil)
 }
 
 // RunFrom is Run with an explicit seed set, for callers (OMFWD) that know
@@ -97,6 +97,15 @@ func Run(g *graph.Graph, alpha, rmax float64, st *State) {
 // scan. Seeds that do not satisfy the condition are pushed anyway when
 // force is true (Algorithm 4 pushes every initially enqueued node).
 func RunFrom(g *graph.Graph, alpha, rmax float64, st *State, seeds []int32, force bool) {
+	RunFromCtx(g, alpha, rmax, st, seeds, force, nil)
+}
+
+// RunFromCtx is RunFrom with cooperative cancellation: when done (a query
+// context's Done channel) fires, the drain stops at the next amortized
+// check and RunFromCtx reports true. Every push preserves the forward-push
+// invariant, so the interrupted state is a valid underestimate whose error
+// is bounded by the remaining residue sum. A nil done is free.
+func RunFromCtx(g *graph.Graph, alpha, rmax float64, st *State, seeds []int32, force bool, done <-chan struct{}) (aborted bool) {
 	if force {
 		for _, v := range seeds {
 			if st.Residue[v] > 0 {
@@ -110,7 +119,7 @@ func RunFrom(g *graph.Graph, alpha, rmax float64, st *State, seeds []int32, forc
 			}
 		}
 	}
-	st.drain(g, alpha, rmax)
+	return st.drain(g, alpha, rmax, done)
 }
 
 func satisfies(g *graph.Graph, rmax, r float64, v int32) bool {
@@ -151,11 +160,25 @@ func (st *State) touch(v int32) {
 	}
 }
 
+// cancelCheckMask amortizes the done-channel poll in drain to one
+// non-blocking receive per 256 dequeues; with a nil done the check is a
+// single predictable branch.
+const cancelCheckMask = 255
+
 // drain processes the queue until empty (Definition 7's push operation).
 // The queue is consumed by index rather than re-slicing so the buffer's
-// full capacity survives for reuse via TakeQueue.
-func (st *State) drain(g *graph.Graph, alpha, rmax float64) {
+// full capacity survives for reuse via TakeQueue. It reports whether the
+// done channel cut the drain short.
+func (st *State) drain(g *graph.Graph, alpha, rmax float64, done <-chan struct{}) (aborted bool) {
 	for head := 0; head < len(st.queue); head++ {
+		if done != nil && head&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				st.queue = st.queue[:0]
+				return true
+			default:
+			}
+		}
 		v := st.queue[head]
 		st.dequeued(v)
 		rv := st.Residue[v]
@@ -182,6 +205,7 @@ func (st *State) drain(g *graph.Graph, alpha, rmax float64) {
 		}
 	}
 	st.queue = st.queue[:0]
+	return false
 }
 
 // Solver is the standalone Forward Search baseline: it runs push to a fixed

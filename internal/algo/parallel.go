@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 
+	"resacc/internal/crash"
+	"resacc/internal/faultinject"
 	"resacc/internal/graph"
 	"resacc/internal/rng"
 )
@@ -76,12 +78,23 @@ func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64
 	for w := range streams {
 		streams[w] = root.Split()
 	}
+	var workerPanic *crash.PanicError
+	var panicOnce sync.Once
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic escaping a detached goroutine kills the process;
+			// recover here and re-raise on the caller instead.
+			defer func() {
+				if v := recover(); v != nil {
+					pe := crash.Capture("algo: remedy walk worker", v)
+					panicOnce.Do(func() { workerPanic = pe })
+				}
+			}()
+			faultinject.Hit("algo.remedy.worker")
 			a := getAccum(g.N())
 			r := streams[w]
 			for i := w; i < len(jobs); i += workers {
@@ -96,6 +109,11 @@ func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64
 		}()
 	}
 	wg.Wait()
+	if workerPanic != nil {
+		// Accumulators are poisoned or moot; drop them and let the
+		// query-level barrier convert the panic into an error.
+		panic(workerPanic)
+	}
 	// Merge in worker order over touched entries only — O(walk endpoints)
 	// rather than O(workers·n). Each worker holds at most one partial per
 	// node, so per-slot addition order (worker 0, 1, …) is unchanged and

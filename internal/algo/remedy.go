@@ -16,6 +16,16 @@ type RemedyStats struct {
 	// Walks is the number of walks actually simulated (ceilings and the
 	// MaxWalks cap make it differ from NR).
 	Walks int64
+	// Aborted reports that a context deadline/cancellation stopped the walk
+	// simulation early (ctx-aware variants only).
+	Aborted bool
+	// Remaining, set only when Aborted, is the residue mass whose walks
+	// never ran: Σ over un-simulated walks of their per-walk increment.
+	// Because k of a node's n_v walks at increment r(v)/n_v convert exactly
+	// (k/n_v)·r(v) of its residue, the partial estimate equals a fully
+	// converged remedy over r_sum−Remaining mass, and Remaining is a sound
+	// additive error bound on the un-remedied part.
+	Remaining float64
 }
 
 // Remedy runs the paper's remedy phase (Algorithm 2 lines 5-17): it

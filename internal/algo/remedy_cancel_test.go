@@ -1,0 +1,74 @@
+package algo
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"resacc/internal/graph/gen"
+)
+
+// TestRemedyWSCtxPreCancelled: a done channel that is already closed stops
+// the walk phase at the very first amortized check — zero walks run, the
+// reserves are untouched, and Remaining reports the full residue mass so
+// the caller's anytime bound stays sound.
+func TestRemedyWSCtxPreCancelled(t *testing.T) {
+	g := gen.RMAT(9, 5, 17)
+	done := make(chan struct{})
+	close(done)
+	for _, workers := range []int{1, 4} {
+		w, pi, _ := remedyFixture(t, g.N())
+		st := RemedyWSCtx(g, DefaultParams(g), w, 31, workers, done)
+		if !st.Aborted {
+			t.Fatalf("workers=%d: pre-closed done not seen", workers)
+		}
+		if st.Walks != 0 {
+			t.Fatalf("workers=%d: %d walks ran after cancellation", workers, st.Walks)
+		}
+		if math.Abs(st.Remaining-st.RSum) > 1e-12 {
+			t.Fatalf("workers=%d: Remaining=%g, want full RSum=%g", workers, st.Remaining, st.RSum)
+		}
+		for v := range pi {
+			if w.Reserve[v] != pi[v] {
+				t.Fatalf("workers=%d: reserve[%d] moved without walks", workers, v)
+			}
+		}
+	}
+}
+
+// TestRemedyWSCtxMassConservation: whenever the walk phase stops — mid-node,
+// mid-stride, or not at all — the reserve mass the walks deposited must
+// equal the converted residue RSum−Remaining (the FORA invariant's walk-side
+// accounting, the quantity the degraded bound is built from).
+func TestRemedyWSCtxMassConservation(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 6, 23)
+	for _, workers := range []int{1, 4} {
+		for _, delay := range []time.Duration{0, 50 * time.Microsecond, 500 * time.Microsecond, time.Hour} {
+			w, pi, _ := remedyFixture(t, g.N())
+			done := make(chan struct{})
+			if delay == 0 {
+				close(done)
+			} else if delay < time.Hour {
+				go func() { time.Sleep(delay); close(done) }()
+			}
+			st := RemedyWSCtx(g, DefaultParams(g), w, 7, workers, done)
+
+			var gained float64
+			for v := range pi {
+				gained += w.Reserve[v] - pi[v]
+			}
+			converted := st.RSum - st.Remaining
+			if math.Abs(gained-converted) > 1e-9*math.Max(1, st.RSum) {
+				t.Fatalf("workers=%d delay=%v: walks deposited %g but accounting says %g (aborted=%v walks=%d)",
+					workers, delay, gained, converted, st.Aborted, st.Walks)
+			}
+			if st.Remaining < 0 || st.Remaining > st.RSum+1e-12 {
+				t.Fatalf("workers=%d delay=%v: Remaining=%g outside [0, RSum=%g]",
+					workers, delay, st.Remaining, st.RSum)
+			}
+			if !st.Aborted && st.Remaining != 0 {
+				t.Fatalf("workers=%d delay=%v: un-aborted run left Remaining=%g", workers, delay, st.Remaining)
+			}
+		}
+	}
+}

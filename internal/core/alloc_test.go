@@ -120,7 +120,7 @@ func TestStatsSubgraphSizeMatchesMembership(t *testing.T) {
 	g := gen.ErdosRenyi(300, 1500, 5)
 	p := algo.DefaultParams(g)
 	w := ws.New(g.N())
-	hop := runHHopFWD(g, 0, p.Alpha, p.RMaxHop, p.H, false, w)
+	hop := runHHopFWD(g, 0, p.Alpha, p.RMaxHop, p.H, false, w, nil)
 	count := 0
 	for v := int32(0); int(v) < g.N(); v++ {
 		if w.InSub.Has(v) {
@@ -131,7 +131,7 @@ func TestStatsSubgraphSizeMatchesMembership(t *testing.T) {
 		t.Fatalf("subSize=%d, marked members=%d", hop.subSize, count)
 	}
 	w2 := ws.New(g.N())
-	whole := runHHopFWD(g, 0, p.Alpha, p.RMaxHop, p.H, true, w2)
+	whole := runHHopFWD(g, 0, p.Alpha, p.RMaxHop, p.H, true, w2, nil)
 	if whole.subSize != g.N() {
 		t.Fatalf("whole-graph subSize=%d, want n=%d", whole.subSize, g.N())
 	}

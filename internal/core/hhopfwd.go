@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"resacc/internal/faultinject"
 	"resacc/internal/graph"
 	"resacc/internal/ws"
 )
@@ -24,6 +25,33 @@ type hopInfo struct {
 	r1 float64 // residue of s after the accumulating phase
 	t  int     // number of accumulating phases collapsed (T)
 	s  float64 // geometric scaler (S)
+
+	// aborted reports that the push loop stopped at a context
+	// deadline/cancellation. The workspace then holds a valid intermediate
+	// state — every push preserves the invariant
+	// π(s,t) = reserve[t] + Σ_v residue[v]·π(v,t) — so the reserves are an
+	// honest underestimate with additive error bounded by Σ residue.
+	aborted bool
+}
+
+// cancelCheckMask amortizes cancellation polling in the push loops: the
+// done channel is inspected once every cancelCheckMask+1 dequeues, so the
+// steady-state cost is a counter test, not a channel operation per push.
+const cancelCheckMask = 255
+
+// pollDone is the amortized cancellation check: nil done (a background
+// context) costs one predictable branch; a real deadline costs a
+// non-blocking channel receive every cancelCheckMask+1 iterations.
+func pollDone(done <-chan struct{}, iter int) bool {
+	if done == nil || iter&cancelCheckMask != 0 {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // runHHopFWD executes Algorithm 3: the accumulating phase pushes residues
@@ -38,11 +66,22 @@ type hopInfo struct {
 // Appendix K. The ablation is a flag, not a filled membership vector: it
 // pays neither the allocation nor the O(n) "everything is in the subgraph"
 // memset the dense representation needed.
-func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeGraph bool, w *ws.Workspace) hopInfo {
+//
+// done, when non-nil, is the query context's cancellation channel; the
+// push loop polls it at amortized intervals and stops early (info.aborted)
+// when it fires, skipping the updating phase — the geometric rescaling is
+// only valid at quiescence, while the raw reserve/residue state is valid
+// at every push boundary.
+func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeGraph bool, w *ws.Workspace, done <-chan struct{}) hopInfo {
 	n := g.N()
 	w.Reset(n)
 	info := hopInfo{t: 1, s: 1}
 	w.SetResidue(src, 1)
+	faultinject.Hit("core.hhopfwd.start")
+	if pollDone(done, 0) {
+		info.aborted = true
+		return info
+	}
 
 	var within []int32
 	if wholeGraph {
@@ -95,6 +134,10 @@ func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeG
 	}
 	// Lines 3-7: push at subgraph nodes (never at s) until quiescent.
 	for head := 0; head < len(w.Queue); head++ {
+		if pollDone(done, head) {
+			info.aborted = true
+			break
+		}
 		v := w.Queue[head]
 		w.InQueue.Unmark(v)
 		if !pushable(v) {
@@ -116,6 +159,13 @@ func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeG
 		}
 	}
 	w.Queue = w.Queue[:0]
+	if info.aborted {
+		// The updating phase's geometric rescaling models T further
+		// accumulating phases run to quiescence; applied to a half-drained
+		// queue it would scale mass that was never re-pushed. Leave the raw
+		// (still invariant-preserving) state alone.
+		return info
+	}
 
 	// --- Updating phase (lines 8-18) -------------------------------------
 	info.r1 = w.Residue[src]
@@ -165,11 +215,16 @@ func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeG
 // search with threshold rmaxHop restricted to the h-hop subgraph, with the
 // source pushing repeatedly like any other node (the looping phenomenon of
 // §IV-A is incurred in full).
-func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, w *ws.Workspace) hopInfo {
+func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, w *ws.Workspace, done <-chan struct{}) hopInfo {
 	n := g.N()
 	w.Reset(n)
 	info := hopInfo{t: 0, s: 1}
 	w.SetResidue(src, 1)
+	faultinject.Hit("core.hhopfwd.start")
+	if pollDone(done, 0) {
+		info.aborted = true
+		return info
+	}
 	layers := graph.BFSLayersScratch(g, src, h+1, &w.Visited, w.Order, w.Start)
 	w.Order, w.Start = layers.Order, layers.Start
 	within := layers.Within(h)
@@ -193,6 +248,10 @@ func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h i
 		return w.Residue[v] >= rmaxHop*float64(d)
 	}
 	for head := 0; head < len(w.Queue); head++ {
+		if pollDone(done, head) {
+			info.aborted = true
+			break
+		}
 		v := w.Queue[head]
 		w.InQueue.Unmark(v)
 		if !pushable(v) {

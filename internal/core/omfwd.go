@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"resacc/internal/algo/forward"
+	"resacc/internal/faultinject"
 	"resacc/internal/graph"
 	"resacc/internal/ws"
 )
@@ -12,12 +13,15 @@ import (
 // frontier nodes L_{(h+1)-hop}(s), whose residues were deliberately left to
 // accumulate during h-HopFWD, are pushed in decreasing order of residue,
 // and the push cascade then proceeds anywhere in the graph under the
-// (larger) threshold r_max^f. It returns the number of push operations.
+// (larger) threshold r_max^f. It returns the number of push operations and
+// whether the done channel aborted the cascade mid-drain (the workspace
+// then holds a valid intermediate state; see hopInfo.aborted).
 //
 // The search runs entirely on the workspace: reserve/residue writes are
 // tracked in w.Dirty and the queue bookkeeping borrows w.InQueue/w.Queue,
 // so the phase allocates nothing in steady state.
-func runOMFWD(g *graph.Graph, alpha, rmaxF float64, w *ws.Workspace, frontier []int32) int64 {
+func runOMFWD(g *graph.Graph, alpha, rmaxF float64, w *ws.Workspace, frontier []int32, done <-chan struct{}) (int64, bool) {
+	faultinject.Hit("core.omfwd.start")
 	w.Seeds = w.Seeds[:0]
 	for _, v := range frontier {
 		if w.Residue[v] > 0 {
@@ -41,7 +45,7 @@ func runOMFWD(g *graph.Graph, alpha, rmaxF float64, w *ws.Workspace, frontier []
 	})
 	st := &forward.State{Reserve: w.Reserve, Residue: w.Residue, Track: &w.Dirty}
 	st.UseScratch(&w.InQueue, w.Queue)
-	forward.RunFrom(g, alpha, rmaxF, st, w.Seeds, true)
+	aborted := forward.RunFromCtx(g, alpha, rmaxF, st, w.Seeds, true, done)
 	w.Queue = st.TakeQueue()
-	return st.Pushes
+	return st.Pushes, aborted
 }

@@ -19,10 +19,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"resacc/internal/algo"
+	"resacc/internal/crash"
+	"resacc/internal/faultinject"
 	"resacc/internal/graph"
 	"resacc/internal/ws"
 )
@@ -60,6 +63,36 @@ func (v Variant) String() string {
 	}
 }
 
+// Phase identifies where in the three-phase pipeline a query was when it
+// was cut short. The zero value means the query ran to completion.
+type Phase int
+
+const (
+	// PhaseNone means no phase was interrupted.
+	PhaseNone Phase = iota
+	// PhaseHopFWD is the h-HopFWD push phase (Algorithm 3).
+	PhaseHopFWD
+	// PhaseOMFWD is the One-More Forward push phase (Algorithm 4).
+	PhaseOMFWD
+	// PhaseRemedy is the random-walk remedy phase (Algorithm 2).
+	PhaseRemedy
+)
+
+// String returns the phase's name in the lowercase form used as a metric
+// label value.
+func (p Phase) String() string {
+	switch p {
+	case PhaseHopFWD:
+		return "hhopfwd"
+	case PhaseOMFWD:
+		return "omfwd"
+	case PhaseRemedy:
+		return "remedy"
+	default:
+		return "none"
+	}
+}
+
 // Stats records what one query did, phase by phase (paper Appendix J).
 type Stats struct {
 	// Durations of the three phases.
@@ -79,6 +112,20 @@ type Stats struct {
 	RSumAfterHop, RSumAfterOMFWD float64
 	// Walks is the number of remedy random walks simulated.
 	Walks int64
+
+	// Degraded reports that the query's context fired before the pipeline
+	// finished and the reserves are an anytime underestimate rather than
+	// the converged answer. Every push and every walk preserves the FORA
+	// invariant π(s,t) = π̂(t) + Σ_v r(v)·π(v,t), so the partial result is
+	// still meaningful: π̂(t) ≤ π(s,t) ≤ π̂(t) + ResidualBound for every t
+	// when the remedy phase never ran, and the same bound holds up to the
+	// usual (ε,δ,p_f) randomized guarantee on the walked portion otherwise.
+	Degraded bool
+	// DegradedPhase is the phase the deadline interrupted.
+	DegradedPhase Phase
+	// ResidualBound is the unconverted residue mass Σ_v r(v) at the moment
+	// the query stopped — a uniform additive error bound on every score.
+	ResidualBound float64
 }
 
 // Total returns the summed phase time.
@@ -88,12 +135,16 @@ func (s Stats) Total() time.Duration { return s.HopFWD + s.OMFWD + s.Remedy }
 // attached to query traces: all three phase durations plus the counters
 // that explain them.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"h-HopFWD=%v (pushes=%d |V_h|=%d |L_h+1|=%d T=%d) OMFWD=%v (pushes=%d) Remedy=%v (walks=%d r_sum=%.3g) total=%v",
 		s.HopFWD.Round(time.Microsecond), s.HopPushes, s.SubgraphSize, s.FrontierSize, s.T,
 		s.OMFWD.Round(time.Microsecond), s.OMFWDPushes,
 		s.Remedy.Round(time.Microsecond), s.Walks, s.RSumAfterOMFWD,
 		s.Total().Round(time.Microsecond))
+	if s.Degraded {
+		line += fmt.Sprintf(" DEGRADED (phase=%s bound=%.3g)", s.DegradedPhase, s.ResidualBound)
+	}
+	return line
 }
 
 // defaultPool backs Solvers that were not handed an explicit pool, so even
@@ -136,7 +187,22 @@ func (s Solver) pool() *ws.Pool {
 // borrows a workspace from the solver's pool for the duration of the query;
 // the returned score slice is freshly allocated and owned by the caller.
 func (s Solver) Query(g *graph.Graph, src int32, p algo.Params) ([]float64, Stats, error) {
-	var stats Stats
+	return s.QueryCtx(context.Background(), g, src, p)
+}
+
+// QueryCtx is Query under a context. A deadline or cancellation does not
+// abandon the query: the phases stop at their next amortized check and the
+// reserves accumulated so far are extracted as an anytime answer, with
+// Stats.Degraded/DegradedPhase/ResidualBound describing how far the query
+// got and how wrong the scores can be (see Stats.Degraded). The caller
+// decides whether a degraded answer is worth serving.
+//
+// A panic during the computation (including one re-raised from a remedy
+// walk worker) is converted into a *crash.PanicError and the borrowed
+// workspace is discarded instead of returned to the pool — its
+// generation-stamped bookkeeping may be mid-update and would poison later
+// queries.
+func (s Solver) QueryCtx(ctx context.Context, g *graph.Graph, src int32, p algo.Params) (pi []float64, stats Stats, err error) {
 	if err := p.Validate(g); err != nil {
 		return nil, stats, err
 	}
@@ -145,8 +211,15 @@ func (s Solver) Query(g *graph.Graph, src int32, p algo.Params) ([]float64, Stat
 	}
 	pool := s.pool()
 	w := pool.Get(g.N())
-	defer pool.Put(w)
-	stats = s.QueryWS(g, src, p, w)
+	defer func() {
+		if v := recover(); v != nil {
+			pi, stats = nil, Stats{}
+			err = crash.Capture("core: resacc query", v)
+			return
+		}
+		pool.Put(w)
+	}()
+	stats = s.QueryWSCtx(ctx, g, src, p, w)
 	return w.ExtractScores(), stats, nil
 }
 
@@ -157,6 +230,27 @@ func (s Solver) Query(g *graph.Graph, src int32, p algo.Params) ([]float64, Stat
 // regression tests pin down. Results are identical whether w is fresh or
 // recycled.
 func (s Solver) QueryWS(g *graph.Graph, src int32, p algo.Params, w *ws.Workspace) Stats {
+	return s.QueryWSCtx(context.Background(), g, src, p, w)
+}
+
+// QueryWSCtx is QueryWS under a context. The context's Done channel is
+// threaded through all three phases and polled at amortized intervals
+// (every cancelCheckMask+1 pushes, every walkCheckMask+1 walks), so a
+// background context costs one predictable branch per iteration and the
+// call still allocates nothing in steady state. For a context that never
+// fires the result is bit-identical to QueryWS.
+//
+// On deadline/cancellation the current phase stops at a push/walk boundary
+// — where the FORA invariant holds — later phases are skipped, and the
+// stats report Degraded with the live residue sum as ResidualBound.
+// Panics are NOT recovered here: the caller owns the workspace and must
+// decide its fate (QueryCtx discards it).
+func (s Solver) QueryWSCtx(ctx context.Context, g *graph.Graph, src int32, p algo.Params, w *ws.Workspace) Stats {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	faultinject.Hit("core.query.start")
 	var stats Stats
 
 	// Phase 1: h-HopFWD (or its ablated replacements).
@@ -164,11 +258,11 @@ func (s Solver) QueryWS(g *graph.Graph, src int32, p algo.Params, w *ws.Workspac
 	var hop hopInfo
 	switch s.Variant {
 	case NoLoop:
-		hop = runRestrictedForward(g, src, p.Alpha, p.RMaxHop, p.H, w)
+		hop = runRestrictedForward(g, src, p.Alpha, p.RMaxHop, p.H, w, done)
 	case NoSubgraph:
-		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, true, w)
+		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, true, w, done)
 	default:
-		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, false, w)
+		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, false, w, done)
 	}
 	stats.HopFWD = time.Since(start)
 	stats.HopPushes = hop.pushes
@@ -176,20 +270,42 @@ func (s Solver) QueryWS(g *graph.Graph, src int32, p algo.Params, w *ws.Workspac
 	stats.SubgraphSize = hop.subSize
 	stats.FrontierSize = len(hop.frontier)
 	stats.RSumAfterHop = w.SumResidue()
+	if hop.aborted {
+		stats.Degraded = true
+		stats.DegradedPhase = PhaseHopFWD
+		stats.ResidualBound = stats.RSumAfterHop
+		algo.AddPushes(stats.HopPushes)
+		return stats
+	}
 
 	// Phase 2: OMFWD.
 	if s.Variant != NoOMFWD && s.Variant != NoSubgraph {
 		start = time.Now()
-		stats.OMFWDPushes = runOMFWD(g, p.Alpha, p.RMaxF, w, hop.frontier)
+		var omAborted bool
+		stats.OMFWDPushes, omAborted = runOMFWD(g, p.Alpha, p.RMaxF, w, hop.frontier, done)
 		stats.OMFWD = time.Since(start)
+		if omAborted {
+			stats.RSumAfterOMFWD = w.SumResidue()
+			stats.Degraded = true
+			stats.DegradedPhase = PhaseOMFWD
+			stats.ResidualBound = stats.RSumAfterOMFWD
+			algo.AddPushes(stats.HopPushes + stats.OMFWDPushes)
+			return stats
+		}
 	}
 	stats.RSumAfterOMFWD = w.SumResidue()
 
 	// Phase 3: remedy.
+	faultinject.Hit("core.remedy.start")
 	start = time.Now()
-	rs := algo.RemedyWS(g, p, w, p.Seed, s.Workers)
+	rs := algo.RemedyWSCtx(g, p, w, p.Seed, s.Workers, done)
 	stats.Remedy = time.Since(start)
 	stats.Walks = rs.Walks
+	if rs.Aborted {
+		stats.Degraded = true
+		stats.DegradedPhase = PhaseRemedy
+		stats.ResidualBound = rs.Remaining
+	}
 	algo.AddPushes(stats.HopPushes + stats.OMFWDPushes)
 	return stats
 }

@@ -40,7 +40,7 @@ type hopRun struct {
 
 func runHop(g *graph.Graph, src int32, alpha, rmax float64, h int, whole bool) hopRun {
 	w := ws.New(g.N())
-	return hopRun{runHHopFWD(g, src, alpha, rmax, h, whole, w), w}
+	return hopRun{runHHopFWD(g, src, alpha, rmax, h, whole, w, nil), w}
 }
 
 func TestHHopFWDFigure3Trace(t *testing.T) {

@@ -1,0 +1,62 @@
+// Package crash converts recovered panics into inspectable errors so a
+// fault in one query — a corrupt graph, an index bug, an injected chaos
+// panic — fails that query instead of the process. The serving layers use
+// it in two places: worker goroutines recover and hand the panic to their
+// caller (a panic on a detached goroutine would otherwise kill the whole
+// daemon, no outer recover can help), and the query entry points convert
+// the re-raised panic into a *PanicError carrying the original value and
+// stack for logs and metrics.
+package crash
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic presented as an error. It carries the
+// operation that panicked, the original panic value, and the stack captured
+// at recovery time.
+type PanicError struct {
+	// Op names the code path that panicked, e.g. "resacc: query".
+	Op string
+	// Value is the original panic value.
+	Value any
+	// Stack is the goroutine stack at the recovery point (debug.Stack).
+	Stack []byte
+}
+
+// Error implements error. The stack is deliberately omitted — log it
+// separately; error strings end up in HTTP responses.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Op, e.Value)
+}
+
+// Capture wraps a recovered panic value (and the current stack) into a
+// *PanicError. If v is already a *PanicError — a worker recovered it and
+// the caller re-raised — it is returned unchanged so the original stack
+// survives the hop between goroutines.
+func Capture(op string, v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Op: op, Value: v, Stack: debug.Stack()}
+}
+
+// Recover is a deferred barrier:
+//
+//	defer crash.Recover("resacc: query", &err)
+//
+// An escaping panic is converted into a *PanicError stored in *errp;
+// a normal return leaves *errp alone.
+func Recover(op string, errp *error) {
+	if v := recover(); v != nil {
+		*errp = Capture(op, v)
+	}
+}
+
+// IsPanic reports whether err wraps a recovered panic.
+func IsPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}

@@ -1,0 +1,16 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether fault injection was compiled in.
+const Enabled = false
+
+// Hit is a no-op in the default build; the compiler inlines it away, so
+// fault points cost nothing in production binaries.
+func Hit(string) {}
+
+// Set is a no-op in the default build.
+func Set(string, Fault) {}
+
+// Reset is a no-op in the default build.
+func Reset() {}

@@ -1,0 +1,47 @@
+//go:build faultinject
+
+package faultinject
+
+import "sync"
+
+// Enabled reports whether fault injection was compiled in.
+const Enabled = true
+
+var (
+	mu     sync.RWMutex
+	faults map[string]Fault
+)
+
+// Hit runs the fault registered for point, if any. Safe for concurrent use
+// with Set/Reset; the fault itself runs outside the registry lock so it may
+// block (latency injection) without stalling other points.
+func Hit(point string) {
+	mu.RLock()
+	f := faults[point]
+	mu.RUnlock()
+	if f != nil {
+		f()
+	}
+}
+
+// Set attaches f to the named point (f == nil clears it). Tests should
+// defer Reset so faults never leak across test cases.
+func Set(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if faults == nil {
+		faults = make(map[string]Fault)
+	}
+	if f == nil {
+		delete(faults, point)
+		return
+	}
+	faults[point] = f
+}
+
+// Reset clears every registered fault.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = nil
+}

@@ -1,0 +1,21 @@
+//go:build !faultinject
+
+package faultinject
+
+import "testing"
+
+// TestDisabledBuildIsInert pins the production contract: without the
+// faultinject tag, Enabled is false and Set/Hit are no-ops — a registered
+// fault can never fire.
+func TestDisabledBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("default build must not enable fault injection")
+	}
+	fired := false
+	Set("any.point", func() { fired = true })
+	Hit("any.point")
+	Reset()
+	if fired {
+		t.Fatal("fault fired in the default build")
+	}
+}

@@ -1,0 +1,86 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHitRunsRegisteredFault(t *testing.T) {
+	defer Reset()
+	if !Enabled {
+		t.Fatal("faultinject build must report Enabled")
+	}
+	var fired atomic.Int64
+	Set("a.point", func() { fired.Add(1) })
+	Hit("a.point")
+	Hit("a.point")
+	Hit("other.point") // unregistered: silent no-op
+	if fired.Load() != 2 {
+		t.Fatalf("fault fired %d times, want 2", fired.Load())
+	}
+}
+
+func TestSetNilClearsAndResetClearsAll(t *testing.T) {
+	defer Reset()
+	var fired atomic.Int64
+	Set("a", func() { fired.Add(1) })
+	Set("b", func() { fired.Add(1) })
+	Set("a", nil)
+	Hit("a")
+	if fired.Load() != 0 {
+		t.Fatal("cleared point still fired")
+	}
+	Reset()
+	Hit("b")
+	if fired.Load() != 0 {
+		t.Fatal("Reset left a fault registered")
+	}
+}
+
+// TestHitConcurrentWithSet runs Hit from many goroutines while Set/Reset
+// churn the registry — the -race chaos job makes this a data-race probe.
+func TestHitConcurrentWithSet(t *testing.T) {
+	defer Reset()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					Hit("churn")
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		Set("churn", func() {})
+		Set("churn", nil)
+		Reset()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestFaultMayBlockWithoutStallingOtherPoints: a sleeping fault must not
+// hold the registry lock (latency injection at one point cannot deadlock
+// Set or Hits elsewhere).
+func TestFaultMayBlockWithoutStallingOtherPoints(t *testing.T) {
+	defer Reset()
+	inFault := make(chan struct{})
+	release := make(chan struct{})
+	Set("slow", func() { close(inFault); <-release })
+	go Hit("slow")
+	<-inFault
+	// Registry must still be usable while the fault blocks.
+	Set("fast", func() {})
+	Hit("fast")
+	close(release)
+}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"time"
 
+	"resacc/internal/crash"
+	"resacc/internal/faultinject"
 	"resacc/internal/obs"
 )
 
@@ -70,6 +72,7 @@ type Engine[V any] struct {
 	hits, misses, joins, shed *obs.Counter
 	evictCap, evictTTL        *obs.Counter
 	evictInv                  *obs.Counter
+	panics                    *obs.Counter
 	histHit, histCompute      *obs.Histogram
 }
 
@@ -101,6 +104,8 @@ func New[V any](cfg Config) *Engine[V] {
 		e.evictCap = reg.Counter("rwr_engine_cache_evictions_total", evHelp, "reason", "capacity")
 		e.evictTTL = reg.Counter("rwr_engine_cache_evictions_total", evHelp, "reason", "expired")
 		e.evictInv = reg.Counter("rwr_engine_cache_evictions_total", evHelp, "reason", "invalidated")
+		e.panics = reg.Counter("resacc_panics_total",
+			"Query computations that panicked and were contained (the query failed, the process survived).")
 		reg.GaugeFunc("rwr_engine_queue_depth",
 			"Admitted computations waiting for a worker.",
 			func() float64 { return float64(e.pool.QueueDepth()) })
@@ -118,6 +123,7 @@ func New[V any](cfg Config) *Engine[V] {
 	} else {
 		e.hits, e.misses, e.joins, e.shed = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
 		e.evictCap, e.evictTTL, e.evictInv = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		e.panics = &obs.Counter{}
 		e.histHit, e.histCompute = obs.NewHistogram(nil), obs.NewHistogram(nil)
 	}
 	e.cache.hits = e.hits.Inc
@@ -131,12 +137,24 @@ func New[V any](cfg Config) *Engine[V] {
 // Do answers key: cache hit, join of an in-flight computation, or a fresh
 // computation admitted through the pool. compute runs on a pool worker,
 // detached from any single request (N callers may be waiting on it); ctx
-// bounds only this caller's wait. With wait=false a full queue sheds the
-// request (ErrOverloaded); with wait=true admission blocks until there is
-// queue room or ctx expires — the batch path uses that to pace fan-out
-// instead of shedding its own items.
+// bounds only this caller's wait. compute receives the flight context —
+// the leader's deadline minus a small headroom, cancelled when every
+// waiter has abandoned — so a deadline-aware computation can stop early
+// and publish an anytime answer before the callers give up waiting.
+//
+// compute's bytes return doubles as a cache gate: a negative value means
+// "do not cache" — degraded (deadline-truncated) answers use it so a
+// caller with a generous deadline never gets a rushed answer from cache.
+//
+// A panicking compute is contained here: the panic becomes a
+// *crash.PanicError returned to every waiter of that flight, the
+// resacc_panics_total counter is bumped, and the engine keeps serving.
+// With wait=false a full queue sheds the request (ErrOverloaded); with
+// wait=true admission blocks until there is queue room or the flight is
+// abandoned — the batch path uses that to pace fan-out instead of
+// shedding its own items.
 func (e *Engine[V]) Do(ctx context.Context, key Key, wait bool,
-	compute func() (V, int64, error)) (V, Outcome, error) {
+	compute func(ctx context.Context) (V, int64, error)) (V, Outcome, error) {
 	start := time.Now()
 	if v, ok := e.cache.Get(key); ok {
 		e.histHit.Observe(time.Since(start).Seconds())
@@ -146,16 +164,31 @@ func (e *Engine[V]) Do(ctx context.Context, key Key, wait bool,
 		var zero V
 		return zero, OutcomeComputed, err
 	}
-	v, joined, err := e.flights.do(ctx, key, func(finish func(V, error)) {
+	v, joined, err := e.flights.do(ctx, key, func(fctx context.Context, finish func(V, error)) {
 		run := func() {
-			v, bytes, err := compute()
-			if err == nil {
+			var (
+				v     V
+				bytes int64
+				err   error
+			)
+			func() {
+				defer crash.Recover("serve: engine compute", &err)
+				faultinject.Hit("serve.compute")
+				v, bytes, err = compute(fctx)
+			}()
+			if crash.IsPanic(err) {
+				e.panics.Inc()
+			}
+			if err == nil && bytes >= 0 {
 				e.cache.Put(key, v, bytes)
 			}
 			finish(v, err)
 		}
+		// Admission waits on the flight context, not the leader's: a
+		// leader whose client vanishes mid-queue hands the flight to the
+		// surviving waiters instead of erroring them out.
 		if wait {
-			if err := e.pool.Submit(ctx, run); err != nil {
+			if err := e.pool.Submit(fctx, run); err != nil {
 				var zero V
 				finish(zero, err)
 			}
@@ -206,3 +239,6 @@ func (e *Engine[V]) Joins() float64 { return e.joins.Value() }
 
 // Shed returns how many calls were load-shed.
 func (e *Engine[V]) Shed() float64 { return e.shed.Value() }
+
+// Panics returns how many computations panicked and were contained.
+func (e *Engine[V]) Panics() float64 { return e.panics.Value() }

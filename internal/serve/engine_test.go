@@ -20,8 +20,8 @@ func paramsForTest() algo.Params {
 	return algo.DefaultParams(gen.ErdosRenyi(100, 500, 1))
 }
 
-func value(n int32) func() (int, int64, error) {
-	return func() (int, int64, error) { return int(n), 8, nil }
+func value(n int32) func(context.Context) (int, int64, error) {
+	return func(context.Context) (int, int64, error) { return int(n), 8, nil }
 }
 
 func TestEngineHitMissComputed(t *testing.T) {
@@ -33,7 +33,7 @@ func TestEngineHitMissComputed(t *testing.T) {
 	if err != nil || v != 1 || out != OutcomeComputed {
 		t.Fatalf("first: v=%d out=%v err=%v", v, out, err)
 	}
-	v, out, err = e.Do(ctx, key(1), false, func() (int, int64, error) {
+	v, out, err = e.Do(ctx, key(1), false, func(context.Context) (int, int64, error) {
 		t.Error("compute ran on a cached key")
 		return 0, 0, nil
 	})
@@ -51,7 +51,7 @@ func TestEngineErrorsNotCached(t *testing.T) {
 	boom := errors.New("boom")
 	calls := 0
 	for i := 0; i < 2; i++ {
-		_, _, err := e.Do(context.Background(), key(9), false, func() (int, int64, error) {
+		_, _, err := e.Do(context.Background(), key(9), false, func(context.Context) (int, int64, error) {
 			calls++
 			return 0, 0, boom
 		})
@@ -78,7 +78,7 @@ func TestEngineSingleflightCollapse(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, out, err := e.Do(context.Background(), key(5), false, func() (int, int64, error) {
+			v, out, err := e.Do(context.Background(), key(5), false, func(context.Context) (int, int64, error) {
 				computes.Add(1)
 				<-release
 				return 42, 8, nil
@@ -122,7 +122,7 @@ func TestEngineShedsWhenQueueFull(t *testing.T) {
 	block := make(chan struct{})
 	started := make(chan struct{})
 	// Occupy the worker...
-	go e.Do(context.Background(), key(1), false, func() (int, int64, error) {
+	go e.Do(context.Background(), key(1), false, func(context.Context) (int, int64, error) {
 		close(started)
 		<-block
 		return 1, 8, nil
@@ -148,7 +148,7 @@ func TestEngineWaitSubmitBlocksInsteadOfShedding(t *testing.T) {
 
 	block := make(chan struct{})
 	started := make(chan struct{})
-	go e.Do(context.Background(), key(1), false, func() (int, int64, error) {
+	go e.Do(context.Background(), key(1), false, func(context.Context) (int, int64, error) {
 		close(started)
 		<-block
 		return 1, 8, nil
@@ -182,7 +182,7 @@ func TestEngineWaiterHonoursContext(t *testing.T) {
 
 	release := make(chan struct{})
 	started := make(chan struct{})
-	go e.Do(context.Background(), key(1), false, func() (int, int64, error) {
+	go e.Do(context.Background(), key(1), false, func(context.Context) (int, int64, error) {
 		close(started)
 		<-release
 		return 7, 8, nil
@@ -191,7 +191,7 @@ func TestEngineWaiterHonoursContext(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	_, _, err := e.Do(ctx, key(1), false, func() (int, int64, error) {
+	_, _, err := e.Do(ctx, key(1), false, func(context.Context) (int, int64, error) {
 		t.Error("joiner must not compute")
 		return 0, 0, nil
 	})
@@ -234,7 +234,7 @@ func TestEngineHammer(t *testing.T) {
 				} else {
 					k = key(int32(100 + rng.Intn(coldKeys)))
 				}
-				v, _, err := e.Do(context.Background(), k, true, func() (int, int64, error) {
+				v, _, err := e.Do(context.Background(), k, true, func(context.Context) (int, int64, error) {
 					computes.Add(1)
 					return int(k.Source), 64, nil
 				})

@@ -1,6 +1,7 @@
 package resacc
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +27,19 @@ type Result struct {
 	Scores []float64
 	// Stats is ResAcc's phase breakdown (zero for other solvers).
 	Stats Stats
+
+	// Degraded reports that the query's deadline fired before the solver
+	// converged and Scores is an anytime underestimate: for every node t,
+	// Scores[t] ≤ π(s,t) ≤ Scores[t] + Bound whenever the random-walk
+	// phase never ran, and the same additive bound holds on top of the
+	// usual randomized guarantee otherwise. Degraded results are never
+	// cached by the serving engine.
+	Degraded bool
+	// Bound is the additive error bound of a degraded result (the
+	// unconverted residue mass at the moment the query stopped); 0 when
+	// Degraded is false. Bound ≥ 1 means the query stopped before any
+	// useful mass converted.
+	Bound float64
 }
 
 // TopK returns the k nodes with the highest estimated RWR values in
@@ -48,17 +62,37 @@ func Query(g *Graph, source int32, p Params) (*Result, error) {
 	return querySolver(g, source, p, core.Solver{})
 }
 
+// QueryCtx is Query under a context: a deadline or cancellation does not
+// abandon the work already done — the solver stops at its next amortized
+// check and returns the scores accumulated so far, flagged Degraded with
+// an additive error Bound (see Result.Degraded). Callers that would rather
+// fail than serve a partial answer should check Degraded (or Bound) and
+// discard. A panic inside the solver is contained and returned as an
+// error.
+func QueryCtx(ctx context.Context, g *Graph, source int32, p Params) (*Result, error) {
+	return querySolverCtx(ctx, g, source, p, core.Solver{})
+}
+
 // querySolver is Query with an explicit solver, so callers that hold a
 // workspace pool or a walk-worker setting (the serving engine) reuse the
 // same hook/result plumbing.
 func querySolver(g *Graph, source int32, p Params, s core.Solver) (*Result, error) {
+	return querySolverCtx(context.Background(), g, source, p, s)
+}
+
+// querySolverCtx is the ctx-aware spine under Query/QueryCtx and the
+// engine's default compute.
+func querySolverCtx(ctx context.Context, g *Graph, source int32, p Params, s core.Solver) (*Result, error) {
 	start := time.Now()
-	scores, stats, err := s.Query(g, source, p)
+	scores, stats, err := s.QueryCtx(ctx, g, source, p)
 	notifyQueryHooks(QueryEvent{Graph: g, Source: source, Start: start, Duration: time.Since(start), Stats: stats, Err: err})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Source: source, Scores: scores, Stats: stats}, nil
+	return &Result{
+		Source: source, Scores: scores, Stats: stats,
+		Degraded: stats.Degraded, Bound: stats.ResidualBound,
+	}, nil
 }
 
 // QueryMulti answers the multiple-sources RWR query (MSRWR, §VI-A of the

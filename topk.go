@@ -1,11 +1,32 @@
 package resacc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"resacc/internal/core"
 )
+
+// TopK is the answer to a top-k query: the ranking plus how it was
+// produced. Level is the NScale precision the final round ran at (see
+// QueryTopK); the degradation fields mirror Result's and are set when the
+// query's deadline cut the final round short.
+type TopK struct {
+	// Ranked is the top-k nodes in decreasing score order.
+	Ranked []Ranked
+	// Level is the precision level (walk-budget scale) of the round that
+	// produced the ranking.
+	Level float64
+	// Degraded reports the ranking came from a deadline-truncated round;
+	// scores are underestimates within Bound (see Result.Degraded).
+	Degraded bool
+	// Bound is the additive score error bound when Degraded.
+	Bound float64
+	// Phase names the interrupted phase ("hhopfwd", "omfwd", "remedy")
+	// when Degraded, "" otherwise.
+	Phase string
+}
 
 // QueryTopK returns the k nodes most relevant to source, refining
 // adaptively: it answers the query with a reduced remedy budget first and
@@ -21,13 +42,24 @@ import (
 // whenever the adaptive loop runs to the full budget, and are flagged
 // otherwise via the returned precision level.
 func QueryTopK(g *Graph, source int32, k int, p Params) ([]Ranked, float64, error) {
-	return queryTopKSolver(g, source, k, p, core.Solver{})
+	tk, err := queryTopKSolverCtx(context.Background(), g, source, k, p, core.Solver{})
+	return tk.Ranked, tk.Level, err
 }
 
-// queryTopKSolver is QueryTopK with an explicit solver (see querySolver).
-func queryTopKSolver(g *Graph, source int32, k int, p Params, s core.Solver) ([]Ranked, float64, error) {
+// QueryTopKCtx is QueryTopK under a context: a deadline stops the current
+// refinement round at its next amortized check and the ranking computed
+// from the partial scores is returned with the degradation fields set.
+func QueryTopKCtx(ctx context.Context, g *Graph, source int32, k int, p Params) (TopK, error) {
+	return queryTopKSolverCtx(ctx, g, source, k, p, core.Solver{})
+}
+
+// queryTopKSolverCtx is QueryTopKCtx with an explicit solver (see
+// querySolver). A degraded round ends the adaptive loop immediately — a
+// later, cheaper-round ranking cannot be trusted to improve on it and the
+// deadline has already fired.
+func queryTopKSolverCtx(ctx context.Context, g *Graph, source int32, k int, p Params, s core.Solver) (TopK, error) {
 	if k <= 0 {
-		return nil, 0, fmt.Errorf("resacc: QueryTopK needs k > 0, got %d", k)
+		return TopK{}, fmt.Errorf("resacc: QueryTopK needs k > 0, got %d", k)
 	}
 	target := p.EffectiveNScale()
 	var prev []Ranked
@@ -38,18 +70,25 @@ func queryTopKSolver(g *Graph, source int32, k int, p Params, s core.Solver) ([]
 		q := p
 		q.NScale = scale
 		roundStart := time.Now()
-		scores, stats, err := s.Query(g, source, q)
+		scores, stats, err := s.QueryCtx(ctx, g, source, q)
 		notifyQueryHooks(QueryEvent{Graph: g, Source: source, Start: roundStart, Duration: time.Since(roundStart), Stats: stats, Err: err})
 		if err != nil {
-			return nil, 0, err
+			return TopK{}, err
 		}
 		res := Result{Source: source, Scores: scores}
 		cur := res.TopK(k)
+		if stats.Degraded {
+			return TopK{
+				Ranked: cur, Level: scale,
+				Degraded: true, Bound: stats.ResidualBound,
+				Phase: stats.DegradedPhase.String(),
+			}, nil
+		}
 		if scale >= target {
-			return cur, scale, nil
+			return TopK{Ranked: cur, Level: scale}, nil
 		}
 		if prev != nil && sameMembers(prev, cur) {
-			return cur, scale, nil
+			return TopK{Ranked: cur, Level: scale}, nil
 		}
 		prev = cur
 	}
