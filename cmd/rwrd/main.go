@@ -55,6 +55,7 @@ func main() {
 
 		workers    = flag.Int("workers", 0, "engine computation concurrency (0 = GOMAXPROCS)")
 		walkWkrs   = flag.Int("walk-workers", 0, "per-query remedy walk concurrency, clamped to GOMAXPROCS/workers (0 = that quotient)")
+		pushWkrs   = flag.Int("push-workers", 0, "per-query parallel push-phase workers, clamped to GOMAXPROCS/workers (0 = sequential push)")
 		queueDepth = flag.Int("queue-depth", 0, "engine wait-queue depth before shedding (0 = 4x workers)")
 		cacheMB    = flag.Int64("cache-mb", 64, "result-cache capacity in MiB")
 		cacheTTL   = flag.Duration("cache-ttl", 0, "result-cache entry TTL (0 = never expire)")
@@ -87,6 +88,7 @@ func main() {
 		Engine: resacc.EngineOptions{
 			Workers:     *workers,
 			WalkWorkers: *walkWkrs,
+			PushWorkers: *pushWkrs,
 			QueueDepth:  *queueDepth,
 			CacheBytes:  *cacheMB << 20,
 			CacheTTL:    *cacheTTL,

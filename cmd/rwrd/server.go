@@ -62,6 +62,8 @@ type server struct {
 
 	phaseHist     map[string]*obs.Histogram
 	degradedBound *obs.Histogram
+	pushRounds    map[string]*obs.Counter
+	frontierHist  *obs.Histogram
 }
 
 func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
@@ -151,6 +153,15 @@ func (s *server) registerMetrics() {
 	s.degradedBound = s.reg.Histogram("rwr_degraded_bound",
 		"Additive error bound of degraded (deadline-truncated) answers.",
 		obs.ExpBuckets(1e-6, 10, 8))
+	s.pushRounds = make(map[string]*obs.Counter)
+	for _, phase := range []string{"hhopfwd", "omfwd"} {
+		s.pushRounds[phase] = s.reg.Counter("rwr_push_rounds_total",
+			"Rounds executed by the frontier-parallel push engine, by phase (zero while push runs sequentially).",
+			"phase", phase)
+	}
+	s.frontierHist = s.reg.Histogram("rwr_push_frontier_size",
+		"Largest frontier snapshot per query in the parallel push engine (queries that engaged it only).",
+		obs.ExpBuckets(1, 4, 12))
 }
 
 // observeQuery is the resacc.QueryHook: it turns each completed query on
@@ -173,6 +184,15 @@ func (s *server) observeQuery(ev resacc.QueryEvent) {
 		s.reg.Histogram("rwr_query_walks",
 			"Remedy-phase random walks per query.",
 			obs.ExpBuckets(1, 4, 16)).Observe(float64(ev.Stats.Walks))
+		if ev.Stats.HopRounds > 0 {
+			s.pushRounds["hhopfwd"].Add(float64(ev.Stats.HopRounds))
+		}
+		if ev.Stats.OMFWDRounds > 0 {
+			s.pushRounds["omfwd"].Add(float64(ev.Stats.OMFWDRounds))
+		}
+		if ev.Stats.MaxFrontier > 0 {
+			s.frontierHist.Observe(float64(ev.Stats.MaxFrontier))
+		}
 		if ev.Stats.Degraded {
 			s.reg.Counter("rwr_query_cancellations_total", "",
 				"phase", ev.Stats.DegradedPhase.String()).Inc()

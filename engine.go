@@ -53,6 +53,13 @@ type EngineOptions struct {
 	// deterministic per (seed, effective walk workers), so changing this
 	// knob changes which deterministic estimate is produced.
 	WalkWorkers int
+	// PushWorkers parallelizes each query's two forward-push phases with
+	// the round-synchronous frontier engine (see core.Solver.PushWorkers).
+	// Unlike WalkWorkers it is opt-in: ≤ 0 keeps the classic sequential
+	// drain. Positive values are clamped to GOMAXPROCS/Workers, like
+	// WalkWorkers. Results are deterministic per effective push-worker
+	// count.
+	PushWorkers int
 	// Metrics, when non-nil, receives the engine metric families (cache
 	// hits/misses/evictions, dedup joins, sheds, queue depth, cache
 	// size, cached-vs-computed latency). Note the registry type lives in
@@ -89,6 +96,7 @@ type Engine struct {
 	// EngineOptions.WalkWorkers).
 	wsPool      *ws.Pool
 	walkWorkers int
+	pushWorkers int
 
 	// syncMu serialises SyncDynamic snapshot/swap pairs; dynVer is the
 	// last Dynamic.Version applied.
@@ -134,15 +142,20 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 	if serveWorkers <= 0 {
 		serveWorkers = runtime.GOMAXPROCS(0)
 	}
-	// Clamp walk parallelism so serveWorkers concurrent queries use at most
-	// ~GOMAXPROCS goroutines for walks between them.
-	cap := runtime.GOMAXPROCS(0) / serveWorkers
-	if cap < 1 {
-		cap = 1
-	}
+	// Clamp intra-query parallelism so serveWorkers concurrent queries use
+	// at most ~GOMAXPROCS goroutines between them.
+	budget := serve.PerQueryBudget(serveWorkers)
 	e.walkWorkers = opts.WalkWorkers
-	if e.walkWorkers <= 0 || e.walkWorkers > cap {
-		e.walkWorkers = cap
+	if e.walkWorkers <= 0 || e.walkWorkers > budget {
+		e.walkWorkers = budget
+	}
+	// Push parallelism is opt-in (0 = sequential drain), but never above
+	// the same per-query budget.
+	if opts.PushWorkers > 0 {
+		e.pushWorkers = opts.PushWorkers
+		if e.pushWorkers > budget {
+			e.pushWorkers = budget
+		}
 	}
 	if e.compute == nil {
 		e.compute = func(ctx context.Context, g *Graph, source int32, p Params) (*Result, error) {
@@ -164,11 +177,15 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 // solver is the ResAcc solver default computations run with: the engine's
 // workspace pool plus its resolved walk parallelism.
 func (e *Engine) solver() core.Solver {
-	return core.Solver{Workers: e.walkWorkers, Pool: e.wsPool}
+	return core.Solver{Workers: e.walkWorkers, PushWorkers: e.pushWorkers, Pool: e.wsPool}
 }
 
 // WalkWorkers returns the resolved per-query remedy walk parallelism.
 func (e *Engine) WalkWorkers() int { return e.walkWorkers }
+
+// PushWorkers returns the resolved per-query push-phase parallelism
+// (0 = sequential drain).
+func (e *Engine) PushWorkers() int { return e.pushWorkers }
 
 // Close stops the engine's worker pool after draining admitted work.
 // Queries after Close fail.

@@ -24,11 +24,28 @@ type State struct {
 	// workspace) set it to the workspace's dirty set so reset stays sparse.
 	Track *ws.Marks
 
+	// Rounds and MaxFrontier are telemetry from the round-synchronous
+	// parallel drain (see RunFromPar): rounds executed and the largest
+	// frontier snapshot. Both stay zero when the sequential drain handled
+	// the whole search.
+	Rounds      int64
+	MaxFrontier int
+
 	inQueue []bool
 	queue   []int32
 	// queueMarks, when set via UseScratch, replaces the O(n) inQueue
 	// bookkeeping with a generation-stamped set borrowed from a workspace.
 	queueMarks *ws.Marks
+
+	// restrict/skip express push eligibility as data rather than a
+	// closure — a func field would force heap allocation of the State on
+	// the pooled zero-alloc query path. restrict == nil means the whole
+	// graph may push; skip (when hasSkip) is the one node that may never
+	// push (h-HopFWD's source, whose looping cascades are collapsed in
+	// closed form instead).
+	restrict *ws.Marks
+	skip     int32
+	hasSkip  bool
 }
 
 // NewState returns the initial state for source s: r(s)=1, all else zero
@@ -71,9 +88,37 @@ func (st *State) TakeQueue() []int32 {
 	return q[:0]
 }
 
-// ResidueSum returns Σ_v r(v), the r_sum the remedy phase needs.
+// RestrictTo limits pushing to members of set (nil = no restriction),
+// excluding skip when skip ≥ 0. ResAcc's h-HopFWD phase restricts the
+// cascade to the h-hop subgraph and never re-pushes at the source.
+// Restriction gates who may push, not who may receive residue: frontier
+// nodes outside the set still accumulate.
+func (st *State) RestrictTo(set *ws.Marks, skip int32) {
+	st.restrict = set
+	st.skip = skip
+	st.hasSkip = skip >= 0
+}
+
+// mayPush reports whether the restriction (if any) lets v push.
+func (st *State) mayPush(v int32) bool {
+	if st.hasSkip && v == st.skip {
+		return false
+	}
+	return st.restrict == nil || st.restrict.Has(v)
+}
+
+// ResidueSum returns Σ_v r(v), the r_sum the remedy phase needs. With
+// Track set it sums only the touched slots — the only ones that can be
+// non-zero — in touch order, matching the workspace's own SumResidue
+// bit-for-bit; without Track it falls back to the dense O(n) scan.
 func (st *State) ResidueSum() float64 {
 	sum := 0.0
+	if st.Track != nil {
+		for _, v := range st.Track.Touched() {
+			sum += st.Residue[v]
+		}
+		return sum
+	}
 	for _, r := range st.Residue {
 		sum += r
 	}
@@ -85,7 +130,7 @@ func (st *State) ResidueSum() float64 {
 // nodes with non-zero residue.
 func Run(g *graph.Graph, alpha, rmax float64, st *State) {
 	for v := int32(0); v < int32(g.N()); v++ {
-		if st.Residue[v] > 0 && satisfies(g, rmax, st.Residue[v], v) {
+		if st.Residue[v] > 0 && satisfies(g, rmax, st.Residue[v], v) && st.mayPush(v) {
 			st.enqueue(v)
 		}
 	}
@@ -106,20 +151,28 @@ func RunFrom(g *graph.Graph, alpha, rmax float64, st *State, seeds []int32, forc
 // invariant, so the interrupted state is a valid underestimate whose error
 // is bounded by the remaining residue sum. A nil done is free.
 func RunFromCtx(g *graph.Graph, alpha, rmax float64, st *State, seeds []int32, force bool, done <-chan struct{}) (aborted bool) {
+	st.seed(g, rmax, seeds, force)
+	return st.drain(g, alpha, rmax, done)
+}
+
+// seed enqueues the initial work set: every seed above the push threshold,
+// or (force) every seed with any residue — Algorithm 4 pushes each
+// initially enqueued node regardless of threshold. Restricted nodes never
+// enqueue.
+func (st *State) seed(g *graph.Graph, rmax float64, seeds []int32, force bool) {
 	if force {
 		for _, v := range seeds {
-			if st.Residue[v] > 0 {
+			if st.Residue[v] > 0 && st.mayPush(v) {
 				st.enqueue(v)
 			}
 		}
-	} else {
-		for _, v := range seeds {
-			if satisfies(g, rmax, st.Residue[v], v) {
-				st.enqueue(v)
-			}
+		return
+	}
+	for _, v := range seeds {
+		if satisfies(g, rmax, st.Residue[v], v) && st.mayPush(v) {
+			st.enqueue(v)
 		}
 	}
-	return st.drain(g, alpha, rmax, done)
 }
 
 func satisfies(g *graph.Graph, rmax, r float64, v int32) bool {
@@ -132,17 +185,34 @@ func satisfies(g *graph.Graph, rmax, r float64, v int32) bool {
 	return r >= rmax*float64(d)
 }
 
-func (st *State) enqueue(v int32) {
+// queued reports whether v is already in the work queue. The drain hot
+// loops check it before the push condition: a stamp load short-circuits
+// the OutDegree lookup and threshold compare for the common already-queued
+// neighbour.
+func (st *State) queued(v int32) bool {
+	if st.queueMarks != nil {
+		return st.queueMarks.Has(v)
+	}
+	return st.inQueue[v]
+}
+
+// enqueue adds v to the work queue (deduplicated) and reports whether it
+// was newly added, which the adaptive drain uses to keep its pending
+// out-edge-mass estimate incremental.
+func (st *State) enqueue(v int32) bool {
 	if st.queueMarks != nil {
 		if st.queueMarks.Mark(v) {
 			st.queue = append(st.queue, v)
+			return true
 		}
-		return
+		return false
 	}
 	if !st.inQueue[v] {
 		st.inQueue[v] = true
 		st.queue = append(st.queue, v)
+		return true
 	}
+	return false
 }
 
 func (st *State) dequeued(v int32) {
@@ -169,7 +239,91 @@ const cancelCheckMask = 255
 // The queue is consumed by index rather than re-slicing so the buffer's
 // full capacity survives for reuse via TakeQueue. It reports whether the
 // done channel cut the drain short.
+//
+// It dispatches between two bodies of the same loop: a specialized one for
+// the pooled configuration (Track and queueMarks both set — how every
+// core-solver push phase runs) and a generic fallback. The split exists
+// because the dispatch branches ("is a dirty set attached? which queue
+// bookkeeping?") would otherwise run per edge of the hottest loop in the
+// repository; hoisting them out is worth ~10% of whole-query latency.
 func (st *State) drain(g *graph.Graph, alpha, rmax float64, done <-chan struct{}) (aborted bool) {
+	if st.Track != nil && st.queueMarks != nil {
+		return st.drainPooled(g, alpha, rmax, done)
+	}
+	return st.drainGeneric(g, alpha, rmax, done)
+}
+
+// drainPooled is drain's loop for the pooled configuration: every touch is
+// recorded in Track and queue membership lives in the generation-stamped
+// queueMarks, unconditionally. The bookkeeping pointers are hoisted into
+// locals — the compiler cannot prove that writes through the residue slice
+// don't alias the State's own fields, so field accesses would reload per
+// edge.
+//
+// Unlike drainGeneric, push eligibility (mayPush) is checked at dequeue
+// time rather than per arriving edge: an ineligible node (the h-HopFWD
+// source or a frontier node outside the subgraph) may enter the queue but
+// is discarded when popped, before its residue is disturbed. The sequence
+// of pushes — and therefore every reserve/residue value — is bit-identical
+// either way; what moves is the cost, from one restriction stamp load per
+// edge of the hottest loop to one check per (much rarer) dequeue. Any
+// behavioural change here must keep drainGeneric and drainAdaptive's
+// sequential prefix bit-identical in push order and float summation order.
+func (st *State) drainPooled(g *graph.Graph, alpha, rmax float64, done <-chan struct{}) (aborted bool) {
+	track, qm := st.Track, st.queueMarks
+	restrict, skip, hasSkip := st.restrict, st.skip, st.hasSkip
+	reserve, residue := st.Reserve, st.Residue
+	var pushes int64
+	for head := 0; head < len(st.queue); head++ {
+		if done != nil && head&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				st.Pushes += pushes
+				st.queue = st.queue[:0]
+				return true
+			default:
+			}
+		}
+		v := st.queue[head]
+		qm.Unmark(v)
+		if hasSkip && v == skip {
+			continue
+		}
+		if restrict != nil && !restrict.Has(v) {
+			continue
+		}
+		rv := residue[v]
+		if rv == 0 {
+			continue
+		}
+		track.Mark(v)
+		residue[v] = 0
+		pushes++
+		d := g.OutDegree(v)
+		if d == 0 {
+			// Dead-end semantics: the walk stops here with certainty.
+			reserve[v] += rv
+			continue
+		}
+		reserve[v] += alpha * rv
+		share := (1 - alpha) * rv / float64(d)
+		for _, w := range g.Out(v) {
+			track.Mark(w)
+			residue[w] += share
+			if !qm.Has(w) && satisfies(g, rmax, residue[w], w) && qm.Mark(w) {
+				st.queue = append(st.queue, w)
+			}
+		}
+	}
+	st.Pushes += pushes
+	st.queue = st.queue[:0]
+	return false
+}
+
+// drainGeneric is drain's loop for standalone States (no dirty tracking
+// and/or dense []bool queue bookkeeping). Keep in lockstep with
+// drainPooled.
+func (st *State) drainGeneric(g *graph.Graph, alpha, rmax float64, done <-chan struct{}) (aborted bool) {
 	for head := 0; head < len(st.queue); head++ {
 		if done != nil && head&cancelCheckMask == 0 {
 			select {
@@ -199,7 +353,7 @@ func (st *State) drain(g *graph.Graph, alpha, rmax float64, done <-chan struct{}
 		for _, w := range g.Out(v) {
 			st.touch(w)
 			st.Residue[w] += share
-			if satisfies(g, rmax, st.Residue[w], w) {
+			if !st.queued(w) && st.mayPush(w) && satisfies(g, rmax, st.Residue[w], w) {
 				st.enqueue(w)
 			}
 		}

@@ -1,0 +1,456 @@
+package forward
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"resacc/internal/crash"
+	"resacc/internal/faultinject"
+	"resacc/internal/graph"
+	"resacc/internal/ws"
+)
+
+// This file implements the round-synchronous (level-synchronous) parallel
+// push drain. The classic drain is a sequential cascade: pop a node, push
+// its residue to its out-neighbours, enqueue whichever now satisfy the
+// push condition. The parallel drain instead snapshots the whole queue as
+// a frontier and processes it in rounds:
+//
+//  1. Partition the frontier across workers by out-edge mass (not node
+//     count, so one hub does not serialise the round).
+//  2. Each worker pushes its span: it zeroes the residue and credits the
+//     reserve of the nodes it owns — each frontier node has exactly one
+//     owner, so those writes are race-free — and accumulates the residue
+//     shares for out-neighbours in a private pooled accumulator.
+//  3. The main goroutine merges the accumulators in fixed worker order
+//     and builds the next frontier from the touched nodes that now
+//     satisfy the push condition.
+//
+// Splitting one node's sequence of arriving pushes into per-round batches
+// changes float summation order, so the fixed point differs from the
+// sequential drain in the last bits — but every individual push preserves
+// the forward-push invariant, and the merge order is a pure function of
+// (graph, params, Workers), so results are deterministic per worker count
+// and byte-identical across repeated runs.
+
+// PushConfig tunes RunFromPar's parallel drain.
+type PushConfig struct {
+	// Workers is the parallel fan-out of the drain. ≤ 1 keeps the classic
+	// sequential drain (bit-identical to RunFromCtx).
+	Workers int
+	// EngageMass overrides the escalation threshold (0 = DefaultEngageMass).
+	// The drain starts sequentially and escalates to rounds only once
+	// pending-out-edge-mass × Workers reaches EngageMass, so small queries
+	// never pay round overhead and keep the sequential path's exact
+	// results.
+	EngageMass int
+}
+
+const (
+	// DefaultEngageMass is the escalation threshold: queries whose pending
+	// out-edge mass times the worker count stays below it run entirely on
+	// the sequential drain (zero-allocation, bit-identical to Workers=1).
+	DefaultEngageMass = 1 << 16
+	// minRoundMass is the least out-edge mass worth handing one worker in
+	// a round; frontiers smaller than workers×minRoundMass engage fewer
+	// workers. It keeps the effective worker count a deterministic
+	// function of the frontier, never of the machine.
+	minRoundMass = 1 << 11
+)
+
+// RunFromPar is RunFromCtx with an optionally parallel drain. With
+// cfg.Workers ≤ 1 it is RunFromCtx exactly. Otherwise the drain runs
+// sequentially while small and escalates to round-synchronous parallel
+// pushing once the pending out-edge mass crosses the engagement threshold
+// (see PushConfig). Cancellation carries over: workers poll done at
+// amortized intervals, an abort completes the in-flight round's merge, and
+// the state left behind preserves the forward-push invariant exactly as
+// the sequential drain's abort does.
+func RunFromPar(g *graph.Graph, alpha, rmax float64, st *State, seeds []int32, force bool, done <-chan struct{}, cfg PushConfig) (aborted bool) {
+	st.seed(g, rmax, seeds, force)
+	if cfg.Workers <= 1 {
+		return st.drain(g, alpha, rmax, done)
+	}
+	return st.drainAdaptive(g, alpha, rmax, done, cfg)
+}
+
+// cost is a node's push-cost proxy: its out-edge count, floored at 1 so
+// dead ends still count as work.
+func cost(g *graph.Graph, v int32) int {
+	if d := g.OutDegree(v); d > 0 {
+		return d
+	}
+	return 1
+}
+
+// drainAdaptive mirrors drain while tracking the pending out-edge mass of
+// the queue; once mass × workers reaches the engagement threshold it hands
+// the remaining queue to the round-synchronous engine. Queries that never
+// escalate produce bit-identical results to the sequential drain.
+func (st *State) drainAdaptive(g *graph.Graph, alpha, rmax float64, done <-chan struct{}, cfg PushConfig) (aborted bool) {
+	engage := cfg.EngageMass
+	if engage <= 0 {
+		engage = DefaultEngageMass
+	}
+	pending := 0
+	for _, v := range st.queue {
+		pending += cost(g, v)
+	}
+	for head := 0; head < len(st.queue); head++ {
+		if pending*cfg.Workers >= engage {
+			return st.drainRounds(g, alpha, rmax, done, cfg.Workers, head)
+		}
+		if done != nil && head&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				st.queue = st.queue[:0]
+				return true
+			default:
+			}
+		}
+		v := st.queue[head]
+		st.dequeued(v)
+		pending -= cost(g, v)
+		rv := st.Residue[v]
+		if rv == 0 {
+			continue
+		}
+		st.touch(v)
+		st.Residue[v] = 0
+		st.Pushes++
+		d := g.OutDegree(v)
+		if d == 0 {
+			st.Reserve[v] += rv
+			continue
+		}
+		st.Reserve[v] += alpha * rv
+		share := (1 - alpha) * rv / float64(d)
+		for _, w := range g.Out(v) {
+			st.touch(w)
+			st.Residue[w] += share
+			if !st.queued(w) && st.mayPush(w) && satisfies(g, rmax, st.Residue[w], w) && st.enqueue(w) {
+				pending += cost(g, w)
+			}
+		}
+	}
+	st.queue = st.queue[:0]
+	return false
+}
+
+// drainRounds snapshots the un-drained queue suffix as the first frontier
+// and runs the round-synchronous engine on it until quiescence, abort or a
+// contained worker panic (re-raised here after the workers are released,
+// for the query-level recover to convert into an error).
+func (st *State) drainRounds(g *graph.Graph, alpha, rmax float64, done <-chan struct{}, workers, head int) (aborted bool) {
+	eng := getPushEngine(workers, g.N())
+	eng.g, eng.alpha, eng.rmax, eng.done = g, alpha, rmax, done
+	eng.reserve, eng.residue = st.Reserve, st.Residue
+	eng.frontier = append(eng.frontier[:0], st.queue[head:]...)
+	for _, v := range eng.frontier {
+		st.dequeued(v)
+	}
+	st.queue = st.queue[:0]
+	eng.spawnWorkers()
+	aborted = eng.rounds(st)
+	eng.releaseWorkers()
+	if pe := eng.workerPanic.Load(); pe != nil {
+		// Accumulators (and the engine) may be mid-update: drop them on
+		// the floor — the pools refill — and re-raise on the caller.
+		panic(pe)
+	}
+	putPushEngine(eng)
+	return aborted
+}
+
+// pushSpan is one worker's contiguous slice [lo,hi) of the frontier; a
+// negative lo is the release sentinel that ends the worker goroutine.
+type pushSpan struct{ lo, hi int }
+
+// pushEngine holds the reusable machinery of one round-synchronous drain:
+// per-worker dispatch channels and pre-built goroutine thunks (so
+// spawning allocates nothing after warm-up), pooled per-worker delta
+// accumulators, and the frontier double-buffer. Engines recycle through
+// pushEnginePool; worker goroutines live only for the duration of one
+// drain.
+//
+// It deliberately stores the reserve/residue slice headers rather than the
+// *State: a State reference escaping into a pooled object would force
+// heap allocation of every State, including the sequential fast path's.
+type pushEngine struct {
+	g       *graph.Graph
+	reserve []float64
+	residue []float64
+	alpha   float64
+	rmax    float64
+	done    <-chan struct{}
+
+	active  int // workers this drain engages
+	work    []chan pushSpan
+	spawn   []func()
+	accums  []*ws.Accum
+	pushes  []int64
+	aborted []bool
+	wg      sync.WaitGroup
+
+	frontier []int32
+	next     []int32
+	bounds   []int
+	cand     ws.Marks
+
+	workerPanic atomic.Pointer[crash.PanicError]
+}
+
+var pushEnginePool sync.Pool
+
+// getPushEngine borrows an engine sized for `workers` workers on an
+// n-node graph, with fresh accumulators attached.
+func getPushEngine(workers, n int) *pushEngine {
+	eng, _ := pushEnginePool.Get().(*pushEngine)
+	if eng == nil {
+		eng = &pushEngine{}
+	}
+	eng.grow(workers)
+	eng.active = workers
+	for w := 0; w < workers; w++ {
+		eng.accums[w] = ws.GetAccum(n)
+		eng.pushes[w] = 0
+		eng.aborted[w] = false
+	}
+	// Candidate-set shrink policy matches the workspace pool's: don't pin
+	// a huge stamp vector after the workload moves to small graphs.
+	if c := eng.cand.Cap(); c > 1<<16 && c > 8*n {
+		eng.cand = ws.Marks{}
+	}
+	eng.cand.Grow(n)
+	eng.cand.Clear()
+	eng.workerPanic.Store(nil)
+	return eng
+}
+
+// putPushEngine strips the borrowed accumulators and graph references and
+// pools the engine.
+func putPushEngine(eng *pushEngine) {
+	for w := 0; w < eng.active; w++ {
+		ws.PutAccum(eng.accums[w])
+		eng.accums[w] = nil
+	}
+	eng.g, eng.reserve, eng.residue, eng.done = nil, nil, nil, nil
+	pushEnginePool.Put(eng)
+}
+
+// grow sizes the per-worker machinery. Channels and spawn thunks are
+// created once per slot and reused across drains; a spawn thunk takes no
+// arguments so the `go` statement needs no allocated closure.
+func (eng *pushEngine) grow(workers int) {
+	for len(eng.work) < workers {
+		w := len(eng.work)
+		eng.work = append(eng.work, make(chan pushSpan))
+		eng.spawn = append(eng.spawn, func() { eng.runWorker(w) })
+	}
+	for len(eng.accums) < workers {
+		eng.accums = append(eng.accums, nil)
+		eng.pushes = append(eng.pushes, 0)
+		eng.aborted = append(eng.aborted, false)
+	}
+}
+
+func (eng *pushEngine) spawnWorkers() {
+	for w := 0; w < eng.active; w++ {
+		go eng.spawn[w]()
+	}
+}
+
+// releaseWorkers ends every worker goroutine. The sentinel handshake on
+// the unbuffered channel doubles as the synchronisation point that makes
+// any panic recorded by a never-dispatched worker visible to the caller.
+func (eng *pushEngine) releaseWorkers() {
+	for w := 0; w < eng.active; w++ {
+		eng.work[w] <- pushSpan{lo: -1, hi: -1}
+	}
+}
+
+// rounds runs the frontier to quiescence. It reports an abort (deadline
+// fired); a contained worker panic also ends the loop and is re-raised by
+// drainRounds once the workers are released.
+func (eng *pushEngine) rounds(st *State) (aborted bool) {
+	g, rmax := eng.g, eng.rmax
+	for len(eng.frontier) > 0 {
+		if eng.done != nil {
+			select {
+			case <-eng.done:
+				return true
+			default:
+			}
+		}
+		st.Rounds++
+		if len(eng.frontier) > st.MaxFrontier {
+			st.MaxFrontier = len(eng.frontier)
+		}
+		// Partition scan: total out-edge mass, and the frontier nodes'
+		// dirty marks — workers must never touch the shared Track set, so
+		// the main goroutine records them here.
+		total := 0
+		for _, v := range eng.frontier {
+			st.touch(v)
+			total += cost(g, v)
+		}
+		// The effective worker count is a deterministic function of the
+		// frontier (never of GOMAXPROCS): light rounds engage fewer
+		// workers so per-round overhead can't swamp tiny frontiers.
+		effW := total / minRoundMass
+		if effW < 1 {
+			effW = 1
+		}
+		if effW > eng.active {
+			effW = eng.active
+		}
+		if effW > len(eng.frontier) {
+			effW = len(eng.frontier)
+		}
+		eng.partition(total, effW)
+		eng.wg.Add(effW)
+		for w := 0; w < effW; w++ {
+			eng.work[w] <- pushSpan{eng.bounds[w], eng.bounds[w+1]}
+		}
+		eng.wg.Wait()
+		if eng.workerPanic.Load() != nil {
+			return false
+		}
+		// Merge in fixed worker order: every accumulated delta is applied
+		// — even on abort, so the state stays invariant-preserving — and
+		// the touched nodes are collected (deduplicated via cand) as
+		// next-frontier candidates.
+		next := eng.next[:0]
+		eng.cand.Clear()
+		roundAborted := false
+		for w := 0; w < effW; w++ {
+			st.Pushes += eng.pushes[w]
+			eng.pushes[w] = 0
+			if eng.aborted[w] {
+				roundAborted = true
+				eng.aborted[w] = false
+			}
+			a := eng.accums[w]
+			for _, t := range a.Marks.Touched() {
+				st.touch(t)
+				eng.residue[t] += a.Val[t]
+				a.Val[t] = 0
+				if eng.cand.Mark(t) {
+					next = append(next, t)
+				}
+			}
+			a.Marks.Clear()
+		}
+		if roundAborted {
+			eng.next = next
+			return true
+		}
+		k := 0
+		for _, t := range next {
+			if st.mayPush(t) && satisfies(g, rmax, eng.residue[t], t) {
+				next[k] = t
+				k++
+			}
+		}
+		eng.frontier, eng.next = next[:k], eng.frontier
+	}
+	return false
+}
+
+// partition cuts the frontier into effW contiguous spans of roughly equal
+// out-edge mass (bounds[w]..bounds[w+1]). Contiguity keeps each worker's
+// accumulator touch order — and therefore the merged result — a pure
+// function of the frontier.
+func (eng *pushEngine) partition(total, effW int) {
+	eng.bounds = append(eng.bounds[:0], 0)
+	acc, idx := 0, 0
+	for b := 1; b < effW; b++ {
+		target := total * b / effW
+		for idx < len(eng.frontier) && acc < target {
+			acc += cost(eng.g, eng.frontier[idx])
+			idx++
+		}
+		eng.bounds = append(eng.bounds, idx)
+	}
+	eng.bounds = append(eng.bounds, len(eng.frontier))
+}
+
+// runWorker is one drain-lifetime worker goroutine: it serves spans from
+// its channel until the release sentinel arrives.
+func (eng *pushEngine) runWorker(w int) {
+	eng.workerEnter()
+	for {
+		span := <-eng.work[w]
+		if span.lo < 0 {
+			return
+		}
+		eng.process(w, span)
+	}
+}
+
+// workerEnter hits the chaos point under its own recover, so an injected
+// panic is contained (recorded for drainRounds to re-raise) instead of
+// killing the process, and the worker stays alive to serve its spans.
+func (eng *pushEngine) workerEnter() {
+	defer func() {
+		if v := recover(); v != nil {
+			eng.workerPanic.CompareAndSwap(nil, crash.Capture("forward: push worker", v))
+		}
+	}()
+	faultinject.Hit("forward.push.worker")
+}
+
+// spanDone is process's deferred epilogue: it contains a panic from the
+// push loop (a corrupt graph, an injected fault) and releases the round
+// barrier, so the main goroutine never blocks on a dead worker.
+func (eng *pushEngine) spanDone(w int) {
+	if v := recover(); v != nil {
+		eng.workerPanic.CompareAndSwap(nil, crash.Capture("forward: push worker", v))
+		eng.aborted[w] = true
+	}
+	eng.wg.Done()
+}
+
+// process pushes the frontier span [lo,hi): residue and reserve writes go
+// directly to the shared vectors (this worker owns every node in its
+// span), out-neighbour shares go to the private accumulator. The done
+// channel is polled between whole-node pushes at amortized intervals; an
+// abort keeps the deltas accumulated so far, which the merge still
+// applies.
+func (eng *pushEngine) process(w int, span pushSpan) {
+	defer eng.spanDone(w)
+	a := eng.accums[w]
+	g, alpha := eng.g, eng.alpha
+	var pushes int64
+	for i := span.lo; i < span.hi; i++ {
+		if eng.done != nil && (i-span.lo)&cancelCheckMask == 0 {
+			select {
+			case <-eng.done:
+				eng.aborted[w] = true
+				eng.pushes[w] += pushes
+				return
+			default:
+			}
+		}
+		v := eng.frontier[i]
+		rv := eng.residue[v]
+		if rv <= 0 {
+			continue
+		}
+		eng.residue[v] = 0
+		pushes++
+		d := g.OutDegree(v)
+		if d == 0 {
+			// Dead-end semantics: the walk stops here with certainty.
+			eng.reserve[v] += rv
+			continue
+		}
+		eng.reserve[v] += alpha * rv
+		share := (1 - alpha) * rv / float64(d)
+		for _, nb := range g.Out(v) {
+			a.Marks.Mark(nb)
+			a.Val[nb] += share
+		}
+	}
+	eng.pushes[w] += pushes
+}

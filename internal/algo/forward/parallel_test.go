@@ -1,0 +1,268 @@
+package forward
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+	"resacc/internal/ws"
+)
+
+// runPar executes a full forward search through RunFromPar on a fresh
+// workspace-backed State seeded with r(src)=1, returning the State.
+func runPar(g *graph.Graph, src int32, alpha, rmax float64, cfg PushConfig, done <-chan struct{}) (*State, bool) {
+	n := g.N()
+	st := &State{
+		Reserve: make([]float64, n),
+		Residue: make([]float64, n),
+	}
+	var inQueue ws.Marks
+	inQueue.Grow(n)
+	st.UseScratch(&inQueue, nil)
+	st.Residue[src] = 1
+	aborted := RunFromPar(g, alpha, rmax, st, []int32{src}, false, done, cfg)
+	return st, aborted
+}
+
+// testGraphs covers the shapes the parallel drain has to get right: a
+// scale-free graph (hub-heavy spans stress mass-balanced partitioning), a
+// hub-and-spoke star, and a graph with many dead ends.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	gs := map[string]*graph.Graph{
+		"rmat":     gen.RMAT(11, 8, 7),
+		"barabasi": gen.BarabasiAlbert(2000, 8, 3),
+	}
+	// Star: hub 0 points at every spoke, spokes point back — one node
+	// carries almost the whole frontier's out-edge mass.
+	b := graph.NewBuilder(1501)
+	for v := int32(1); v <= 1500; v++ {
+		b.AddEdge(0, v)
+		b.AddEdge(v, 0)
+	}
+	gs["star"] = b.MustBuild()
+	// Dead-end heavy: a binary-ish tree whose leaves have no out-edges, so
+	// the r ≥ rmax dead-end push rule fires constantly.
+	b = graph.NewBuilder(2047)
+	for v := int32(0); v < 1023; v++ {
+		b.AddEdge(v, 2*v+1)
+		b.AddEdge(v, 2*v+2)
+	}
+	gs["deadends"] = b.MustBuild()
+	return gs
+}
+
+// TestParallelMatchesSequentialWithinResidueBound: the parallel drain's
+// fixed point differs from the sequential one only in float summation
+// order, so per-node reserves must agree within the total leftover residue
+// mass (the invariant bounds any two valid fixed points' distance by the
+// residues they leave behind).
+func TestParallelMatchesSequentialWithinResidueBound(t *testing.T) {
+	const alpha, rmax = 0.2, 1e-6
+	for name, g := range testGraphs(t) {
+		seq, _ := runPar(g, 0, alpha, rmax, PushConfig{Workers: 1}, nil)
+		par, _ := runPar(g, 0, alpha, rmax, PushConfig{Workers: 4, EngageMass: 1}, nil)
+		tol := seq.ResidueSum() + par.ResidueSum() + 1e-12
+		for v := 0; v < g.N(); v++ {
+			if d := math.Abs(seq.Reserve[v] - par.Reserve[v]); d > tol {
+				t.Errorf("%s: reserve[%d] seq=%v par=%v (|Δ|=%g > %g)",
+					name, v, seq.Reserve[v], par.Reserve[v], d, tol)
+				break
+			}
+		}
+		// Quiescence: no node may still satisfy the push condition.
+		for v := int32(0); int(v) < g.N(); v++ {
+			if satisfies(g, rmax, par.Residue[v], v) {
+				t.Errorf("%s: node %d still satisfies push condition (r=%v)", name, v, par.Residue[v])
+				break
+			}
+		}
+		if seq.Pushes == 0 || par.Pushes == 0 {
+			t.Errorf("%s: no pushes recorded (seq=%d par=%d)", name, seq.Pushes, par.Pushes)
+		}
+	}
+}
+
+// TestParallelRepeatDeterminism: for a fixed worker count the drain is a
+// pure function of (graph, params) — repeated runs must agree to the bit.
+func TestParallelRepeatDeterminism(t *testing.T) {
+	const alpha, rmax = 0.2, 1e-6
+	for name, g := range testGraphs(t) {
+		for _, workers := range []int{2, 4, 7} {
+			cfg := PushConfig{Workers: workers, EngageMass: 1}
+			ref, _ := runPar(g, 0, alpha, rmax, cfg, nil)
+			for round := 0; round < 3; round++ {
+				got, _ := runPar(g, 0, alpha, rmax, cfg, nil)
+				for v := 0; v < g.N(); v++ {
+					if math.Float64bits(got.Reserve[v]) != math.Float64bits(ref.Reserve[v]) ||
+						math.Float64bits(got.Residue[v]) != math.Float64bits(ref.Residue[v]) {
+						t.Fatalf("%s workers=%d round %d: node %d differs (reserve %v vs %v)",
+							name, workers, round, v, got.Reserve[v], ref.Reserve[v])
+					}
+				}
+				if got.Rounds != ref.Rounds || got.MaxFrontier != ref.MaxFrontier {
+					t.Fatalf("%s workers=%d: telemetry drifted (rounds %d vs %d)",
+						name, workers, got.Rounds, ref.Rounds)
+				}
+			}
+		}
+	}
+}
+
+// TestBelowEngageMassIsBitIdenticalToSequential: a parallel config whose
+// engagement threshold is never crossed must reproduce the sequential
+// drain exactly, bit for bit — the adaptive prefix IS the sequential
+// drain.
+func TestBelowEngageMassIsBitIdenticalToSequential(t *testing.T) {
+	g := gen.ErdosRenyi(500, 3000, 9)
+	const alpha, rmax = 0.2, 1e-5
+	seq, _ := runPar(g, 0, alpha, rmax, PushConfig{Workers: 1}, nil)
+	par, _ := runPar(g, 0, alpha, rmax, PushConfig{Workers: 8, EngageMass: 1 << 30}, nil)
+	if par.Rounds != 0 {
+		t.Fatalf("drain escalated below the engagement threshold (%d rounds)", par.Rounds)
+	}
+	for v := 0; v < g.N(); v++ {
+		if math.Float64bits(seq.Reserve[v]) != math.Float64bits(par.Reserve[v]) ||
+			math.Float64bits(seq.Residue[v]) != math.Float64bits(par.Residue[v]) {
+			t.Fatalf("node %d: below-threshold parallel differs from sequential", v)
+		}
+	}
+	if seq.Pushes != par.Pushes {
+		t.Fatalf("pushes differ: seq=%d par=%d", seq.Pushes, par.Pushes)
+	}
+}
+
+// TestParallelForceSeeds: force-seeded drains (OMFWD's Algorithm 4) push
+// every seed with residue regardless of threshold, on both drains alike.
+func TestParallelForceSeeds(t *testing.T) {
+	g := gen.BarabasiAlbert(1000, 6, 5)
+	const alpha, rmax = 0.2, 1e-3
+	n := g.N()
+	mk := func() *State {
+		st := &State{Reserve: make([]float64, n), Residue: make([]float64, n)}
+		st.EnsureQueue(n)
+		for v := 0; v < n; v += 3 {
+			st.Residue[v] = 1e-5 // far below threshold: only force pushes these
+		}
+		return st
+	}
+	seeds := make([]int32, 0, n/3+1)
+	for v := 0; v < n; v += 3 {
+		seeds = append(seeds, int32(v))
+	}
+	seq := mk()
+	RunFromPar(g, alpha, rmax, seq, seeds, true, nil, PushConfig{Workers: 1})
+	par := mk()
+	RunFromPar(g, alpha, rmax, par, seeds, true, nil, PushConfig{Workers: 4, EngageMass: 1})
+	if seq.Pushes < int64(len(seeds)) || par.Pushes < int64(len(seeds)) {
+		t.Fatalf("force seeds not all pushed: seq=%d par=%d, want ≥ %d", seq.Pushes, par.Pushes, len(seeds))
+	}
+	tol := seq.ResidueSum() + par.ResidueSum() + 1e-12
+	for v := 0; v < n; v++ {
+		if d := math.Abs(seq.Reserve[v] - par.Reserve[v]); d > tol {
+			t.Fatalf("reserve[%d]: |Δ|=%g > %g", v, d, tol)
+		}
+	}
+}
+
+// TestParallelAbortPreservesInvariant: cancelling mid-drain must leave
+// reserve+residue mass conserved — every push preserves the invariant, and
+// the merge applies all accumulated deltas even on abort.
+func TestParallelAbortPreservesInvariant(t *testing.T) {
+	g := gen.RMAT(12, 8, 11)
+	done := make(chan struct{})
+	close(done) // fires at the very first poll
+	st, aborted := runPar(g, 0, 0.2, 1e-7, PushConfig{Workers: 4, EngageMass: 1}, done)
+	if !aborted {
+		t.Fatal("drain ignored a closed done channel")
+	}
+	total := 0.0
+	for v := 0; v < g.N(); v++ {
+		total += st.Reserve[v] + st.Residue[v]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("mass not conserved after abort: Σ(reserve+residue)=%v", total)
+	}
+}
+
+// TestParallelConcurrentCancellationHammer drives many drains racing with
+// their cancellation, for the race detector to chew on; each interrupted
+// state must still conserve mass.
+func TestParallelConcurrentCancellationHammer(t *testing.T) {
+	g := gen.RMAT(11, 8, 13)
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			done := make(chan struct{})
+			cancelled := make(chan struct{})
+			go func() {
+				// Vary the cancellation point across goroutines by burning
+				// a little work before closing.
+				for k := 0; k < i*1000; k++ {
+					_ = k * k
+				}
+				close(done)
+				close(cancelled)
+			}()
+			st, _ := runPar(g, int32(i%g.N()), 0.2, 1e-7, PushConfig{Workers: 3, EngageMass: 1}, done)
+			<-cancelled
+			total := 0.0
+			for v := 0; v < g.N(); v++ {
+				total += st.Reserve[v] + st.Residue[v]
+			}
+			if math.Abs(total-1) > 1e-9 {
+				t.Errorf("goroutine %d: mass=%v after racing cancellation", i, total)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestWorkerClampAndTinyFrontiers: frontiers smaller than the worker count
+// (or lighter than minRoundMass per worker) must still drain correctly.
+func TestWorkerClampAndTinyFrontiers(t *testing.T) {
+	// A 3-node path: frontier size 1 throughout.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	st, aborted := runPar(g, 0, 0.2, 1e-9, PushConfig{Workers: 16, EngageMass: 1}, nil)
+	if aborted {
+		t.Fatal("unexpected abort")
+	}
+	total := 0.0
+	for v := 0; v < 3; v++ {
+		total += st.Reserve[v] + st.Residue[v]
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("mass=%v", total)
+	}
+}
+
+// TestSparseResidueSumMatchesDense: with Track set ResidueSum must agree
+// with the dense scan (satellite: O(dirty) instead of O(n)).
+func TestSparseResidueSumMatchesDense(t *testing.T) {
+	g := gen.ErdosRenyi(400, 2000, 21)
+	n := g.N()
+	st := &State{Reserve: make([]float64, n), Residue: make([]float64, n)}
+	var track, inQueue ws.Marks
+	track.Grow(n)
+	inQueue.Grow(n)
+	st.Track = &track
+	st.UseScratch(&inQueue, nil)
+	st.Residue[0] = 1
+	track.Mark(0)
+	RunFromPar(g, 0.2, 1e-4, st, []int32{0}, false, nil, PushConfig{Workers: 1})
+	sparse := st.ResidueSum()
+	dense := 0.0
+	for _, r := range st.Residue {
+		dense += r
+	}
+	if math.Abs(sparse-dense) > 1e-12 {
+		t.Fatalf("sparse ResidueSum=%v, dense=%v", sparse, dense)
+	}
+}

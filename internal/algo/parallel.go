@@ -9,6 +9,7 @@ import (
 	"resacc/internal/faultinject"
 	"resacc/internal/graph"
 	"resacc/internal/rng"
+	"resacc/internal/ws"
 )
 
 // RemedyParallel is Remedy with the walk simulation fanned out over a pool
@@ -43,16 +44,12 @@ func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64
 
 	// Plan the walk assignment sequentially (cheap) so the MaxWalks cap
 	// behaves exactly like the sequential phase, then execute in parallel.
-	type job struct {
-		v   int32
-		n   int64
-		inc float64
-	}
 	budget := int64(math.MaxInt64)
 	if p.MaxWalks > 0 {
 		budget = int64(p.MaxWalks)
 	}
-	var jobs []job
+	jobsBuf := jobsPool.Get().(*[]remedyJob)
+	jobs := (*jobsBuf)[:0]
 	for v := int32(0); int(v) < len(residue); v++ {
 		rv := residue[v]
 		if rv <= 0 {
@@ -68,12 +65,19 @@ func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64
 				break
 			}
 		}
-		jobs = append(jobs, job{v, nv, rv / float64(nv)})
+		jobs = append(jobs, remedyJob{v, nv, rv / float64(nv)})
 		st.Walks += nv
+	}
+	// Idle workers would each borrow, merge and return an empty
+	// accumulator; clamp to the job count so tiny remedy phases don't pay
+	// for parallelism they can't use. The clamp is part of the stream
+	// split, so results stay deterministic per (seed, requested workers).
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
 
 	root := rng.New(seed)
-	accums := make([]*walkAccum, workers)
+	accums := make([]*ws.Accum, workers)
 	streams := make([]*rng.Source, workers)
 	for w := range streams {
 		streams[w] = root.Split()
@@ -95,14 +99,13 @@ func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64
 				}
 			}()
 			faultinject.Hit("algo.remedy.worker")
-			a := getAccum(g.N())
+			a := ws.GetAccum(g.N())
 			r := streams[w]
 			for i := w; i < len(jobs); i += workers {
 				j := jobs[i]
 				for k := int64(0); k < j.n; k++ {
 					t := Walk(g, j.v, p.Alpha, r)
-					a.marks.Mark(t)
-					a.val[t] += j.inc
+					a.Add(t, j.inc)
 				}
 			}
 			accums[w] = a
@@ -119,11 +122,25 @@ func RemedyParallel(g *graph.Graph, p Params, pi, residue []float64, seed uint64
 	// node, so per-slot addition order (worker 0, 1, …) is unchanged and
 	// the result is bit-identical to the dense merge.
 	for _, a := range accums {
-		for _, t := range a.marks.Touched() {
-			pi[t] += a.val[t]
+		for _, t := range a.Marks.Touched() {
+			pi[t] += a.Val[t]
 		}
-		putAccum(a)
+		ws.PutAccum(a)
 	}
+	*jobsBuf = jobs[:0]
+	jobsPool.Put(jobsBuf)
 	AddWalks(st.Walks)
 	return st
 }
+
+// remedyJob is one node's planned walk assignment (node, walk count,
+// per-walk increment).
+type remedyJob struct {
+	v   int32
+	n   int64
+	inc float64
+}
+
+// jobsPool recycles the per-query walk plan so the parallel remedy path
+// stops allocating a fresh jobs slice (and its growth doublings) per query.
+var jobsPool = sync.Pool{New: func() any { return new([]remedyJob) }}

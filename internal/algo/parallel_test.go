@@ -6,6 +6,7 @@ import (
 
 	"resacc/internal/graph/gen"
 	"resacc/internal/rng"
+	"resacc/internal/ws"
 )
 
 func TestRemedyParallelMassConservation(t *testing.T) {
@@ -103,5 +104,31 @@ func TestRemedyParallelUnbiased(t *testing.T) {
 	want := 0.5 * pi00
 	if math.Abs(got-want) > 0.012 {
 		t.Fatalf("mean parallel estimate %v, want %v", got, want)
+	}
+}
+
+// TestRemedyParallelWorkerClamp: more workers than walk-start nodes must
+// not change the answer — idle workers are clamped away as part of the
+// stream split, on both the dense and the workspace paths alike, so the
+// two stay bit-identical even in that corner.
+func TestRemedyParallelWorkerClamp(t *testing.T) {
+	g := gen.ErdosRenyi(120, 700, 13)
+	p := DefaultParams(g)
+	residue := make([]float64, g.N())
+	residue[7] = 0.2 // a single job; 8 requested workers clamp to 1
+	const seed = 77
+	pi := make([]float64, g.N())
+	stDense := RemedyParallel(g, p, pi, residue, seed, 8)
+
+	w := ws.New(g.N())
+	w.SetResidue(7, 0.2)
+	stWS := RemedyWS(g, p, w, seed, 8)
+	if stDense.Walks != stWS.Walks || stDense.RSum != stWS.RSum {
+		t.Fatalf("stats diverge: dense %+v vs ws %+v", stDense, stWS)
+	}
+	for v := range pi {
+		if math.Float64bits(pi[v]) != math.Float64bits(w.Reserve[v]) {
+			t.Fatalf("pi[%d]: dense %v vs ws %v", v, pi[v], w.Reserve[v])
+		}
 	}
 }

@@ -142,21 +142,31 @@ func RemedyWSCtx(g *graph.Graph, p Params, w *ws.Workspace, seed uint64, workers
 		st.Walks += nv
 	}
 
+	// Idle workers would each borrow, merge and return an empty
+	// accumulator; clamp to the job count so tiny remedy phases don't pay
+	// for parallelism they can't use. The clamp is part of the stream
+	// split, so results stay deterministic per (seed, requested workers).
+	if workers > len(w.JobNodes) {
+		workers = len(w.JobNodes)
+	}
 	w.Rng.Reseed(seed)
 	streams := w.GrowStreams(workers)
 	for i := range streams {
 		w.Rng.SplitInto(&streams[i])
 	}
-	accums := make([]*walkAccum, workers)
+	accums := make([]*ws.Accum, workers)
 	shortMass := make([]float64, workers)
 	shortWalks := make([]int64, workers)
 	var workerPanic *crash.PanicError
 	var panicOnce sync.Once
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
-		wk := wk
 		wg.Add(1)
-		go func() {
+		// workers is passed as an argument, not captured: a captured
+		// variable that is ever reassigned (the clamp above) would be
+		// moved to the heap at function entry, costing an allocation even
+		// on the sequential path.
+		go func(wk, workers int) {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
@@ -165,7 +175,7 @@ func RemedyWSCtx(g *graph.Graph, p Params, w *ws.Workspace, seed uint64, workers
 				}
 			}()
 			faultinject.Hit("algo.remedy.worker")
-			a := getAccum(g.N())
+			a := ws.GetAccum(g.N())
 			r := &streams[wk]
 			var wdone int64
 		jobs:
@@ -190,12 +200,11 @@ func RemedyWSCtx(g *graph.Graph, p Params, w *ws.Workspace, seed uint64, workers
 					}
 					wdone++
 					t := Walk(g, v, p.Alpha, r)
-					a.marks.Mark(t)
-					a.val[t] += inc
+					a.Add(t, inc)
 				}
 			}
 			accums[wk] = a
-		}()
+		}(wk, workers)
 	}
 	wg.Wait()
 	if workerPanic != nil {
@@ -208,10 +217,10 @@ func RemedyWSCtx(g *graph.Graph, p Params, w *ws.Workspace, seed uint64, workers
 	// node, so per-slot addition order matches the dense per-worker merge
 	// and the result is bit-identical to it.
 	for _, a := range accums {
-		for _, t := range a.marks.Touched() {
-			w.AddReserve(t, a.val[t])
+		for _, t := range a.Marks.Touched() {
+			w.AddReserve(t, a.Val[t])
 		}
-		putAccum(a)
+		ws.PutAccum(a)
 	}
 	for wk := 0; wk < workers; wk++ {
 		if shortWalks[wk] > 0 {
@@ -233,35 +242,4 @@ func RemedyWSCtx(g *graph.Graph, p Params, w *ws.Workspace, seed uint64, workers
 	}
 	AddWalks(st.Walks)
 	return st
-}
-
-// walkAccum is a per-worker walk-credit accumulator: a dense value vector
-// plus a touched-list so zeroing on release and merging are O(touched).
-type walkAccum struct {
-	val   []float64
-	marks ws.Marks
-}
-
-var accumPool = sync.Pool{New: func() any { return &walkAccum{} }}
-
-// getAccum borrows an accumulator sized for n nodes, all-zero and empty.
-func getAccum(n int) *walkAccum {
-	a := accumPool.Get().(*walkAccum)
-	if len(a.val) < n || (len(a.val) > 1<<16 && len(a.val) > 8*n) {
-		// Too small, or so oversized for the current workload that pinning
-		// it would waste memory: start fresh (the old vector is garbage).
-		a.val = make([]float64, n)
-		a.marks = ws.Marks{}
-	}
-	a.marks.Grow(n)
-	a.marks.Clear()
-	return a
-}
-
-// putAccum zeroes the touched slots and returns the accumulator to the pool.
-func putAccum(a *walkAccum) {
-	for _, t := range a.marks.Touched() {
-		a.val[t] = 0
-	}
-	accumPool.Put(a)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"resacc/internal/algo"
+	"resacc/internal/algo/forward"
 	"resacc/internal/graph/gen"
 	"resacc/internal/ws"
 )
@@ -120,7 +121,7 @@ func TestStatsSubgraphSizeMatchesMembership(t *testing.T) {
 	g := gen.ErdosRenyi(300, 1500, 5)
 	p := algo.DefaultParams(g)
 	w := ws.New(g.N())
-	hop := runHHopFWD(g, 0, p.Alpha, p.RMaxHop, p.H, false, w, nil)
+	hop := runHHopFWD(g, 0, p.Alpha, p.RMaxHop, p.H, false, w, forward.PushConfig{}, nil)
 	count := 0
 	for v := int32(0); int(v) < g.N(); v++ {
 		if w.InSub.Has(v) {
@@ -131,7 +132,7 @@ func TestStatsSubgraphSizeMatchesMembership(t *testing.T) {
 		t.Fatalf("subSize=%d, marked members=%d", hop.subSize, count)
 	}
 	w2 := ws.New(g.N())
-	whole := runHHopFWD(g, 0, p.Alpha, p.RMaxHop, p.H, true, w2, nil)
+	whole := runHHopFWD(g, 0, p.Alpha, p.RMaxHop, p.H, true, w2, forward.PushConfig{}, nil)
 	if whole.subSize != g.N() {
 		t.Fatalf("whole-graph subSize=%d, want n=%d", whole.subSize, g.N())
 	}

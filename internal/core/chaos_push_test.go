@@ -1,0 +1,104 @@
+//go:build faultinject
+
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"resacc/internal/algo"
+	"resacc/internal/crash"
+	"resacc/internal/faultinject"
+	"resacc/internal/graph/gen"
+)
+
+// TestChaosDeadlineInsideParallelPushRound pins the query deadline inside
+// a round of the parallel push engine: latency injected at the push
+// workers' entry burns the budget while a round is in flight, so the
+// abort must land in a push phase, the merge must still have applied
+// every accumulated delta (mass conservation), and the degraded result's
+// bound must cover the unconverted mass.
+func TestChaosDeadlineInsideParallelPushRound(t *testing.T) {
+	defer faultinject.Reset()
+	g := gen.BarabasiAlbert(400, 4, 17)
+	p := algo.DefaultParams(g)
+	p.Seed = 3
+	s := Solver{PushWorkers: 4, PushEngage: 1}
+
+	faultinject.Set("forward.push.worker", func() { time.Sleep(100 * time.Millisecond) })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	scores, stats, err := s.QueryCtx(ctx, g, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Degraded {
+		t.Fatalf("stats=%+v, want degraded inside a push phase", stats)
+	}
+	if stats.DegradedPhase != PhaseHopFWD && stats.DegradedPhase != PhaseOMFWD {
+		t.Fatalf("degraded phase=%s, want hhopfwd or omfwd", stats.DegradedPhase)
+	}
+	if stats.ResidualBound < 0 || stats.ResidualBound > 1+1e-9 {
+		t.Fatalf("bound=%g outside [0,1]", stats.ResidualBound)
+	}
+	var mass float64
+	for _, sc := range scores {
+		if sc < 0 {
+			t.Fatal("negative partial score")
+		}
+		mass += sc
+	}
+	if mass+stats.ResidualBound < 1-1e-6 {
+		t.Fatalf("reserve mass %g + bound %g < 1", mass, stats.ResidualBound)
+	}
+}
+
+// TestChaosPushWorkerPanicContained injects a panic inside the parallel
+// push workers: the query must fail with a contained *crash.PanicError
+// (the worker stays alive to keep the round barrier sound, the engine is
+// discarded, the process keeps serving), and the next query on the same
+// solver must succeed bit-identically to a pre-fault reference.
+func TestChaosPushWorkerPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	g := gen.BarabasiAlbert(400, 4, 17)
+	p := algo.DefaultParams(g)
+	p.Seed = 3
+	s := Solver{PushWorkers: 4, PushEngage: 1}
+
+	want, _, err := s.Query(g, 0, p) // clean reference before the fault
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Set("forward.push.worker", func() { panic("chaos: push worker down") })
+	scores, _, err := s.QueryCtx(context.Background(), g, 0, p)
+	if err == nil {
+		t.Fatal("query succeeded despite panicking push workers")
+	}
+	if !crash.IsPanic(err) {
+		t.Fatalf("err=%v, want a contained *crash.PanicError", err)
+	}
+	var pe *crash.PanicError
+	if !asPanic(err, &pe) {
+		t.Fatalf("err %T does not unwrap to *crash.PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("contained panic lost the worker stack")
+	}
+	if scores != nil {
+		t.Fatal("panicked query returned scores")
+	}
+
+	faultinject.Reset()
+	got, _, err := s.Query(g, 0, p)
+	if err != nil {
+		t.Fatalf("query after contained panic: %v", err)
+	}
+	for v := range want {
+		if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+			t.Fatalf("post-panic scores[%d]=%v differ from pre-panic %v", v, got[v], want[v])
+		}
+	}
+}

@@ -140,8 +140,17 @@ func TestDegradedBoundSoundEverywhere(t *testing.T) {
 			}
 		}
 		for v := range scores {
-			lo := scores[v] - 1e-9
-			hi := scores[v] + stats.ResidualBound + p.Epsilon*truth[v] + 1e-9
+			// FORA's guarantee is relative (ε·π) only above δ = 1/n;
+			// below it the walk analysis gives the absolute form ε·δ. A
+			// deadline that lands mid-remedy runs a prefix of the walk
+			// schedule, and a single walk increment landing on a
+			// low-truth node legitimately overshoots by up to that
+			// absolute allowance — where the prefix ends shifts with
+			// wall-clock timing, so the low side needs the theory's
+			// slack, not just float slop.
+			slack := p.Epsilon*math.Max(truth[v], 1.0/float64(g.N())) + 1e-9
+			lo := scores[v] - slack
+			hi := scores[v] + stats.ResidualBound + slack
 			if stats.Degraded {
 				if truth[v] < lo || truth[v] > hi {
 					t.Fatalf("budget %v phase %s: node %d truth %g outside [%g, %g] (bound %g)",

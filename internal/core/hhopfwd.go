@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"resacc/internal/algo/forward"
 	"resacc/internal/faultinject"
 	"resacc/internal/graph"
 	"resacc/internal/ws"
@@ -21,6 +22,11 @@ type hopInfo struct {
 	subSize int
 
 	pushes int64
+	// rounds and maxFrontier are the parallel drain's telemetry: rounds
+	// executed and largest frontier snapshot (both zero when the
+	// sequential drain handled the phase).
+	rounds      int64
+	maxFrontier int
 	// Diagnostics from the updating phase.
 	r1 float64 // residue of s after the accumulating phase
 	t  int     // number of accumulating phases collapsed (T)
@@ -72,7 +78,7 @@ func pollDone(done <-chan struct{}, iter int) bool {
 // when it fires, skipping the updating phase — the geometric rescaling is
 // only valid at quiescence, while the raw reserve/residue state is valid
 // at every push boundary.
-func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeGraph bool, w *ws.Workspace, done <-chan struct{}) hopInfo {
+func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeGraph bool, w *ws.Workspace, pc forward.PushConfig, done <-chan struct{}) hopInfo {
 	n := g.N()
 	w.Reset(n)
 	info := hopInfo{t: 1, s: 1}
@@ -110,55 +116,26 @@ func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeG
 	w.SetReserve(src, alpha)
 	w.SetResidue(src, 0)
 	share := (1 - alpha) / float64(dSrc)
-	w.Queue = w.Queue[:0]
-	w.InQueue.Clear()
-	pushable := func(v int32) bool {
-		if v == src || !(wholeGraph || w.InSub.Has(v)) {
-			return false
-		}
-		d := g.OutDegree(v)
-		if d == 0 {
-			return w.Residue[v] >= rmaxHop
-		}
-		return w.Residue[v] >= rmaxHop*float64(d)
-	}
-	enqueue := func(v int32) {
-		if !w.InQueue.Has(v) && pushable(v) {
-			w.InQueue.Mark(v)
-			w.Queue = append(w.Queue, v)
-		}
-	}
 	for _, nb := range g.Out(src) {
 		w.AddResidue(nb, share)
-		enqueue(nb)
 	}
-	// Lines 3-7: push at subgraph nodes (never at s) until quiescent.
-	for head := 0; head < len(w.Queue); head++ {
-		if pollDone(done, head) {
-			info.aborted = true
-			break
-		}
-		v := w.Queue[head]
-		w.InQueue.Unmark(v)
-		if !pushable(v) {
-			continue
-		}
-		rv := w.Residue[v]
-		w.SetResidue(v, 0)
-		info.pushes++
-		d := g.OutDegree(v)
-		if d == 0 {
-			w.AddReserve(v, rv)
-			continue
-		}
-		w.AddReserve(v, alpha*rv)
-		sh := (1 - alpha) * rv / float64(d)
-		for _, nb := range g.Out(v) {
-			w.AddResidue(nb, sh)
-			enqueue(nb)
-		}
+	// Lines 3-7: push at subgraph nodes (never at s) until quiescent. The
+	// cascade runs on the forward engine — sequentially, or round-parallel
+	// past the engagement threshold when pc.Workers > 1 — restricted to
+	// the subgraph members minus the source.
+	var st forward.State
+	st.Reserve, st.Residue = w.Reserve, w.Residue
+	st.Track = &w.Dirty
+	if wholeGraph {
+		st.RestrictTo(nil, src)
+	} else {
+		st.RestrictTo(&w.InSub, src)
 	}
-	w.Queue = w.Queue[:0]
+	st.UseScratch(&w.InQueue, w.Queue)
+	info.aborted = forward.RunFromPar(g, alpha, rmaxHop, &st, g.Out(src), false, done, pc)
+	w.Queue = st.TakeQueue()
+	info.pushes += st.Pushes
+	info.rounds, info.maxFrontier = st.Rounds, st.MaxFrontier
 	if info.aborted {
 		// The updating phase's geometric rescaling models T further
 		// accumulating phases run to quiescence; applied to a half-drained
@@ -215,7 +192,7 @@ func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeG
 // search with threshold rmaxHop restricted to the h-hop subgraph, with the
 // source pushing repeatedly like any other node (the looping phenomenon of
 // §IV-A is incurred in full).
-func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, w *ws.Workspace, done <-chan struct{}) hopInfo {
+func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, w *ws.Workspace, pc forward.PushConfig, done <-chan struct{}) hopInfo {
 	n := g.N()
 	w.Reset(n)
 	info := hopInfo{t: 0, s: 1}
@@ -234,48 +211,18 @@ func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h i
 	info.subSize = len(within)
 	info.frontier = layers.Layer(h + 1)
 
-	w.Queue = append(w.Queue[:0], src)
-	w.InQueue.Clear()
-	w.InQueue.Mark(src)
-	pushable := func(v int32) bool {
-		if !w.InSub.Has(v) {
-			return false
-		}
-		d := g.OutDegree(v)
-		if d == 0 {
-			return w.Residue[v] >= rmaxHop
-		}
-		return w.Residue[v] >= rmaxHop*float64(d)
-	}
-	for head := 0; head < len(w.Queue); head++ {
-		if pollDone(done, head) {
-			info.aborted = true
-			break
-		}
-		v := w.Queue[head]
-		w.InQueue.Unmark(v)
-		if !pushable(v) {
-			continue
-		}
-		rv := w.Residue[v]
-		w.SetResidue(v, 0)
-		info.pushes++
-		d := g.OutDegree(v)
-		if d == 0 {
-			w.AddReserve(v, rv)
-			continue
-		}
-		w.AddReserve(v, alpha*rv)
-		sh := (1 - alpha) * rv / float64(d)
-		for _, nb := range g.Out(v) {
-			w.AddResidue(nb, sh)
-			if !w.InQueue.Has(nb) && pushable(nb) {
-				w.InQueue.Mark(nb)
-				w.Queue = append(w.Queue, nb)
-			}
-		}
-	}
-	w.Queue = w.Queue[:0]
+	// Plain forward search on the engine, restricted to the subgraph; the
+	// source pushes repeatedly like any other node (skip = -1).
+	w.Seeds = append(w.Seeds[:0], src)
+	var st forward.State
+	st.Reserve, st.Residue = w.Reserve, w.Residue
+	st.Track = &w.Dirty
+	st.RestrictTo(&w.InSub, -1)
+	st.UseScratch(&w.InQueue, w.Queue)
+	info.aborted = forward.RunFromPar(g, alpha, rmaxHop, &st, w.Seeds, false, done, pc)
+	w.Queue = st.TakeQueue()
+	info.pushes = st.Pushes
+	info.rounds, info.maxFrontier = st.Rounds, st.MaxFrontier
 	info.r1 = w.Residue[src]
 	return info
 }

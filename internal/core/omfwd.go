@@ -9,18 +9,30 @@ import (
 	"resacc/internal/ws"
 )
 
+// omInfo summarises the OMFWD phase: push count, the parallel drain's
+// round telemetry, the post-phase residue sum (computed sparsely over the
+// workspace's dirty set), and whether the done channel aborted the cascade
+// mid-drain (the workspace then holds a valid intermediate state; see
+// hopInfo.aborted).
+type omInfo struct {
+	pushes      int64
+	rounds      int64
+	maxFrontier int
+	rsum        float64
+	aborted     bool
+}
+
 // runOMFWD executes the One-More Forward search (paper Algorithm 4): the
 // frontier nodes L_{(h+1)-hop}(s), whose residues were deliberately left to
 // accumulate during h-HopFWD, are pushed in decreasing order of residue,
 // and the push cascade then proceeds anywhere in the graph under the
-// (larger) threshold r_max^f. It returns the number of push operations and
-// whether the done channel aborted the cascade mid-drain (the workspace
-// then holds a valid intermediate state; see hopInfo.aborted).
+// (larger) threshold r_max^f. With pc.Workers > 1 the cascade escalates to
+// the round-synchronous parallel drain past the engagement threshold.
 //
 // The search runs entirely on the workspace: reserve/residue writes are
 // tracked in w.Dirty and the queue bookkeeping borrows w.InQueue/w.Queue,
 // so the phase allocates nothing in steady state.
-func runOMFWD(g *graph.Graph, alpha, rmaxF float64, w *ws.Workspace, frontier []int32, done <-chan struct{}) (int64, bool) {
+func runOMFWD(g *graph.Graph, alpha, rmaxF float64, w *ws.Workspace, frontier []int32, pc forward.PushConfig, done <-chan struct{}) omInfo {
 	faultinject.Hit("core.omfwd.start")
 	w.Seeds = w.Seeds[:0]
 	for _, v := range frontier {
@@ -43,9 +55,17 @@ func runOMFWD(g *graph.Graph, alpha, rmaxF float64, w *ws.Workspace, frontier []
 			return 0
 		}
 	})
-	st := &forward.State{Reserve: w.Reserve, Residue: w.Residue, Track: &w.Dirty}
+	var st forward.State
+	st.Reserve, st.Residue = w.Reserve, w.Residue
+	st.Track = &w.Dirty
 	st.UseScratch(&w.InQueue, w.Queue)
-	aborted := forward.RunFromCtx(g, alpha, rmaxF, st, w.Seeds, true, done)
+	aborted := forward.RunFromPar(g, alpha, rmaxF, &st, w.Seeds, true, done, pc)
 	w.Queue = st.TakeQueue()
-	return st.Pushes, aborted
+	return omInfo{
+		pushes:      st.Pushes,
+		rounds:      st.Rounds,
+		maxFrontier: st.MaxFrontier,
+		rsum:        st.ResidueSum(),
+		aborted:     aborted,
+	}
 }

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"resacc/internal/algo"
+	"resacc/internal/eval"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+	"resacc/internal/ws"
+)
+
+// parallelPushSolver forces the round-synchronous engine on from the first
+// push (EngageMass 1), so even the small test graphs exercise it.
+func parallelPushSolver(workers int) Solver {
+	return Solver{PushWorkers: workers, PushEngage: 1}
+}
+
+// TestParallelPushMeetsAccuracyGuarantee: Definition 1 must hold end to
+// end with the parallel push engine driving both push phases — the engine
+// changes float summation order, never the approximation contract.
+func TestParallelPushMeetsAccuracyGuarantee(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid": gen.Grid(12, 12),
+		"er":   gen.ErdosRenyi(400, 2400, 17),
+		"rmat": gen.RMAT(9, 6, 19),
+		"ba":   gen.BarabasiAlbert(400, 4, 23),
+	}
+	for name, g := range graphs {
+		p := algo.DefaultParams(g)
+		p.Seed = 12345
+		s := parallelPushSolver(4)
+		for _, src := range []int32{0, int32(g.N() / 2)} {
+			est, err := s.SingleSource(g, src, p)
+			if err != nil {
+				t.Fatalf("%s src=%d: %v", name, src, err)
+			}
+			truth := groundTruth(t, g, src, p)
+			if rel := eval.MaxRelErrAbove(truth, est, p.Delta); rel > p.Epsilon {
+				t.Errorf("%s src=%d: max rel err %v > ε=%v", name, src, rel, p.Epsilon)
+			}
+		}
+	}
+}
+
+// TestParallelPushDeterministicPerWorkerCount: repeated queries at a fixed
+// PushWorkers must agree bit-for-bit, including across recycled
+// workspaces; stats telemetry must agree too.
+func TestParallelPushDeterministicPerWorkerCount(t *testing.T) {
+	g := gen.RMAT(11, 8, 7)
+	p := algo.DefaultParams(g)
+	p.Seed = 99
+	for _, workers := range []int{2, 4} {
+		s := parallelPushSolver(workers)
+		w := ws.New(g.N())
+		refStats := s.QueryWS(g, 3, p, w)
+		want := w.ExtractScores()
+		if refStats.HopRounds == 0 && refStats.OMFWDRounds == 0 {
+			t.Fatalf("workers=%d: parallel engine never engaged (rounds=0)", workers)
+		}
+		for round := 0; round < 3; round++ {
+			w2 := ws.New(g.N())
+			st := s.QueryWS(g, 3, p, w2)
+			got := w2.ExtractScores()
+			for v := range want {
+				if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+					t.Fatalf("workers=%d round %d: scores[%d]=%v vs %v",
+						workers, round, v, got[v], want[v])
+				}
+			}
+			if st.HopRounds != refStats.HopRounds || st.OMFWDRounds != refStats.OMFWDRounds ||
+				st.MaxFrontier != refStats.MaxFrontier {
+				t.Fatalf("workers=%d: telemetry drifted (%d/%d/%d vs %d/%d/%d)",
+					workers, st.HopRounds, st.OMFWDRounds, st.MaxFrontier,
+					refStats.HopRounds, refStats.OMFWDRounds, refStats.MaxFrontier)
+			}
+		}
+	}
+}
+
+// TestSequentialUnaffectedByPushWorkersBelowEngage: with the default
+// engagement threshold, small queries at PushWorkers=4 must stay
+// bit-identical to the plain sequential solver.
+func TestSequentialUnaffectedByPushWorkersBelowEngage(t *testing.T) {
+	g := gen.ErdosRenyi(300, 1500, 5)
+	p := algo.DefaultParams(g)
+	p.Seed = 7
+	wSeq := ws.New(g.N())
+	Solver{}.QueryWS(g, 2, p, wSeq)
+	want := wSeq.ExtractScores()
+
+	wPar := ws.New(g.N())
+	stats := Solver{PushWorkers: 4, PushEngage: 1 << 30}.QueryWS(g, 2, p, wPar)
+	got := wPar.ExtractScores()
+	if stats.HopRounds != 0 || stats.OMFWDRounds != 0 {
+		t.Fatalf("engine engaged below threshold: rounds=%d+%d", stats.HopRounds, stats.OMFWDRounds)
+	}
+	for v := range want {
+		if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+			t.Fatalf("scores[%d] differ below engagement threshold", v)
+		}
+	}
+}
+
+// TestParallelPushAbortKeepsInvariant: a context cancelled mid-query must
+// yield a degraded result whose reserve+residue mass is conserved and
+// whose ResidualBound honestly bounds the missing mass.
+func TestParallelPushAbortKeepsInvariant(t *testing.T) {
+	g := gen.RMAT(12, 8, 3)
+	p := algo.DefaultParams(g)
+	p.Seed = 1
+	s := parallelPushSolver(4)
+	w := ws.New(g.N())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // fires at the first poll: degrade in the first push phase
+	stats := s.QueryWSCtx(ctx, g, 0, p, w)
+	if !stats.Degraded {
+		t.Skip("query finished before the cancellation was observed")
+	}
+	total := 0.0
+	for v := 0; v < g.N(); v++ {
+		total += w.Reserve[v] + w.Residue[v]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("degraded state mass=%v, want 1", total)
+	}
+}
+
+// TestParallelPushCancellationHammer races full queries against their
+// context cancellation on the parallel engine — run under -race this is
+// the memory-safety check for the worker/merge handoff.
+func TestParallelPushCancellationHammer(t *testing.T) {
+	g := gen.RMAT(11, 8, 17)
+	p := algo.DefaultParams(g)
+	p.Seed = 5
+	s := parallelPushSolver(3)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%7)*100*time.Microsecond)
+			defer cancel()
+			w := ws.New(g.N())
+			s.QueryWSCtx(ctx, g, int32(i%g.N()), p, w)
+			total := 0.0
+			for v := 0; v < g.N(); v++ {
+				total += w.Reserve[v] + w.Residue[v]
+			}
+			if math.Abs(total-1) > 1e-9 {
+				t.Errorf("query %d: mass=%v", i, total)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestParallelPushSteadyStateAllocs extends the zero-alloc contract to the
+// parallel engine: after warm-up, a repeat query that drives both push
+// phases through round-synchronous drains (a hundred-plus rounds on this
+// graph) must allocate nothing — engine, accumulators, channels and
+// frontier buffers all recycle.
+func TestParallelPushSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector goroutine/channel bookkeeping allocates; the zero-alloc contract is checked on the non-race build")
+	}
+	g := gen.RMAT(12, 8, 7)
+	p := algo.DefaultParams(g)
+	p.Seed = 42
+	s := parallelPushSolver(4)
+	w := ws.New(g.N())
+	for i := 0; i < 3; i++ {
+		s.QueryWS(g, 0, p, w)
+	}
+	if st := s.QueryWS(g, 0, p, w); st.HopRounds+st.OMFWDRounds == 0 {
+		t.Fatal("parallel engine never engaged; the alloc check would be vacuous")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.QueryWS(g, 0, p, w)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state parallel QueryWS allocates %.1f objects/run, want 0", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this build carries race-detector
+// instrumentation, whose goroutine and channel bookkeeping allocates;
+// zero-allocation assertions on concurrent paths are meaningless there.
+const raceEnabled = true

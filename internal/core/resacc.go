@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"resacc/internal/algo"
+	"resacc/internal/algo/forward"
 	"resacc/internal/crash"
 	"resacc/internal/faultinject"
 	"resacc/internal/graph"
@@ -112,6 +113,13 @@ type Stats struct {
 	RSumAfterHop, RSumAfterOMFWD float64
 	// Walks is the number of remedy random walks simulated.
 	Walks int64
+	// HopRounds and OMFWDRounds count the round-synchronous parallel
+	// drain's rounds per push phase, and MaxFrontier is the largest
+	// frontier either phase snapshot. All zero when the sequential drain
+	// handled the query (PushWorkers ≤ 1 or below the engagement
+	// threshold).
+	HopRounds, OMFWDRounds int64
+	MaxFrontier            int
 
 	// Degraded reports that the query's context fired before the pipeline
 	// finished and the reserves are an anytime underestimate rather than
@@ -141,6 +149,10 @@ func (s Stats) String() string {
 		s.OMFWD.Round(time.Microsecond), s.OMFWDPushes,
 		s.Remedy.Round(time.Microsecond), s.Walks, s.RSumAfterOMFWD,
 		s.Total().Round(time.Microsecond))
+	if s.HopRounds > 0 || s.OMFWDRounds > 0 {
+		line += fmt.Sprintf(" par-push (rounds=%d+%d max_frontier=%d)",
+			s.HopRounds, s.OMFWDRounds, s.MaxFrontier)
+	}
 	if s.Degraded {
 		line += fmt.Sprintf(" DEGRADED (phase=%s bound=%.3g)", s.DegradedPhase, s.ResidualBound)
 	}
@@ -156,11 +168,20 @@ type Solver struct {
 	// Variant selects the full algorithm (zero value) or an ablation.
 	Variant Variant
 	// Workers parallelizes the remedy phase's random walks across this
-	// many goroutines (0 or 1 = sequential). The push phases are
-	// inherently sequential cascades and stay single-threaded; the remedy
-	// phase dominates wall time on large graphs and parallelizes
-	// embarrassingly. Results stay deterministic per (Seed, Workers).
+	// many goroutines (0 or 1 = sequential). The remedy phase dominates
+	// wall time on large graphs and parallelizes embarrassingly. Results
+	// stay deterministic per (Seed, Workers).
 	Workers int
+	// PushWorkers parallelizes the two push phases' frontier drains with
+	// the round-synchronous engine (0 or 1 = the classic sequential
+	// drain). Small queries stay sequential — and bit-identical to
+	// PushWorkers=1 — below the engagement threshold; past it, results
+	// are numerically equivalent and deterministic per PushWorkers (a
+	// different worker count is a different, equally valid fixed point).
+	PushWorkers int
+	// PushEngage overrides the parallel drain's engagement threshold
+	// (0 = forward.DefaultEngageMass). Mostly a test/tuning knob.
+	PushEngage int
 	// Pool supplies the per-query workspace. Nil uses a package-wide
 	// default pool; the serving engine injects its own so graph swaps can
 	// invalidate scratch together with the result cache.
@@ -181,6 +202,12 @@ func (s Solver) pool() *ws.Pool {
 		return s.Pool
 	}
 	return defaultPool
+}
+
+// pushConfig is the forward-engine configuration both push phases run
+// under.
+func (s Solver) pushConfig() forward.PushConfig {
+	return forward.PushConfig{Workers: s.PushWorkers, EngageMass: s.PushEngage}
 }
 
 // Query answers the SSRWR query and returns the per-phase statistics. It
@@ -255,17 +282,19 @@ func (s Solver) QueryWSCtx(ctx context.Context, g *graph.Graph, src int32, p alg
 
 	// Phase 1: h-HopFWD (or its ablated replacements).
 	start := time.Now()
+	pc := s.pushConfig()
 	var hop hopInfo
 	switch s.Variant {
 	case NoLoop:
-		hop = runRestrictedForward(g, src, p.Alpha, p.RMaxHop, p.H, w, done)
+		hop = runRestrictedForward(g, src, p.Alpha, p.RMaxHop, p.H, w, pc, done)
 	case NoSubgraph:
-		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, true, w, done)
+		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, true, w, pc, done)
 	default:
-		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, false, w, done)
+		hop = runHHopFWD(g, src, p.Alpha, p.RMaxHop, p.H, false, w, pc, done)
 	}
 	stats.HopFWD = time.Since(start)
 	stats.HopPushes = hop.pushes
+	stats.HopRounds, stats.MaxFrontier = hop.rounds, hop.maxFrontier
 	stats.R1, stats.T, stats.S = hop.r1, hop.t, hop.s
 	stats.SubgraphSize = hop.subSize
 	stats.FrontierSize = len(hop.frontier)
@@ -279,13 +308,17 @@ func (s Solver) QueryWSCtx(ctx context.Context, g *graph.Graph, src int32, p alg
 	}
 
 	// Phase 2: OMFWD.
+	stats.RSumAfterOMFWD = stats.RSumAfterHop
 	if s.Variant != NoOMFWD && s.Variant != NoSubgraph {
 		start = time.Now()
-		var omAborted bool
-		stats.OMFWDPushes, omAborted = runOMFWD(g, p.Alpha, p.RMaxF, w, hop.frontier, done)
+		om := runOMFWD(g, p.Alpha, p.RMaxF, w, hop.frontier, pc, done)
 		stats.OMFWD = time.Since(start)
-		if omAborted {
-			stats.RSumAfterOMFWD = w.SumResidue()
+		stats.OMFWDPushes, stats.OMFWDRounds = om.pushes, om.rounds
+		if om.maxFrontier > stats.MaxFrontier {
+			stats.MaxFrontier = om.maxFrontier
+		}
+		stats.RSumAfterOMFWD = om.rsum
+		if om.aborted {
 			stats.Degraded = true
 			stats.DegradedPhase = PhaseOMFWD
 			stats.ResidualBound = stats.RSumAfterOMFWD
@@ -293,7 +326,6 @@ func (s Solver) QueryWSCtx(ctx context.Context, g *graph.Graph, src int32, p alg
 			return stats
 		}
 	}
-	stats.RSumAfterOMFWD = w.SumResidue()
 
 	// Phase 3: remedy.
 	faultinject.Hit("core.remedy.start")

@@ -16,6 +16,7 @@
 //	core.omfwd.start     before the OMFWD push cascade
 //	core.remedy.start    before the remedy walk phase
 //	algo.remedy.worker   inside each parallel remedy walk worker
+//	forward.push.worker  inside each parallel push worker (per span batch)
 //	serve.compute        on the pool worker, before the computation
 //
 // The chaos suites (go test -race -tags faultinject ./...) use these to

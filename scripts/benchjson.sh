@@ -9,7 +9,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 out=${1:-BENCH_resacc.json}
-filter='^BenchmarkQueryTable3/(dblp-s|webstan-s)/(resacc|fora)$|^BenchmarkForwardPush$|^BenchmarkHHopFWDPhase$|^BenchmarkQueryPooledRepeat$'
+filter='^BenchmarkQueryTable3/(dblp-s|webstan-s)/(resacc|fora)$|^BenchmarkForwardPush$|^BenchmarkHHopFWDPhase$|^BenchmarkQueryPooledRepeat$|^BenchmarkPushParallel/workers=(1|2|4|8)$'
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
