@@ -9,6 +9,7 @@
 //	GET /v1/query?source=42&k=10            top-k ranking
 //	GET /v1/pair?source=42&target=7         single pair estimate
 //	POST /v1/batch {"sources":[1,2],"k":10}  per-source rankings in one call
+//	POST /v1/edges {"add":[[0,7]],"remove":[[3,4]]}  streaming edge edits (with -live)
 //	GET /v1/stats                            graph + server + engine statistics
 //	GET /v1/traces?n=20                      recent query traces (JSON)
 //	GET /metrics                             Prometheus text exposition
@@ -62,6 +63,12 @@ func main() {
 		cacheShard = flag.Int("cache-shards", 0, "result-cache shard count (0 = 16)")
 		queryTO    = flag.Duration("query-timeout", 30*time.Second, "per-request answer deadline")
 		maxBatch   = flag.Int("max-batch", 1024, "max sources per /v1/batch request")
+
+		liveMode  = flag.Bool("live", false, "enable streaming edge edits via POST /v1/edges")
+		staleness = flag.Duration("max-staleness", 500*time.Millisecond, "bound on how long an accepted edit may stay invisible to queries (with -live)")
+		swapPend  = flag.Int("swap-pending", 0, "pending-edit count that forces an immediate snapshot swap (0 = 1024; with -live)")
+		staleTol  = flag.Float64("stale-tolerance", 0, "absolute per-node score movement tolerated on cache entries surviving a scoped swap (0 = epsilon*delta; with -live)")
+		maxEdits  = flag.Int("max-edits", 4096, "max edits per /v1/edges request")
 	)
 	flag.Parse()
 
@@ -96,6 +103,13 @@ func main() {
 		},
 		QueryTimeout: *queryTO,
 		MaxBatch:     *maxBatch,
+		Live:         *liveMode,
+		LiveOptions: resacc.LiveOptions{
+			MaxStaleness: *staleness,
+			MaxPending:   *swapPend,
+			Tolerance:    *staleTol,
+		},
+		MaxEdits: *maxEdits,
 	})
 	defer srv.Close()
 
@@ -117,7 +131,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("rwrd: serving",
-		"nodes", g.N(), "edges", g.M(), "addr", *addr, "pprof", *withPprof)
+		"nodes", g.N(), "edges", g.M(), "addr", *addr, "pprof", *withPprof, "live", *liveMode)
 
 	select {
 	case err := <-errc:

@@ -35,6 +35,17 @@ type serverOpts struct {
 	QueryTimeout time.Duration
 	// MaxBatch caps the source count of one /v1/batch request (≤ 0 = 1024).
 	MaxBatch int
+	// Live enables the streaming write path: POST /v1/edges applies edge
+	// edits that become visible within Live.MaxStaleness, invalidating
+	// only the delta-affected slice of the result cache. Without it the
+	// endpoint answers 403.
+	Live bool
+	// LiveOptions tunes the write path when Live is set (Metrics is
+	// overwritten with the server's registry).
+	LiveOptions resacc.LiveOptions
+	// MaxEdits caps the edit count (adds plus removes) of one /v1/edges
+	// request (≤ 0 = 4096).
+	MaxEdits int
 }
 
 // server routes every request through a resacc.Engine (result cache,
@@ -43,14 +54,16 @@ type serverOpts struct {
 type server struct {
 	mux     *http.ServeMux
 	handler http.Handler
-	g       *resacc.Graph
+	g       *resacc.Graph // boot graph; live edits swap the served one
 	params  resacc.Params
 	engine  *resacc.Engine
+	live    *resacc.Live // nil unless opts.Live
 	queries atomic.Int64
 	started time.Time
 
 	queryTimeout time.Duration
 	maxBatch     int
+	maxEdits     int
 
 	log      *slog.Logger
 	reg      *obs.Registry
@@ -79,6 +92,9 @@ func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 1024
 	}
+	if opts.MaxEdits <= 0 {
+		opts.MaxEdits = 4096
+	}
 	s := &server{
 		mux:          http.NewServeMux(),
 		g:            g,
@@ -86,6 +102,7 @@ func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
 		started:      time.Now(),
 		queryTimeout: opts.QueryTimeout,
 		maxBatch:     opts.MaxBatch,
+		maxEdits:     opts.MaxEdits,
 		log:          opts.Log,
 		reg:          obs.NewRegistry(),
 		traces:       obs.NewTraceRing(opts.TraceBuffer),
@@ -93,12 +110,24 @@ func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
 	s.registerMetrics()
 	opts.Engine.Metrics = s.reg
 	s.engine = resacc.NewEngine(g, p, opts.Engine)
+	if opts.Live {
+		opts.LiveOptions.Metrics = s.reg
+		lv, err := s.engine.StartLive(opts.LiveOptions)
+		if err != nil {
+			// Only possible with a write path already attached; serve
+			// read-only rather than die.
+			opts.Log.Error("live write path unavailable", "err", err)
+		} else {
+			s.live = lv
+		}
+	}
 	s.unhook = resacc.RegisterQueryHook(s.observeQuery)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/edges", s.handleEdges)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -119,10 +148,12 @@ func (s *server) registerMetrics() {
 	obs.RegisterRuntimeMetrics(s.reg)
 	s.inflight = s.reg.Gauge("rwr_http_inflight_requests",
 		"HTTP requests currently being served.")
+	// Evaluated at scrape time through the engine so live edits show up;
+	// the engine field is set right after these registrations.
 	s.reg.GaugeFunc("rwr_graph_nodes", "Nodes in the served graph.",
-		func() float64 { return float64(s.g.N()) })
+		func() float64 { return float64(s.servedGraph().N()) })
 	s.reg.GaugeFunc("rwr_graph_edges", "Edges in the served graph.",
-		func() float64 { return float64(s.g.M()) })
+		func() float64 { return float64(s.servedGraph().M()) })
 	s.reg.GaugeFunc("rwr_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
 	s.reg.CounterFunc("rwr_walks_total",
@@ -164,11 +195,30 @@ func (s *server) registerMetrics() {
 		obs.ExpBuckets(1, 4, 12))
 }
 
+// servedGraph returns the graph snapshot queries currently run against
+// (the boot graph until live edits swap it).
+func (s *server) servedGraph() *resacc.Graph {
+	if s.engine != nil {
+		return s.engine.Graph()
+	}
+	return s.g
+}
+
+// ownsGraph reports whether a query event's graph belongs to this server:
+// the boot graph, the currently served snapshot, or — with live edits —
+// any superseded snapshot still pinned by an in-flight query.
+func (s *server) ownsGraph(g *resacc.Graph) bool {
+	if g == s.g || g == s.servedGraph() {
+		return true
+	}
+	return s.live != nil && s.live.Owns(g)
+}
+
 // observeQuery is the resacc.QueryHook: it turns each completed query on
 // this server's graph into phase histograms, counters and a ring-buffered
 // trace.
 func (s *server) observeQuery(ev resacc.QueryEvent) {
-	if ev.Graph != s.g {
+	if !s.ownsGraph(ev.Graph) {
 		return // another server/test in this process
 	}
 	status := "ok"
@@ -211,6 +261,11 @@ func (s *server) observeQuery(ev resacc.QueryEvent) {
 func (s *server) Close() {
 	if s.unhook != nil {
 		s.unhook()
+	}
+	if s.live != nil {
+		if err := s.live.Close(); err != nil {
+			s.log.Error("live write path close failed", "err", err)
+		}
 	}
 	s.engine.Close()
 }
@@ -264,8 +319,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if k > s.g.N() {
-		k = s.g.N()
+	if n := s.servedGraph().N(); k > n {
+		k = n
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
 	defer cancel()
@@ -334,10 +389,11 @@ func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.engine.Stats()
-	s.writeJSON(w, http.StatusOK, map[string]any{
-		"nodes":          s.g.N(),
-		"edges":          s.g.M(),
-		"avg_out_degree": s.g.AvgDegree(),
+	g := s.servedGraph()
+	out := map[string]any{
+		"nodes":          g.N(),
+		"edges":          g.M(),
+		"avg_out_degree": g.AvgDegree(),
 		"queries_served": s.queries.Load(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"epsilon":        s.params.Epsilon,
@@ -352,7 +408,80 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"cache_bytes":   es.CacheBytes,
 			"queue_depth":   es.QueueDepth,
 			"graph_epoch":   es.Epoch,
+			"graph_swaps":   es.Swaps,
+			"snapshot_refs": es.SnapshotRefs,
 		},
+	}
+	if s.live != nil {
+		ls := s.live.Stats()
+		out["live"] = map[string]any{
+			"snapshot_epoch":    ls.Epoch,
+			"pending_adds":      ls.PendingAdds,
+			"pending_removes":   ls.PendingRemoves,
+			"edges_added":       ls.EdgesAdded,
+			"edges_removed":     ls.EdgesRemoved,
+			"edge_noops":        ls.EdgeNoops,
+			"swaps":             ls.Swaps,
+			"scoped_swaps":      ls.ScopedSwaps,
+			"full_swaps":        ls.FullSwaps,
+			"swap_failures":     ls.SwapFailures,
+			"invalidated":       ls.Invalidated,
+			"retired_snapshots": ls.RetiredSnapshots,
+			"last_swap_ms":      float64(ls.LastSwap.Microseconds()) / 1000,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleEdges is the streaming write endpoint: a JSON batch of edge
+// insertions and deletions applied through the live write path. The edits
+// become visible to queries within the configured staleness bound; "flush"
+// forces an immediate snapshot swap. Disabled (403) unless the server runs
+// with -live.
+func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if s.live == nil {
+		s.writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": "live edits disabled; start the server with -live"})
+		return
+	}
+	var req struct {
+		Add    [][2]int32 `json:"add"`
+		Remove [][2]int32 `json:"remove"`
+		Flush  bool       `json:"flush"`
+	}
+	body := http.MaxBytesReader(w, r.Body, 1<<22)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "invalid JSON body: " + err.Error()})
+		return
+	}
+	if n := len(req.Add) + len(req.Remove); n > s.maxEdits {
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+			"error": fmt.Sprintf("%d edits exceeds the per-request cap of %d", n, s.maxEdits)})
+		return
+	}
+	res, err := s.live.Apply(req.Add, req.Remove)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if req.Flush && !res.Swapped {
+		if swapped, err := s.live.Flush(); err != nil {
+			s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		} else if swapped {
+			res.Swapped = true
+			res.PendingAdds, res.PendingRemoves = 0, 0
+			res.Epoch = s.live.Stats().Epoch
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"applied":         res.Applied,
+		"noop":            res.Noops,
+		"pending_adds":    res.PendingAdds,
+		"pending_removes": res.PendingRemoves,
+		"swapped":         res.Swapped,
+		"epoch":           res.Epoch,
 	})
 }
 
@@ -393,8 +522,8 @@ func (s *server) nodeParam(r *http.Request, name string) (int32, error) {
 	if err != nil {
 		return 0, fmt.Errorf("%q must be an integer node id", name)
 	}
-	if v < 0 || int(v) >= s.g.N() {
-		return 0, fmt.Errorf("node %d out of range [0,%d)", v, s.g.N())
+	if n := s.servedGraph().N(); v < 0 || int(v) >= n {
+		return 0, fmt.Errorf("node %d out of range [0,%d)", v, n)
 	}
 	return int32(v), nil
 }

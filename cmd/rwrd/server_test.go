@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -472,5 +473,145 @@ func TestSaturationReturns429(t *testing.T) {
 	}
 	if c := <-codes; c != http.StatusOK {
 		t.Errorf("queued query finished with %d", c)
+	}
+}
+
+func liveServer(t *testing.T, opts serverOpts) *server {
+	t.Helper()
+	g := resacc.GenerateBarabasiAlbert(200, 3, 7)
+	opts.Log = discardLogger()
+	opts.Live = true
+	if opts.LiveOptions.MaxStaleness == 0 {
+		opts.LiveOptions.MaxStaleness = time.Hour // swaps only when asked
+	}
+	s := newServer(g, resacc.DefaultParams(g), opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestEdgesEndpointDisabledWithoutLive(t *testing.T) {
+	s := testServer(t)
+	rec, body := postJSON(t, s, "/v1/edges", `{"add":[[0,5]]}`)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("status %d, want 403", rec.Code)
+	}
+	if !strings.Contains(body["error"].(string), "-live") {
+		t.Fatalf("403 body does not say how to enable: %v", body)
+	}
+}
+
+func TestEdgesEndpointAppliesAndFlushes(t *testing.T) {
+	s := liveServer(t, serverOpts{})
+
+	// Batch with one fresh edge: accepted, pending, not yet swapped.
+	rec, body := postJSON(t, s, "/v1/edges", `{"add":[[190,191]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, body)
+	}
+	if body["applied"].(float64) != 1 || body["swapped"].(bool) {
+		t.Fatalf("apply response: %v", body)
+	}
+	if body["pending_adds"].(float64) != 1 {
+		t.Fatalf("pending_adds=%v, want 1", body["pending_adds"])
+	}
+
+	// Flush publishes; re-adding the same edge afterwards is a noop.
+	rec, body = postJSON(t, s, "/v1/edges", `{"flush":true}`)
+	if rec.Code != http.StatusOK || !body["swapped"].(bool) {
+		t.Fatalf("flush: %d %v", rec.Code, body)
+	}
+	if body["epoch"].(float64) != 1 {
+		t.Fatalf("epoch=%v, want 1", body["epoch"])
+	}
+	rec, body = postJSON(t, s, "/v1/edges", `{"add":[[190,191]]}`)
+	if rec.Code != http.StatusOK || body["applied"].(float64) != 0 || body["noop"].(float64) != 1 {
+		t.Fatalf("duplicate add: %d %v", rec.Code, body)
+	}
+
+	// The served graph moved: stats and metrics reflect the swap.
+	_, stats := get(t, s, "/v1/stats")
+	if stats["edges"].(float64) != float64(s.g.M()+1) {
+		t.Fatalf("served edges=%v, want boot+1=%d", stats["edges"], s.g.M()+1)
+	}
+	live := stats["live"].(map[string]any)
+	if live["swaps"].(float64) != 1 || live["edges_added"].(float64) != 1 {
+		t.Fatalf("live stats: %v", live)
+	}
+	if live["edge_noops"].(float64) != 1 {
+		t.Fatalf("live noops: %v", live)
+	}
+	engine := stats["engine"].(map[string]any)
+	if engine["graph_swaps"].(float64) == 0 {
+		t.Fatalf("engine swap counter: %v", engine)
+	}
+
+	mreq := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, mreq)
+	mbody := mrec.Body.String()
+	for _, want := range []string{
+		"rwr_graph_swaps_total 1",
+		`rwr_edges_applied_total{op="add"} 1`,
+		"# TYPE rwr_graph_swap_seconds histogram",
+		"rwr_live_pending_edits 0",
+		"rwr_live_snapshot_epoch 1",
+	} {
+		if !strings.Contains(mbody, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(mbody, "rwr_graph_edges "+strconv.Itoa(s.g.M()+1)) {
+		t.Errorf("edge gauge not tracking the served graph:\n%s", mbody)
+	}
+}
+
+func TestEdgesEndpointValidation(t *testing.T) {
+	s := liveServer(t, serverOpts{MaxEdits: 2})
+	for _, tc := range []struct {
+		body string
+		code int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{"add":[[0,0]]}`, http.StatusBadRequest},     // self-loop
+		{`{"add":[[0,9999]]}`, http.StatusBadRequest},  // out of range
+		{`{"remove":[[-1,2]]}`, http.StatusBadRequest}, // negative node
+		{`{"add":[[0,1],[1,2],[2,3]]}`, http.StatusRequestEntityTooLarge},
+	} {
+		rec, body := postJSON(t, s, "/v1/edges", tc.body)
+		if rec.Code != tc.code {
+			t.Errorf("%s: status %d, want %d (%v)", tc.body, rec.Code, tc.code, body)
+		}
+		if body["error"] == nil {
+			t.Errorf("%s: no error message", tc.body)
+		}
+	}
+	// A rejected batch must leave nothing pending: the whole batch fails.
+	_, stats := get(t, s, "/v1/stats")
+	live := stats["live"].(map[string]any)
+	if live["pending_adds"].(float64) != 0 || live["pending_removes"].(float64) != 0 {
+		t.Fatalf("rejected batches left pending edits: %v", live)
+	}
+}
+
+func TestEdgesVisibleToQueries(t *testing.T) {
+	s := liveServer(t, serverOpts{})
+	// Node 199 is a BA tail node; give it an edge to another tail node and
+	// flush, then its ranking must surface the new neighbour.
+	rec, body := postJSON(t, s, "/v1/edges", `{"add":[[199,198]],"flush":true}`)
+	if rec.Code != http.StatusOK || !body["swapped"].(bool) {
+		t.Fatalf("edit: %d %v", rec.Code, body)
+	}
+	rec, qbody := get(t, s, "/v1/query?source=199&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query after edit: %d %v", rec.Code, qbody)
+	}
+	found := false
+	for _, raw := range qbody["results"].([]any) {
+		if raw.(map[string]any)["node"].(float64) == 198 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("query does not see the flushed edge: %v", qbody["results"])
 	}
 }

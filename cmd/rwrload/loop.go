@@ -25,6 +25,12 @@ type loadConfig struct {
 	retries  int           // retries per request on 429/503 (0 = fail fast)
 	backoff  time.Duration // base retry backoff (0 = 100ms when retrying)
 	client   *http.Client
+
+	// writeMix is the fraction of requests sent as POST /v1/edges edit
+	// batches (0 = read-only); editBatch is the edits per write request.
+	// The server must run with -live.
+	writeMix  float64
+	editBatch int
 }
 
 // runLoad drives cfg.workers closed loops against the server for
@@ -49,16 +55,29 @@ func runLoad(ctx context.Context, cfg loadConfig) (*report, error) {
 			defer wg.Done()
 			src := newSampler(cfg.n, cfg.skew, cfg.seed+int64(i))
 			jit := rand.New(rand.NewSource(cfg.seed + int64(i)*0x9e3779b9))
+			edits := &editState{n: cfg.n, batch: cfg.editBatch,
+				rng: rand.New(rand.NewSource(cfg.seed + int64(i)*0x51ed2701))}
 			for ctx.Err() == nil {
+				write := cfg.writeMix > 0 && jit.Float64() < cfg.writeMix
 				t0 := time.Now()
-				status, err := cfg.fireRetry(ctx, src, jit, rep)
+				var status int
+				var err error
+				if write {
+					status, err = cfg.fireWrite(ctx, edits, jit, rep)
+				} else {
+					status, err = cfg.fireRetry(ctx, src, jit, rep)
+				}
 				if err != nil {
 					if ctx.Err() != nil {
 						return // cancelled mid-request, don't count it
 					}
 					status = -1
 				}
-				rep.record(status, time.Since(t0))
+				if write {
+					rep.recordWrite(status, time.Since(t0), cfg.editBatch)
+				} else {
+					rep.record(status, time.Since(t0))
+				}
 			}
 		}(i)
 	}
@@ -87,6 +106,60 @@ func (cfg *loadConfig) fireRetry(ctx context.Context, src *sampler, jit *rand.Ra
 		}
 		rep.retries.Add(1)
 		status, retryAfter, err = cfg.send(ctx, method, url, body)
+	}
+	return status, err
+}
+
+// editState generates one worker's edit stream: fresh random edges are
+// inserted, and once enough have accumulated the oldest batch is deleted
+// again — so the write load keeps churning both operations while the
+// graph's edge count stays roughly stationary instead of growing without
+// bound over a long run.
+type editState struct {
+	fifo  [][2]int32 // edges this worker has inserted, oldest first
+	rng   *rand.Rand
+	n     int32
+	batch int
+}
+
+// nextBody builds the next /v1/edges request body: a remove batch when the
+// insert backlog is deep enough, an add batch of fresh random edges
+// otherwise.
+func (es *editState) nextBody() ([]byte, error) {
+	if len(es.fifo) >= 4*es.batch {
+		rem := es.fifo[:es.batch:es.batch]
+		es.fifo = es.fifo[es.batch:]
+		return json.Marshal(map[string]any{"remove": rem})
+	}
+	add := make([][2]int32, es.batch)
+	for i := range add {
+		u := es.rng.Int31n(es.n)
+		v := es.rng.Int31n(es.n)
+		for v == u {
+			v = es.rng.Int31n(es.n)
+		}
+		add[i] = [2]int32{u, v}
+	}
+	es.fifo = append(es.fifo, add...)
+	return json.Marshal(map[string]any{"add": add})
+}
+
+// fireWrite issues one edit batch against POST /v1/edges with the same
+// backoff-retry discipline as fireRetry.
+func (cfg *loadConfig) fireWrite(ctx context.Context, es *editState, jit *rand.Rand, rep *report) (int, error) {
+	body, err := es.nextBody()
+	if err != nil {
+		return 0, err
+	}
+	status, retryAfter, err := cfg.send(ctx, http.MethodPost, cfg.base+"/v1/edges", body)
+	for attempt := 0; attempt < cfg.retries && err == nil && retryable(status); attempt++ {
+		select {
+		case <-time.After(cfg.retryDelay(attempt, retryAfter, jit)):
+		case <-ctx.Done():
+			return status, nil
+		}
+		rep.retries.Add(1)
+		status, retryAfter, err = cfg.send(ctx, http.MethodPost, cfg.base+"/v1/edges", body)
 	}
 	return status, err
 }

@@ -15,6 +15,14 @@
 // times with jittered exponential backoff, honouring the server's
 // Retry-After hint; the report counts retries separately from requests.
 // The node count is discovered from /v1/stats unless -nodes is given.
+//
+// With -write-mix F (and a server running -live), each worker sends that
+// fraction of its requests as POST /v1/edges batches of -edit-batch edge
+// edits — inserting fresh random edges and periodically deleting the
+// oldest again, so the edge count stays roughly stationary. The report
+// then shows sustained edges/s alongside query throughput and latency.
+//
+//	rwrload -addr http://localhost:8080 -write-mix 0.1 -edit-batch 8
 package main
 
 import (
@@ -41,6 +49,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		retries  = flag.Int("retries", 3, "retries per request on 429/503 (0 = fail fast)")
 		backoff  = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, jittered, raised to Retry-After)")
+		writeMix = flag.Float64("write-mix", 0, "fraction of requests sent as POST /v1/edges edit batches (server must run -live)")
+		editN    = flag.Int("edit-batch", 8, "edge edits per write request (with -write-mix)")
 	)
 	flag.Parse()
 
@@ -56,6 +66,16 @@ func main() {
 		retries:  *retries,
 		backoff:  *backoff,
 		client:   &http.Client{Timeout: *timeout},
+
+		writeMix:  *writeMix,
+		editBatch: *editN,
+	}
+	if cfg.writeMix < 0 || cfg.writeMix > 1 {
+		fmt.Fprintln(os.Stderr, "rwrload: -write-mix must be in [0,1]")
+		os.Exit(1)
+	}
+	if cfg.editBatch <= 0 {
+		cfg.editBatch = 8
 	}
 	if cfg.n <= 0 {
 		n, err := fetchNodes(cfg.base, cfg.client)

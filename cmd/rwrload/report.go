@@ -21,12 +21,20 @@ type report struct {
 	errs     atomic.Uint64 // transport errors and other statuses
 	retries  atomic.Uint64 // extra attempts spent on 429/503 backoff
 
-	latency *obs.Histogram // successful requests only, seconds
+	writes   atomic.Uint64 // POST /v1/edges requests, any outcome
+	writeOK  atomic.Uint64 // accepted edit batches (HTTP 200)
+	edits    atomic.Uint64 // edge edits accepted (writeOK × batch size)
+	writeLat *obs.Histogram
+
+	latency *obs.Histogram // successful query requests only, seconds
 	elapsed time.Duration  // wall time of the run, set once at the end
 }
 
 func newReport() *report {
-	return &report{latency: obs.NewHistogram(obs.ExpBuckets(1e-4, 2, 20))}
+	return &report{
+		latency:  obs.NewHistogram(obs.ExpBuckets(1e-4, 2, 20)),
+		writeLat: obs.NewHistogram(obs.ExpBuckets(1e-4, 2, 20)),
+	}
 }
 
 // record classifies one request. status < 0 means a transport error.
@@ -46,6 +54,25 @@ func (r *report) record(status int, d time.Duration) {
 	}
 }
 
+// recordWrite classifies one /v1/edges request carrying batch edits.
+// Writes share the request/shed/error totals with queries but keep their
+// own success count and latency sketch, so the summary can report edge
+// throughput against query throughput.
+func (r *report) recordWrite(status int, d time.Duration, batch int) {
+	r.requests.Add(1)
+	r.writes.Add(1)
+	switch {
+	case status == 200:
+		r.writeOK.Add(1)
+		r.edits.Add(uint64(batch))
+		r.writeLat.Observe(d.Seconds())
+	case status == 429:
+		r.shed.Add(1)
+	default:
+		r.errs.Add(1)
+	}
+}
+
 // String renders the run summary. Quantiles are upper bucket bounds, the
 // same estimate Prometheus' histogram_quantile would give.
 func (r *report) String() string {
@@ -57,6 +84,16 @@ func (r *report) String() string {
 	}
 	fmt.Fprintf(&b, "requests   %d (%.1f req/s over %s)\n",
 		total, float64(total)/secs, r.elapsed.Round(time.Millisecond))
+	if w := r.writes.Load(); w > 0 {
+		fmt.Fprintf(&b, "queries    %.1f q/s\n", float64(total-w)/secs)
+		fmt.Fprintf(&b, "writes     %d (ok %d, %.1f edges/s)\n",
+			w, r.writeOK.Load(), float64(r.edits.Load())/secs)
+		if r.writeOK.Load() > 0 {
+			fmt.Fprintf(&b, "write lat  p50 %s  p99 %s\n",
+				fmtSecs(r.writeLat.Quantile(0.50)),
+				fmtSecs(r.writeLat.Quantile(0.99)))
+		}
+	}
 	fmt.Fprintf(&b, "ok         %d\n", r.ok.Load())
 	if deg := r.degraded.Load(); deg > 0 {
 		fmt.Fprintf(&b, "degraded   %d (HTTP 206)\n", deg)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"resacc/internal/core"
+	"resacc/internal/live"
 	"resacc/internal/obs"
 	"resacc/internal/serve"
 	"resacc/internal/ws"
@@ -83,11 +84,26 @@ type Engine struct {
 	params Params
 	fp     uint64
 
-	graph   atomic.Pointer[Graph]
-	epoch   atomic.Uint64
+	// snap is the RCU-published graph version: queries pin it (see pin)
+	// for their whole computation, swaps replace it atomically, and a
+	// superseded snapshot retires when its last reader releases it.
+	snap atomic.Pointer[live.Snapshot]
+	// epoch versions the cache keyspace: it bumps only on full
+	// invalidations (UpdateGraph, Invalidate, aborted scoping), making
+	// every existing key unreachable at once. Scoped swaps leave it alone
+	// so surviving entries keep serving hits.
+	epoch atomic.Uint64
+	// swapGen bumps on every snapshot swap, scoped or full. Compute
+	// closures capture it before pinning a snapshot and the cache's put
+	// gate rejects results whose generation is no longer current, so a
+	// computation that straddles a swap can never park a pre-swap answer
+	// in the cache after the swap's scoped invalidation ran.
+	swapGen atomic.Uint64
 	inner   *serve.Engine[*engineEntry]
 	compute ComputeFunc
 	custom  bool
+	// liveOn enforces at most one attached live write path (StartLive).
+	liveOn atomic.Bool
 
 	// wsPool recycles per-query workspaces across the worker pool; it is
 	// invalidated together with the result cache on every graph swap so
@@ -112,6 +128,7 @@ type engineEntry struct {
 	ranked []Ranked // KindTopK
 	level  float64  // KindTopK: precision level (see QueryTopK)
 	pair   float64  // KindPair
+	gen    uint64   // swap generation the computation pinned (cache gate)
 
 	degraded bool    // KindTopK: ranking from a deadline-truncated round
 	bound    float64 // KindTopK: additive score error when degraded
@@ -162,7 +179,8 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 			return querySolverCtx(ctx, g, source, p, e.solver())
 		}
 	}
-	e.graph.Store(g)
+	e.snap.Store(live.NewSnapshot(g, 0, nil))
+	e.wsPool.Refit(g.N())
 	e.inner = serve.New[*engineEntry](serve.Config{
 		CapacityBytes: opts.CacheBytes,
 		Shards:        opts.CacheShards,
@@ -171,7 +189,29 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 		QueueDepth:    opts.QueueDepth,
 		Metrics:       opts.Metrics,
 	})
+	// The put gate runs under the cache shard lock: together with the
+	// shard-locked invalidation sweep it makes "compute on old snapshot,
+	// cache after the swap" impossible (see Cache.SetGate).
+	e.inner.Cache().SetGate(func(_ serve.Key, en *engineEntry) bool {
+		return en.gen == e.swapGen.Load()
+	})
 	return e
+}
+
+// pin takes a reference on the current snapshot for the duration of one
+// computation. The load-acquire-recheck loop is the RCU discipline: if a
+// swap lands between the load and the acquire, the recheck fails, the
+// stray reference is dropped (the retired flag keeps the retire hook from
+// double-firing) and the loop retries on the new snapshot.
+func (e *Engine) pin() *live.Snapshot {
+	for {
+		s := e.snap.Load()
+		s.Acquire()
+		if e.snap.Load() == s {
+			return s
+		}
+		s.Release()
+	}
 }
 
 // solver is the ResAcc solver default computations run with: the engine's
@@ -192,7 +232,7 @@ func (e *Engine) PushWorkers() int { return e.pushWorkers }
 func (e *Engine) Close() { e.inner.Close() }
 
 // Graph returns the graph snapshot currently being served.
-func (e *Engine) Graph() *Graph { return e.graph.Load() }
+func (e *Engine) Graph() *Graph { return e.snap.Load().Graph() }
 
 // Params returns the engine's fixed query parameters.
 func (e *Engine) Params() Params { return e.params }
@@ -224,11 +264,14 @@ func (e *Engine) Query(ctx context.Context, source int32) (*Result, error) {
 func (e *Engine) queryFull(ctx context.Context, source int32, wait bool) (*Result, error) {
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindFull, source, 0), wait,
 		func(fctx context.Context) (*engineEntry, int64, error) {
-			res, err := e.compute(fctx, e.graph.Load(), source, e.params)
+			gen := e.swapGen.Load()
+			snap := e.pin()
+			defer snap.Release()
+			res, err := e.compute(fctx, snap.Graph(), source, e.params)
 			if err != nil {
 				return nil, 0, err
 			}
-			en := &engineEntry{res: res}
+			en := &engineEntry{res: res, gen: gen}
 			if res.Degraded {
 				return en, -1, nil
 			}
@@ -251,12 +294,15 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, erro
 	if k <= 0 {
 		return TopK{}, fmt.Errorf("resacc: engine QueryTopK needs k > 0, got %d", k)
 	}
-	if n := e.graph.Load().N(); k > n {
+	if n := e.Graph().N(); k > n {
 		k = n
 	}
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindTopK, source, int32(k)), false,
 		func(fctx context.Context) (*engineEntry, int64, error) {
-			g := e.graph.Load()
+			gen := e.swapGen.Load()
+			snap := e.pin()
+			defer snap.Release()
+			g := snap.Graph()
 			var en *engineEntry
 			if e.custom {
 				res, err := e.compute(fctx, g, source, e.params)
@@ -275,6 +321,7 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, erro
 				en = &engineEntry{ranked: tk.Ranked, level: tk.Level,
 					degraded: tk.Degraded, bound: tk.Bound, phase: tk.Phase}
 			}
+			en.gen = gen
 			if en.degraded {
 				return en, -1, nil
 			}
@@ -293,7 +340,10 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, erro
 func (e *Engine) QueryPair(ctx context.Context, source, target int32) (float64, error) {
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindPair, source, target), false,
 		func(fctx context.Context) (*engineEntry, int64, error) {
-			g := e.graph.Load()
+			gen := e.swapGen.Load()
+			snap := e.pin()
+			defer snap.Release()
+			g := snap.Graph()
 			if target < 0 || int(target) >= g.N() {
 				return nil, 0, fmt.Errorf("resacc: target %d out of range [0,%d)", target, g.N())
 			}
@@ -307,7 +357,7 @@ func (e *Engine) QueryPair(ctx context.Context, source, target int32) (float64, 
 					// A pair estimate has no way to carry its error bound;
 					// serve it to the current waiters but keep it out of
 					// the cache.
-					return &engineEntry{pair: res.Scores[target]}, -1, nil
+					return &engineEntry{pair: res.Scores[target], gen: gen}, -1, nil
 				}
 				pair = res.Scores[target]
 			} else {
@@ -317,7 +367,7 @@ func (e *Engine) QueryPair(ctx context.Context, source, target int32) (float64, 
 					return nil, 0, err
 				}
 			}
-			return &engineEntry{pair: pair}, 96, nil
+			return &engineEntry{pair: pair, gen: gen}, 96, nil
 		})
 	if err != nil {
 		return 0, err
@@ -361,13 +411,64 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int32) ([]*Result, []
 	return results, errs
 }
 
+// applyLiveSwap is the engine's implementation of live.SwapFunc: publish g
+// as the new pinned snapshot, retire the old one RCU-style, and invalidate
+// exactly the cache entries the edit delta can have moved. full forces a
+// whole-cache purge (epoch bump); otherwise only entries whose source is
+// in affected are dropped and the epoch — hence every surviving key —
+// stays put. onRetire (may be nil) is armed on the new snapshot. Returns
+// the number of cache entries invalidated.
+func (e *Engine) applyLiveSwap(g *Graph, affected map[int32]struct{}, full bool, onRetire func()) int {
+	gen := e.swapGen.Add(1)
+	next := live.NewSnapshot(g, gen, onRetire)
+	old := e.snap.Swap(next)
+	// Drop the superseded snapshot's current-pointer reference; it retires
+	// once the last in-flight query releases it.
+	old.Release()
+	// Scratch sized for the old snapshot survives edge-only swaps; only a
+	// node-count change retires the pooled workspaces.
+	e.wsPool.Refit(g.N())
+	if full {
+		e.epoch.Add(1)
+		return e.inner.Purge()
+	}
+	if len(affected) == 0 {
+		return 0
+	}
+	return e.inner.InvalidateMatching(func(k serve.Key) bool {
+		_, hit := affected[k.Source]
+		return hit
+	})
+}
+
+// affectConfig derives the scoped-invalidation parameters from the
+// engine's own accuracy regime: tolerating ε·δ of absolute movement on
+// surviving entries adds at most one more unit of the error the
+// approximation already permits (Definition 1 guarantees relative error ε
+// above significance δ).
+func (e *Engine) affectConfig() live.AffectConfig {
+	p := e.params
+	if p.Alpha <= 0 || p.Alpha >= 1 {
+		p.Alpha = 0.2
+	}
+	if p.Epsilon <= 0 {
+		p.Epsilon = 0.5
+	}
+	if p.Delta <= 0 {
+		if n := e.Graph().N(); n > 0 {
+			p.Delta = 1 / float64(n)
+		}
+	}
+	return live.AffectConfig{Alpha: p.Alpha, Tolerance: p.Epsilon * p.Delta}
+}
+
 // UpdateGraph swaps the served graph for g and bumps the epoch, so every
 // cached result is invalidated (and purged) atomically with the swap.
-// In-flight computations finish against the snapshot they started with.
+// In-flight computations finish against the snapshot they pinned. For
+// streaming edits prefer StartLive, which invalidates only the affected
+// region instead of the whole cache.
 func (e *Engine) UpdateGraph(g *Graph) {
-	e.graph.Store(g)
-	e.epoch.Add(1)
-	e.inner.Purge()
+	e.applyLiveSwap(g, nil, true, nil)
 	e.wsPool.Invalidate()
 }
 
@@ -375,6 +476,7 @@ func (e *Engine) UpdateGraph(g *Graph) {
 // graph — for callers whose freshness policy is time- or event-based
 // (e.g. randomized re-scoring) rather than graph edits.
 func (e *Engine) Invalidate() {
+	e.swapGen.Add(1)
 	e.epoch.Add(1)
 	e.inner.Purge()
 	e.wsPool.Invalidate()
@@ -382,9 +484,19 @@ func (e *Engine) Invalidate() {
 
 // SyncDynamic is the invalidation hook for dynamic graphs: if d has been
 // edited since the last sync (per Dynamic.Version), it materialises a
-// fresh snapshot, swaps it in and invalidates the cache. It reports
-// whether a swap happened. Typical serving loop: apply edits to d on the
-// write path, call SyncDynamic on whatever cadence freshness requires.
+// fresh snapshot, swaps it in and invalidates the affected cache entries.
+// It reports whether a swap happened.
+//
+// Invalidation is scoped, not a purge: edits that netted out to nothing
+// (add then remove) swap nothing and keep the whole cache; otherwise only
+// entries whose source lies in the delta-affected region are dropped, with
+// a full purge as fallback when scoping aborts (see live.AffectedSources)
+// or the node set changed.
+//
+// Deprecated: SyncDynamic serialises the caller's edits against its own
+// sync cadence and rebuilds from whatever Dynamic it is handed. New code
+// should attach a streaming write path with Engine.StartLive, which owns
+// batching, bounded staleness and concurrent writers.
 func (e *Engine) SyncDynamic(d *DynamicGraph) (bool, error) {
 	e.syncMu.Lock()
 	defer e.syncMu.Unlock()
@@ -392,11 +504,27 @@ func (e *Engine) SyncDynamic(d *DynamicGraph) (bool, error) {
 	if v == e.dynVer {
 		return false, nil
 	}
+	adds, removes := d.PendingEdits()
+	old := e.Graph()
+	if adds+removes == 0 && d.N() == old.N() {
+		// Edits netted out (e.g. add then remove of the same edge): the
+		// current snapshot already IS the edited graph, so swapping or
+		// invalidating anything would only shed warm cache for nothing.
+		e.dynVer = v
+		return false, nil
+	}
+	added, removed := d.Edits()
 	snap, err := d.Snapshot()
 	if err != nil {
 		return false, err
 	}
-	e.UpdateGraph(snap)
+	var affected map[int32]struct{}
+	ok := false
+	if snap.N() == old.N() {
+		// Node-set changes always purge; edge-only deltas get scoped.
+		affected, ok = live.AffectedSources(old, live.ChangedSources(added, removed), e.affectConfig())
+	}
+	e.applyLiveSwap(snap, affected, !ok, nil)
 	e.dynVer = v
 	return true, nil
 }
@@ -413,6 +541,12 @@ type EngineStats struct {
 	CacheBytes   int64
 	QueueDepth   int
 	Epoch        uint64
+	// Swaps counts snapshot/cache generations: every graph swap (scoped or
+	// full) and every Invalidate bumps it.
+	Swaps uint64
+	// SnapshotRefs is the reference count of the current snapshot (1 plus
+	// the queries pinning it right now).
+	SnapshotRefs int64
 }
 
 // Stats returns current serving counters.
@@ -427,5 +561,7 @@ func (e *Engine) Stats() EngineStats {
 		CacheBytes:   e.inner.Cache().Bytes(),
 		QueueDepth:   e.inner.Pool().QueueDepth(),
 		Epoch:        e.epoch.Load(),
+		Swaps:        e.swapGen.Load(),
+		SnapshotRefs: e.snap.Load().Refs(),
 	}
 }

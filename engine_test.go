@@ -314,3 +314,108 @@ func TestEngineParamsFingerprintSeparatesEngines(t *testing.T) {
 		t.Fatal("params not retained")
 	}
 }
+
+// TestEngineSyncDynamicNetZeroIsNoOp: an edit session whose edits cancel
+// out (add then remove the same edge) must not rebuild, purge, or bump
+// anything — only the version watermark advances.
+func TestEngineSyncDynamicNetZeroIsNoOp(t *testing.T) {
+	e, g := testEngine(t, EngineOptions{})
+	ctx := context.Background()
+	if _, err := e.Query(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDynamicGraph(g)
+	u, v := int32(7), int32(211)
+	if g.HasEdge(u, v) {
+		t.Fatalf("test edge %d->%d already present", u, v)
+	}
+	if err := d.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := e.SyncDynamic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refreshed {
+		t.Fatal("net-zero edit session triggered a rebuild")
+	}
+	st := e.Stats()
+	if st.CacheEntries != 1 || st.Epoch != 0 {
+		t.Fatalf("net-zero sync disturbed the cache: %+v", st)
+	}
+	// The watermark advanced: syncing again without edits is also a no-op.
+	if refreshed, _ := e.SyncDynamic(d); refreshed {
+		t.Fatal("second sync of the same version refreshed")
+	}
+}
+
+// TestEngineSyncDynamicScopedInvalidation: when the edit's source endpoint
+// is unreachable from other nodes (no in-edges), the delta-affected region
+// is just that node, so cached results for other sources survive the swap
+// and the cache epoch stays put.
+func TestEngineSyncDynamicScopedInvalidation(t *testing.T) {
+	// Directed graph: a cycle over 0..9 keeps every node out-degree ≥ 1,
+	// and node 10 points into the cycle with nothing pointing back at it.
+	b := NewGraphBuilder(12)
+	for i := int32(0); i < 10; i++ {
+		b.AddEdge(i, (i+1)%10)
+	}
+	b.AddEdge(10, 0)
+	b.AddEdge(11, 10) // 11 reaches 10; nothing reaches 11
+	g := b.MustBuild()
+	e := NewEngine(g, DefaultParams(g), EngineOptions{})
+	defer e.Close()
+	ctx := context.Background()
+
+	for _, s := range []int32{2, 5, 11} {
+		if _, err := e.Query(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats().CacheEntries != 3 {
+		t.Fatalf("warm entries=%d, want 3", e.Stats().CacheEntries)
+	}
+
+	d := NewDynamicGraph(g)
+	if err := d.AddEdge(11, 4); err != nil { // changed source 11: in-degree 0
+		t.Fatal(err)
+	}
+	refreshed, err := e.SyncDynamic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refreshed {
+		t.Fatal("edit did not refresh the engine")
+	}
+	st := e.Stats()
+	if st.Epoch != 0 {
+		t.Fatalf("scoped sync bumped the epoch: %+v", st)
+	}
+	if st.CacheEntries != 2 {
+		t.Fatalf("want only source 11 invalidated, cache has %d entries", st.CacheEntries)
+	}
+	if !e.Graph().HasEdge(11, 4) {
+		t.Fatal("engine not serving the edited graph")
+	}
+	// Sources 2 and 5 still hit; source 11 recomputes.
+	hits0 := st.Hits
+	for _, s := range []int32{2, 5} {
+		if _, err := e.Query(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().Hits - hits0; got != 2 {
+		t.Fatalf("surviving entries got %v hits, want 2", got)
+	}
+	res, err := e.Query(ctx, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[4] == 0 {
+		t.Fatal("recomputed source 11 does not see the new edge")
+	}
+}

@@ -18,6 +18,8 @@
 //	algo.remedy.worker   inside each parallel remedy walk worker
 //	forward.push.worker  inside each parallel push worker (per span batch)
 //	serve.compute        on the pool worker, before the computation
+//	live.swap            in the snapshot-swap pipeline, after the new
+//	                     snapshot is built but before it is published
 //
 // The chaos suites (go test -race -tags faultinject ./...) use these to
 // force deadline hits in a chosen phase and to prove panic containment.

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Dynamic accumulates edge insertions and deletions on top of an immutable
@@ -11,15 +12,38 @@ import (
 // need the current snapshot, so an update costs one O(n+m+|edits|) merge
 // instead of an index rebuild.
 //
-// Dynamic itself is not safe for concurrent mutation; snapshots are
-// immutable Graphs and safe to query concurrently like any other.
+// Single-writer contract: Dynamic is NOT safe for concurrent use. At most
+// one goroutine may mutate (AddEdge, RemoveEdge, AddNode, IsolateNode) or
+// materialise (Snapshot) at a time, and reads (HasEdge, Edits, ...) must
+// not overlap a mutation. Serving write paths must serialize edits behind
+// a lock — internal/live.Manager is the supported way to drive a Dynamic
+// from concurrent HTTP writers. Overlapping mutations are detected
+// best-effort and panic with a clear message rather than corrupting the
+// edit maps silently. Snapshots are immutable Graphs and safe to query
+// concurrently like any other.
 type Dynamic struct {
 	base    *Graph
 	n       int
 	added   map[int64]struct{}
 	removed map[int64]struct{}
 	version uint64
+
+	// mutating flags an in-progress mutation so a second concurrent writer
+	// trips the single-writer guard (beginMut) instead of racing on the
+	// maps. It is best-effort detection, not a lock.
+	mutating atomic.Bool
 }
+
+// beginMut enters the single-writer critical section; a second concurrent
+// writer panics here with a actionable message instead of corrupting state.
+func (d *Dynamic) beginMut() {
+	if !d.mutating.CompareAndSwap(false, true) {
+		panic("graph: concurrent Dynamic mutation — Dynamic is single-writer; " +
+			"serialize edits (e.g. behind live.Manager or your own mutex)")
+	}
+}
+
+func (d *Dynamic) endMut() { d.mutating.Store(false) }
 
 // NewDynamic starts an edit session over g.
 func NewDynamic(g *Graph) *Dynamic {
@@ -84,6 +108,12 @@ func (d *Dynamic) HasEdge(u, v int32) bool {
 // AddEdge records the insertion of (u,v). Inserting an existing edge is a
 // no-op.
 func (d *Dynamic) AddEdge(u, v int32) error {
+	d.beginMut()
+	defer d.endMut()
+	return d.addEdge(u, v)
+}
+
+func (d *Dynamic) addEdge(u, v int32) error {
 	if err := d.check(u, v); err != nil {
 		return err
 	}
@@ -106,6 +136,12 @@ func (d *Dynamic) AddEdge(u, v int32) error {
 // RemoveEdge records the deletion of (u,v). Removing a non-existent edge
 // is a no-op.
 func (d *Dynamic) RemoveEdge(u, v int32) error {
+	d.beginMut()
+	defer d.endMut()
+	return d.removeEdge(u, v)
+}
+
+func (d *Dynamic) removeEdge(u, v int32) error {
 	if err := d.check(u, v); err != nil {
 		return err
 	}
@@ -128,6 +164,8 @@ func (d *Dynamic) RemoveEdge(u, v int32) error {
 // the session's node count, so AddNode re-encodes pending edits; add nodes
 // before bulk edge edits when possible.
 func (d *Dynamic) AddNode() int32 {
+	d.beginMut()
+	defer d.endMut()
 	old := d.n
 	d.n++
 	d.version++
@@ -151,17 +189,19 @@ func (d *Dynamic) AddNode() int32 {
 // degree zero). This is the dynamic-session analogue of the paper's node
 // deletions (Appendix I) without the renumbering Graph.DeleteNode does.
 func (d *Dynamic) IsolateNode(v int32) error {
+	d.beginMut()
+	defer d.endMut()
 	if v < 0 || int(v) >= d.n {
 		return fmt.Errorf("graph: node %d out of range [0,%d)", v, d.n)
 	}
 	if int(v) < d.base.N() {
 		for _, w := range d.base.Out(v) {
-			if err := d.RemoveEdge(v, w); err != nil {
+			if err := d.removeEdge(v, w); err != nil {
 				return err
 			}
 		}
 		for _, w := range d.base.In(v) {
-			if err := d.RemoveEdge(w, v); err != nil {
+			if err := d.removeEdge(w, v); err != nil {
 				return err
 			}
 		}
@@ -177,9 +217,31 @@ func (d *Dynamic) IsolateNode(v int32) error {
 	return nil
 }
 
+// Edits returns the pending edit set relative to the base graph: the edges
+// this session would insert and delete, in no particular order. Serving
+// layers use it to compute the delta-affected region of a snapshot swap
+// (the changed out-rows are exactly the distinct source endpoints).
+func (d *Dynamic) Edits() (added, removed [][2]int32) {
+	decode := func(m map[int64]struct{}) [][2]int32 {
+		if len(m) == 0 {
+			return nil
+		}
+		out := make([][2]int32, 0, len(m))
+		for key := range m {
+			out = append(out, [2]int32{int32(key / int64(d.n)), int32(key % int64(d.n))})
+		}
+		return out
+	}
+	return decode(d.added), decode(d.removed)
+}
+
 // Snapshot materialises the edited graph as an immutable Graph in
-// O(n + m + |edits|·log|edits|) — no global edge re-sort.
+// O(n + m + |edits|·log|edits|) — no global edge re-sort. Snapshot
+// participates in the single-writer contract: it must not overlap a
+// concurrent mutation (it reads the edit maps a writer would be changing).
 func (d *Dynamic) Snapshot() (*Graph, error) {
+	d.beginMut()
+	defer d.endMut()
 	// Group added edges by source, sorted by target.
 	addedBy := make(map[int32][]int32, len(d.added))
 	for key := range d.added {

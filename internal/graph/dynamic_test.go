@@ -239,3 +239,138 @@ func TestDynamicVersion(t *testing.T) {
 	mustBump(func() error { _ = d.AddNode(); return nil }, 1, "add node")
 	mustBump(func() error { return d.IsolateNode(3) }, 2, "isolate node with two incident edges")
 }
+
+func TestDynamicSingleWriterGuardPanics(t *testing.T) {
+	g := line(4)
+	d := NewDynamic(g)
+	d.beginMut() // another goroutine is mid-mutation
+	defer d.endMut()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not trip the single-writer guard", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AddEdge", func() { _ = d.AddEdge(3, 0) })
+	mustPanic("RemoveEdge", func() { _ = d.RemoveEdge(0, 1) })
+	mustPanic("AddNode", func() { d.AddNode() })
+	mustPanic("IsolateNode", func() { _ = d.IsolateNode(1) })
+	mustPanic("Snapshot", func() { _, _ = d.Snapshot() })
+}
+
+func TestDynamicIsolateNodeDoesNotSelfTripGuard(t *testing.T) {
+	// IsolateNode removes edges internally; the guard must treat the whole
+	// call as ONE mutation, not panic on its own nested removals.
+	g := line(4)
+	d := NewDynamic(g)
+	if err := d.IsolateNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.HasEdge(0, 1) || d.HasEdge(1, 2) {
+		t.Fatal("isolation incomplete")
+	}
+}
+
+func TestDynamicInterleavedAddRemoveAdd(t *testing.T) {
+	// Regression for the live write path's coalescing: interleaving add,
+	// remove, add of the same edge must land as exactly one pending
+	// insertion, with the version counting all three effective changes.
+	g := line(4) // 0->1->2->3
+	d := NewDynamic(g)
+	v0 := d.Version()
+	for i, op := range []func() error{
+		func() error { return d.AddEdge(3, 0) },
+		func() error { return d.RemoveEdge(3, 0) },
+		func() error { return d.AddEdge(3, 0) },
+	} {
+		if err := op(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if d.Version() != v0+3 {
+		t.Fatalf("version advanced %d, want 3", d.Version()-v0)
+	}
+	adds, removes := d.PendingEdits()
+	if adds != 1 || removes != 0 {
+		t.Fatalf("pending %d/%d, want 1/0", adds, removes)
+	}
+	// The mirror interleaving on a base edge: remove, add, remove → one
+	// pending deletion.
+	if err := d.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	adds, removes = d.PendingEdits()
+	if adds != 1 || removes != 1 {
+		t.Fatalf("pending %d/%d, want 1/1", adds, removes)
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.HasEdge(3, 0) || snap.HasEdge(1, 2) {
+		t.Fatal("snapshot does not reflect the interleaved edits")
+	}
+}
+
+func TestDynamicEditsRoundTrip(t *testing.T) {
+	g := line(5)
+	d := NewDynamic(g)
+	if err := d.AddEdge(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	added, removed := d.Edits()
+	if len(added) != 2 || len(removed) != 1 {
+		t.Fatalf("edits %v/%v, want 2 adds and 1 remove", added, removed)
+	}
+	// Replaying the reported delta on a fresh session reproduces the
+	// snapshot exactly — the contract the live swap's OnSwap observer and
+	// the offline-rebuild consistency tests rely on.
+	d2 := NewDynamic(g)
+	for _, e := range added {
+		if err := d2.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range removed {
+		if err := d2.RemoveEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := d2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.N() != s2.N() || s1.M() != s2.M() {
+		t.Fatalf("replayed graph differs: n %d/%d m %d/%d", s1.N(), s2.N(), s1.M(), s2.M())
+	}
+	for u := int32(0); int(u) < s1.N(); u++ {
+		o1, o2 := s1.Out(u), s2.Out(u)
+		if len(o1) != len(o2) {
+			t.Fatalf("node %d degree differs", u)
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("node %d adjacency differs", u)
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package live
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+)
+
+// chain builds the path 0→1→…→n-1.
+func chain(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.MustBuild()
+}
+
+func TestSnapshotRetiresExactlyOnceAfterDrain(t *testing.T) {
+	g := chain(t, 4)
+	retired := 0
+	s := NewSnapshot(g, 7, func() { retired++ })
+	if s.Graph() != g || s.Epoch() != 7 || s.Refs() != 1 {
+		t.Fatalf("fresh snapshot state: g=%p epoch=%d refs=%d", s.Graph(), s.Epoch(), s.Refs())
+	}
+	s.Acquire() // reader pins
+	s.Release() // reader done; current-pointer ref still held
+	if retired != 0 {
+		t.Fatal("retired while still current")
+	}
+	s.Acquire() // a reader still in flight when the swap lands
+	s.Release() // the swap drops the current-pointer reference
+	if retired != 0 {
+		t.Fatalf("retired with a reader still pinned (retired=%d)", retired)
+	}
+	s.Release() // last reader drains → retire fires
+	if retired != 1 {
+		t.Fatalf("retire hook ran %d times, want 1", retired)
+	}
+	// A stray pin-loop Acquire/Release on the drained snapshot must not
+	// re-fire the hook.
+	s.Acquire()
+	s.Release()
+	if retired != 1 {
+		t.Fatalf("retire hook re-fired: %d", retired)
+	}
+}
+
+func TestSnapshotInstallRetire(t *testing.T) {
+	g := chain(t, 3)
+	s := NewSnapshot(g, 0, nil)
+	fired := false
+	s.InstallRetire(func() { fired = true })
+	s.Release()
+	if !fired {
+		t.Fatal("installed retire hook did not fire")
+	}
+}
+
+func TestChangedSources(t *testing.T) {
+	got := ChangedSources(
+		[][2]int32{{1, 2}, {1, 3}, {4, 0}},
+		[][2]int32{{4, 9}, {5, 1}},
+	)
+	want := map[int32]bool{1: true, 4: true, 5: true}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want sources of %v", got, want)
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("unexpected source %d in %v", s, got)
+		}
+	}
+}
+
+func TestAffectedSourcesChain(t *testing.T) {
+	// On the chain 0→1→…→29, only sources UPSTREAM of a changed node can
+	// feel its row change (π_s(5) = α(1-α)^(5-s) for s ≤ 5, zero beyond),
+	// so the affected set is the upstream prefix plus the changed node —
+	// never the downstream tail.
+	g := chain(t, 30)
+	cfg := AffectConfig{Alpha: 0.2, Tolerance: 0.2}
+	aff, ok := AffectedSources(g, []int32{5}, cfg)
+	if !ok {
+		t.Fatal("scoping aborted on a 30-node chain")
+	}
+	if _, has := aff[5]; !has {
+		t.Fatal("changed node not in affected set")
+	}
+	if len(aff) >= g.N() {
+		t.Fatalf("affected every node: %v", aff)
+	}
+	for s := int32(6); s < 30; s++ {
+		if _, has := aff[s]; has {
+			t.Fatalf("downstream source %d cannot be affected: %v", s, aff)
+		}
+	}
+	// A tighter tolerance can only widen the set.
+	tight, ok := AffectedSources(g, []int32{5}, AffectConfig{Alpha: 0.2, Tolerance: 1e-3, MaxFrac: 1})
+	if !ok {
+		t.Fatal("scoping aborted with MaxFrac=1")
+	}
+	if len(tight) < len(aff) {
+		t.Fatalf("tighter tolerance found fewer sources: %d < %d", len(tight), len(aff))
+	}
+}
+
+func TestAffectedSourcesAborts(t *testing.T) {
+	g := chain(t, 10)
+	if _, ok := AffectedSources(g, []int32{5}, AffectConfig{Alpha: 0.2, Tolerance: 0}); ok {
+		t.Fatal("zero tolerance must abort (everything affected)")
+	}
+	if _, ok := AffectedSources(g, []int32{9}, AffectConfig{Alpha: 0.2, Tolerance: 1e-9, MaxFrac: 0.1}); ok {
+		t.Fatal("MaxFrac must abort when the region covers the graph")
+	}
+	if _, ok := AffectedSources(g, []int32{9}, AffectConfig{Alpha: 0.2, Tolerance: 1e-9, MaxFrac: 1, MaxPushes: 2}); ok {
+		t.Fatal("MaxPushes must abort a deep expansion")
+	}
+	if aff, ok := AffectedSources(g, nil, AffectConfig{Alpha: 0.2, Tolerance: 0.1}); !ok || aff != nil {
+		t.Fatalf("empty delta: got (%v,%v), want (nil,true)", aff, ok)
+	}
+}
+
+func TestAffectedSourcesBoundHolds(t *testing.T) {
+	// The set must be conservative: every source whose exact Σ_u π_s(u)
+	// over changed rows exceeds the tolerance-derived threshold τ is in it.
+	g := gen.BarabasiAlbert(200, 3, 42)
+	p := algo.DefaultParams(g)
+	changed := []int32{int32(g.N() - 1), 17}
+	cfg := AffectConfig{Alpha: p.Alpha, Tolerance: 0.05, MaxFrac: 1}
+	aff, ok := AffectedSources(g, changed, cfg)
+	if !ok {
+		t.Fatal("scoping aborted")
+	}
+	tau := cfg.Tolerance * cfg.Alpha / (2 * (1 - cfg.Alpha))
+	for s := 0; s < g.N(); s++ {
+		truth, err := power.GroundTruth(g, int32(s), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, u := range changed {
+			sum += truth[u]
+		}
+		if sum >= tau {
+			if _, has := aff[int32(s)]; !has {
+				t.Fatalf("source %d has Σπ=%g ≥ τ=%g but is not affected", s, sum, tau)
+			}
+		}
+	}
+}
+
+func TestManagerBatchesAndFlushes(t *testing.T) {
+	g := chain(t, 16)
+	var mu sync.Mutex
+	swaps := 0
+	var lastG *graph.Graph
+	m := NewManager(g, func(ng *graph.Graph, affected map[int32]struct{}, full bool, onRetire func()) int {
+		mu.Lock()
+		defer mu.Unlock()
+		swaps++
+		lastG = ng
+		return 0
+	}, Config{MaxStaleness: time.Hour, MaxPending: 1000,
+		Affect: AffectConfig{Alpha: 0.2, Tolerance: 0.05}})
+	defer m.Close()
+
+	res, err := m.Apply([][2]int32{{0, 5}, {0, 5}, {0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {0,5} applies once, the duplicate coalesces, {0,1} already in base.
+	if res.Applied != 1 || res.Noops != 2 {
+		t.Fatalf("applied=%d noops=%d, want 1/2", res.Applied, res.Noops)
+	}
+	if res.Swapped || res.PendingAdds != 1 {
+		t.Fatalf("premature swap or wrong pending: %+v", res)
+	}
+	mu.Lock()
+	if swaps != 0 {
+		mu.Unlock()
+		t.Fatal("swap before flush")
+	}
+	mu.Unlock()
+
+	swapped, err := m.Flush()
+	if err != nil || !swapped {
+		t.Fatalf("flush: swapped=%v err=%v", swapped, err)
+	}
+	mu.Lock()
+	if swaps != 1 || !lastG.HasEdge(0, 5) {
+		mu.Unlock()
+		t.Fatalf("swap missing or edge absent (swaps=%d)", swaps)
+	}
+	mu.Unlock()
+	if m.Graph() != lastG {
+		t.Fatal("manager base not re-based on the published snapshot")
+	}
+	st := m.Stats()
+	if st.Epoch != 1 || st.Swaps != 1 || st.EdgesAdded != 1 || st.EdgeNoops != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Nothing pending: Flush is a no-op.
+	if swapped, err := m.Flush(); err != nil || swapped {
+		t.Fatalf("empty flush swapped=%v err=%v", swapped, err)
+	}
+}
+
+func TestManagerValidationRejectsWholeBatch(t *testing.T) {
+	g := chain(t, 8)
+	m := NewManager(g, func(*graph.Graph, map[int32]struct{}, bool, func()) int { return 0 },
+		Config{MaxStaleness: time.Hour, Affect: AffectConfig{Alpha: 0.2, Tolerance: 0.05}})
+	defer m.Close()
+	_, err := m.Apply([][2]int32{{0, 5}, {3, 99}}, nil)
+	if err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := m.Apply([][2]int32{{2, 2}}, nil); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if st := m.Stats(); st.PendingAdds != 0 || st.EdgesAdded != 0 {
+		t.Fatalf("rejected batch left state behind: %+v", st)
+	}
+}
+
+func TestManagerMaxPendingForcesInlineSwap(t *testing.T) {
+	g := chain(t, 64)
+	swaps := 0
+	m := NewManager(g, func(*graph.Graph, map[int32]struct{}, bool, func()) int {
+		swaps++
+		return 0
+	}, Config{MaxStaleness: time.Hour, MaxPending: 3,
+		Affect: AffectConfig{Alpha: 0.2, Tolerance: 0.05}})
+	defer m.Close()
+	res, err := m.Apply([][2]int32{{0, 9}, {0, 10}, {0, 11}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Swapped || swaps != 1 || res.PendingAdds != 0 {
+		t.Fatalf("pending cap did not swap inline: %+v (swaps=%d)", res, swaps)
+	}
+}
+
+func TestManagerStalenessTimerFlushes(t *testing.T) {
+	g := chain(t, 8)
+	done := make(chan struct{})
+	m := NewManager(g, func(*graph.Graph, map[int32]struct{}, bool, func()) int {
+		close(done)
+		return 0
+	}, Config{MaxStaleness: 20 * time.Millisecond,
+		Affect: AffectConfig{Alpha: 0.2, Tolerance: 0.05}})
+	defer m.Close()
+	if _, err := m.Apply([][2]int32{{0, 5}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("max-staleness timer never swapped")
+	}
+}
+
+func TestManagerCloseFlushesAndRejects(t *testing.T) {
+	g := chain(t, 8)
+	swaps := 0
+	m := NewManager(g, func(*graph.Graph, map[int32]struct{}, bool, func()) int {
+		swaps++
+		return 0
+	}, Config{MaxStaleness: time.Hour, Affect: AffectConfig{Alpha: 0.2, Tolerance: 0.05}})
+	if _, err := m.Apply([][2]int32{{0, 5}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if swaps != 1 {
+		t.Fatalf("close did not flush (swaps=%d)", swaps)
+	}
+	if _, err := m.Apply([][2]int32{{0, 6}}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("apply after close: %v", err)
+	}
+	if _, err := m.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush after close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestManagerOwnershipAndRetire(t *testing.T) {
+	g := chain(t, 8)
+	var retire func()
+	m := NewManager(g, func(ng *graph.Graph, _ map[int32]struct{}, _ bool, onRetire func()) int {
+		retire = onRetire
+		return 0
+	}, Config{MaxStaleness: time.Hour, Affect: AffectConfig{Alpha: 0.2, Tolerance: 0.05}})
+	defer m.Close()
+	if !m.Owns(g) {
+		t.Fatal("manager does not own its base graph")
+	}
+	if _, err := m.Apply([][2]int32{{0, 5}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ng := m.Graph()
+	if ng == g || !m.Owns(ng) {
+		t.Fatal("published snapshot not owned")
+	}
+	retire() // the serving layer drained the snapshot
+	if m.Owns(ng) {
+		t.Fatal("retired snapshot still owned")
+	}
+	if m.Stats().RetiredSnapshots != 1 {
+		t.Fatalf("retired=%d, want 1", m.Stats().RetiredSnapshots)
+	}
+	// Adopt installs the retire hook for the boot snapshot.
+	s := NewSnapshot(g, 0, nil)
+	m.Adopt(s)
+	s.Release()
+	if m.Owns(g) {
+		t.Fatal("boot snapshot still owned after drain")
+	}
+}
+
+func TestManagerOnSwapReportsExactDelta(t *testing.T) {
+	g := chain(t, 16)
+	var added, removed [][2]int32
+	m := NewManager(g, func(*graph.Graph, map[int32]struct{}, bool, func()) int { return 0 },
+		Config{MaxStaleness: time.Hour,
+			Affect: AffectConfig{Alpha: 0.2, Tolerance: 0.05},
+			OnSwap: func(_ *graph.Graph, a, r [][2]int32) { added, removed = a, r }})
+	defer m.Close()
+	// add (0,5); remove (3,4) from base; add-then-remove (7,9) nets out.
+	if _, err := m.Apply([][2]int32{{0, 5}, {7, 9}}, [][2]int32{{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Apply(nil, [][2]int32{{7, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 1 || added[0] != [2]int32{0, 5} {
+		t.Fatalf("added=%v, want [[0 5]]", added)
+	}
+	if len(removed) != 1 || removed[0] != [2]int32{3, 4} {
+		t.Fatalf("removed=%v, want [[3 4]]", removed)
+	}
+}

@@ -19,6 +19,14 @@ type Cache[V any] struct {
 	evictCap counterSink
 	evictTTL counterSink
 	evictInv counterSink
+	// gate, when set, is consulted under the shard lock immediately before
+	// each insert; returning false drops the Put. Scoped invalidation uses
+	// it to reject results computed against a superseded graph snapshot:
+	// because both the gate check and InvalidateMatching's sweep hold the
+	// shard lock, a stale value either observes the new generation and is
+	// rejected here, or lands before the sweep and is removed by it — there
+	// is no window where it can slip in after the sweep.
+	gate func(Key, V) bool
 }
 
 // counterSink decouples the cache from any metrics backend.
@@ -76,6 +84,10 @@ func NewCache[V any](capacityBytes int64, shards int, ttl time.Duration) *Cache[
 	return c
 }
 
+// SetGate installs the admission gate (see the field doc). Call it before
+// the cache sees traffic; it is not synchronised with concurrent Puts.
+func (c *Cache[V]) SetGate(gate func(Key, V) bool) { c.gate = gate }
+
 func (c *Cache[V]) shard(k Key) *cacheShard[V] {
 	return c.shards[k.hash()&c.mask]
 }
@@ -125,6 +137,10 @@ func (c *Cache[V]) Put(k Key, v V, bytes int64) {
 		expires = time.Now().Add(c.ttl)
 	}
 	s.mu.Lock()
+	if c.gate != nil && !c.gate(k, v) {
+		s.mu.Unlock()
+		return
+	}
 	if el, ok := s.items[k]; ok {
 		s.remove(el)
 	}
@@ -154,9 +170,10 @@ func (s *cacheShard[V]) remove(el *list.Element) {
 	s.bytes -= e.bytes
 }
 
-// Purge drops every entry (graph epoch bump: all keys are dead anyway)
-// and reports them as invalidation evictions.
-func (c *Cache[V]) Purge() {
+// Purge drops every entry (graph epoch bump: all keys are dead anyway),
+// reports them as invalidation evictions, and returns how many were
+// dropped.
+func (c *Cache[V]) Purge() int {
 	dropped := 0
 	for _, s := range c.shards {
 		s.mu.Lock()
@@ -169,6 +186,33 @@ func (c *Cache[V]) Purge() {
 	for i := 0; i < dropped; i++ {
 		c.evictInv()
 	}
+	return dropped
+}
+
+// InvalidateMatching removes every entry whose key satisfies pred and
+// returns how many were dropped (reported as invalidation evictions). It
+// is the scoped alternative to Purge for incremental graph swaps: only
+// entries whose answers the edit delta can have moved are evicted, so the
+// rest of the working set keeps serving hits. pred runs under the shard
+// lock and must be cheap and side-effect free.
+func (c *Cache[V]) InvalidateMatching(pred func(Key) bool) int {
+	dropped := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		var next *list.Element
+		for el := s.ll.Front(); el != nil; el = next {
+			next = el.Next()
+			if pred(el.Value.(*cacheEntry[V]).key) {
+				s.remove(el)
+				dropped++
+			}
+		}
+		s.mu.Unlock()
+	}
+	for i := 0; i < dropped; i++ {
+		c.evictInv()
+	}
+	return dropped
 }
 
 // Len returns the live entry count across shards.

@@ -228,10 +228,18 @@ func (e *Engine[V]) Do(ctx context.Context, key Key, wait bool,
 	return v, outcome, err
 }
 
-// Purge empties the cache (counted as invalidation evictions). The root
-// facade calls it on graph-epoch bumps so dead-epoch entries free their
-// bytes immediately instead of aging out.
-func (e *Engine[V]) Purge() { e.cache.Purge() }
+// Purge empties the cache (counted as invalidation evictions) and returns
+// the number of entries dropped. The root facade calls it on graph-epoch
+// bumps so dead-epoch entries free their bytes immediately instead of
+// aging out.
+func (e *Engine[V]) Purge() int { return e.cache.Purge() }
+
+// InvalidateMatching removes only the cache entries whose key satisfies
+// pred and returns how many were dropped — the scoped invalidation an
+// incremental graph swap uses instead of Purge.
+func (e *Engine[V]) InvalidateMatching(pred func(Key) bool) int {
+	return e.cache.InvalidateMatching(pred)
+}
 
 // Close drains and stops the worker pool. In-flight Do calls complete;
 // calling Do afterwards panics.

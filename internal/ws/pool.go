@@ -22,6 +22,9 @@ import (
 type Pool struct {
 	pool  sync.Pool
 	epoch atomic.Uint64
+	// fitN is the node count the pooled workspaces were last validated
+	// for; see Refit. 0 means "not yet recorded".
+	fitN atomic.Int64
 }
 
 // shrinkFactor is the capacity slack tolerated on reuse: a pooled workspace
@@ -79,6 +82,24 @@ func (p *Pool) Invalidate() {
 		return
 	}
 	p.epoch.Add(1)
+}
+
+// Refit declares the node count subsequent queries will run against and
+// reports whether the pool was invalidated. Live snapshot swaps call it
+// instead of Invalidate: an edge-only swap keeps the node set, so scratch
+// sized for the retiring snapshot stays exactly right for the new one and
+// the pool survives the swap; only a geometry change (different n) retires
+// the pooled workspaces.
+func (p *Pool) Refit(n int) bool {
+	if p == nil {
+		return false
+	}
+	old := p.fitN.Swap(int64(n))
+	if old != 0 && old != int64(n) {
+		p.epoch.Add(1)
+		return true
+	}
+	return false
 }
 
 // Epoch returns the current pool epoch (diagnostics and tests).

@@ -179,3 +179,28 @@ func TestNilPoolFallsBack(t *testing.T) {
 		t.Fatal("nil pool epoch should be 0")
 	}
 }
+
+func TestPoolRefit(t *testing.T) {
+	p := NewPool()
+	// First Refit records the geometry without invalidating anything.
+	if p.Refit(100) {
+		t.Fatal("initial refit invalidated an empty pool")
+	}
+	w := p.Get(100)
+	p.Put(w)
+	// Same node count: an edge-only swap keeps the pooled workspace.
+	if p.Refit(100) {
+		t.Fatal("same-size refit invalidated the pool")
+	}
+	if got := p.Get(100); got != w {
+		t.Fatal("pooled workspace not reused across same-size refit")
+	}
+	p.Put(w)
+	// Geometry change: pooled scratch is sized wrong, must be retired.
+	if !p.Refit(101) {
+		t.Fatal("size change did not invalidate")
+	}
+	if got := p.Get(101); got == w {
+		t.Fatal("stale-size workspace served after refit")
+	}
+}

@@ -1,0 +1,118 @@
+package resacc
+
+import (
+	"errors"
+	"time"
+
+	"resacc/internal/live"
+	"resacc/internal/obs"
+)
+
+// LiveOptions tunes a streaming write path (see Engine.StartLive). The
+// zero value is usable: 500ms staleness bound, 1024-edit pending cap, and
+// a score tolerance tied to the engine's accuracy regime (ε·δ).
+type LiveOptions struct {
+	// MaxStaleness bounds how long an accepted edit may stay invisible to
+	// queries before a snapshot swap publishes it (≤ 0 = 500ms).
+	MaxStaleness time.Duration
+	// MaxPending forces an immediate swap once this many coalesced edits
+	// are pending (≤ 0 = 1024).
+	MaxPending int
+	// Tolerance is the absolute per-node score movement tolerated on
+	// cached results that survive a scoped swap (≤ 0 = ε·δ of the
+	// engine's parameters — at most one more unit of the error the
+	// approximation already permits).
+	Tolerance float64
+	// MaxAffectedFrac aborts scoped invalidation into a full purge when
+	// the affected region exceeds this fraction of the nodes (≤ 0 = 0.25).
+	MaxAffectedFrac float64
+	// MaxAffectPushes bounds the affected-region expansion work
+	// (≤ 0 = 1<<17); exceeding it falls back to a full purge.
+	MaxAffectPushes int
+	// Metrics, when non-nil, receives the mutation metric families
+	// (rwr_graph_swaps_total, rwr_edges_applied_total{op},
+	// rwr_cache_invalidations_total{scope}, rwr_graph_swap_seconds,
+	// pending/epoch gauges).
+	Metrics *obs.Registry
+	// OnSwap, when non-nil, observes every published swap — the new graph
+	// plus the exact edit delta it applied — under the write lock. Tests
+	// use it to replay the delta offline and demand bit-identity.
+	OnSwap func(g *Graph, added, removed [][2]int32)
+}
+
+// LiveApplyResult reports what one Live.Apply batch did.
+type LiveApplyResult = live.ApplyResult
+
+// LiveStats is a point-in-time snapshot of a write path's counters.
+type LiveStats = live.Stats
+
+// Live is a streaming write path attached to an Engine: concurrent
+// callers feed edge insertions and deletions through Apply, the path
+// batches and coalesces them, and snapshot swaps publish them to queries
+// within the configured staleness bound — invalidating only the
+// delta-affected slice of the result cache instead of purging it. At most
+// one Live may be attached to an Engine at a time.
+type Live struct {
+	m *live.Manager
+	e *Engine
+}
+
+// StartLive attaches a streaming write path serving edits on top of the
+// engine's current graph. While it is attached, all mutation must go
+// through it: calling UpdateGraph/SyncDynamic concurrently would race the
+// write path's view of the served graph. Close the Live to detach.
+func (e *Engine) StartLive(opts LiveOptions) (*Live, error) {
+	if !e.liveOn.CompareAndSwap(false, true) {
+		return nil, errors.New("resacc: engine already has a live write path attached")
+	}
+	affect := e.affectConfig()
+	if opts.Tolerance > 0 {
+		affect.Tolerance = opts.Tolerance
+	}
+	affect.MaxFrac = opts.MaxAffectedFrac
+	affect.MaxPushes = opts.MaxAffectPushes
+	m := live.NewManager(e.Graph(), e.applyLiveSwap, live.Config{
+		MaxStaleness: opts.MaxStaleness,
+		MaxPending:   opts.MaxPending,
+		Affect:       affect,
+		Metrics:      opts.Metrics,
+		OnSwap:       opts.OnSwap,
+	})
+	// Adopt the boot snapshot into the ownership bookkeeping so observers
+	// can attribute queries still pinned to it after the first swap.
+	m.Adopt(e.snap.Load())
+	return &Live{m: m, e: e}, nil
+}
+
+// Apply validates and applies a batch of edge insertions and removals
+// atomically with respect to snapshot swaps. An error means no change.
+// The edits become visible to queries within the staleness bound, or
+// immediately when the batch trips the pending cap.
+func (l *Live) Apply(add, remove [][2]int32) (LiveApplyResult, error) {
+	return l.m.Apply(add, remove)
+}
+
+// Flush forces any pending edits into a published snapshot and reports
+// whether a swap happened.
+func (l *Live) Flush() (bool, error) { return l.m.Flush() }
+
+// Stats returns the write path's mutation counters.
+func (l *Live) Stats() LiveStats { return l.m.Stats() }
+
+// Owns reports whether g is a snapshot this write path published (or
+// adopted) that still has in-flight readers or is current. Serving-layer
+// observers use it to recognise per-query events from superseded but
+// not-yet-retired snapshots.
+func (l *Live) Owns(g *Graph) bool { return l.m.Owns(g) }
+
+// Graph returns the most recently published snapshot's graph.
+func (l *Live) Graph() *Graph { return l.m.Graph() }
+
+// Close flushes pending edits, detaches the write path from the engine
+// and shuts it down. Further Apply/Flush calls fail. The engine itself
+// keeps serving; a new write path may be attached afterwards.
+func (l *Live) Close() error {
+	err := l.m.Close()
+	l.e.liveOn.Store(false)
+	return err
+}

@@ -9,7 +9,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 out=${1:-BENCH_resacc.json}
-filter='^BenchmarkQueryTable3/(dblp-s|webstan-s)/(resacc|fora)$|^BenchmarkForwardPush$|^BenchmarkHHopFWDPhase$|^BenchmarkQueryPooledRepeat$|^BenchmarkPushParallel/workers=(1|2|4|8)$'
+filter='^BenchmarkQueryTable3/(dblp-s|webstan-s)/(resacc|fora)$|^BenchmarkForwardPush$|^BenchmarkHHopFWDPhase$|^BenchmarkQueryPooledRepeat$|^BenchmarkPushParallel/workers=(1|2|4|8)$|^BenchmarkLiveWriteMix/(scoped|purge)$'
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -18,11 +18,24 @@ go test -run '^$' -bench "$filter" -benchmem -benchtime 10x . | tee "$tmp" 1>&2
 {
 	printf '{\n  "baseline": %s,\n  "current": {\n' \
 		"$(sed 's/^/  /' scripts/bench_baseline.json | sed '1s/^  //')"
+	# Unit-aware: a benchmark line is "Name-P N  v1 u1  v2 u2 ...". The
+	# canonical units keep their historical JSON keys; custom units from
+	# b.ReportMetric (e.g. edges/s) become sanitized keys, so positional
+	# assumptions never mis-pair value and unit.
 	awk '
 	/^Benchmark/ && /ns\/op/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
-		line = sprintf("      {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7)
+		line = sprintf("      {\"name\": \"%s\"", name)
+		for (i = 3; i < NF; i += 2) {
+			unit = $(i + 1)
+			if (unit == "ns/op") key = "ns_per_op"
+			else if (unit == "B/op") key = "bytes_per_op"
+			else if (unit == "allocs/op") key = "allocs_per_op"
+			else { key = unit; gsub(/\//, "_per_", key); gsub(/[^A-Za-z0-9_]/, "_", key) }
+			line = line sprintf(", \"%s\": %s", key, $i)
+		}
+		line = line "}"
 		entries = entries sep line
 		sep = ",\n"
 	}
