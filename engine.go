@@ -93,11 +93,15 @@ type Engine struct {
 	// every existing key unreachable at once. Scoped swaps leave it alone
 	// so surviving entries keep serving hits.
 	epoch atomic.Uint64
-	// swapGen bumps on every snapshot swap, scoped or full. Compute
-	// closures capture it before pinning a snapshot and the cache's put
-	// gate rejects results whose generation is no longer current, so a
-	// computation that straddles a swap can never park a pre-swap answer
-	// in the cache after the swap's scoped invalidation ran.
+	// swapGen mints a unique, monotonic epoch for every published snapshot
+	// (and counts Invalidate calls so the Swaps stat covers both). The
+	// cache's put gate does NOT read it directly: each computation stamps
+	// its entry with the epoch of the snapshot it pinned, and the gate
+	// compares that against the epoch of the currently published snapshot
+	// — see NewEngine. Gating on the counter itself would race: a swap
+	// bumps the counter before storing the new pointer, and a query
+	// loading the counter in that window would pair the new generation
+	// with a pin of the still-old snapshot.
 	swapGen atomic.Uint64
 	inner   *serve.Engine[*engineEntry]
 	compute ComputeFunc
@@ -128,7 +132,7 @@ type engineEntry struct {
 	ranked []Ranked // KindTopK
 	level  float64  // KindTopK: precision level (see QueryTopK)
 	pair   float64  // KindPair
-	gen    uint64   // swap generation the computation pinned (cache gate)
+	gen    uint64   // epoch of the snapshot the computation pinned (cache gate)
 
 	degraded bool    // KindTopK: ranking from a deadline-truncated round
 	bound    float64 // KindTopK: additive score error when degraded
@@ -191,9 +195,16 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 	})
 	// The put gate runs under the cache shard lock: together with the
 	// shard-locked invalidation sweep it makes "compute on old snapshot,
-	// cache after the swap" impossible (see Cache.SetGate).
-	e.inner.Cache().SetGate(func(_ serve.Key, en *engineEntry) bool {
-		return en.gen == e.swapGen.Load()
+	// cache after the swap" impossible (see Cache.SetGate). The entry
+	// carries the epoch of the snapshot its computation pinned, and the
+	// gate compares it against the epoch of the snapshot published right
+	// now — an identity tied to the pointer itself, so there is no window
+	// (unlike gating on a separate counter) where a new generation can
+	// pair with a pin of the pre-swap snapshot. The key-epoch check keeps
+	// computations that straddle a full invalidation from parking entries
+	// under a retired keyspace.
+	e.inner.Cache().SetGate(func(k serve.Key, en *engineEntry) bool {
+		return en.gen == e.snap.Load().Epoch() && k.Epoch == e.epoch.Load()
 	})
 	return e
 }
@@ -264,14 +275,13 @@ func (e *Engine) Query(ctx context.Context, source int32) (*Result, error) {
 func (e *Engine) queryFull(ctx context.Context, source int32, wait bool) (*Result, error) {
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindFull, source, 0), wait,
 		func(fctx context.Context) (*engineEntry, int64, error) {
-			gen := e.swapGen.Load()
 			snap := e.pin()
 			defer snap.Release()
 			res, err := e.compute(fctx, snap.Graph(), source, e.params)
 			if err != nil {
 				return nil, 0, err
 			}
-			en := &engineEntry{res: res, gen: gen}
+			en := &engineEntry{res: res, gen: snap.Epoch()}
 			if res.Degraded {
 				return en, -1, nil
 			}
@@ -299,7 +309,6 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, erro
 	}
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindTopK, source, int32(k)), false,
 		func(fctx context.Context) (*engineEntry, int64, error) {
-			gen := e.swapGen.Load()
 			snap := e.pin()
 			defer snap.Release()
 			g := snap.Graph()
@@ -321,7 +330,7 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, erro
 				en = &engineEntry{ranked: tk.Ranked, level: tk.Level,
 					degraded: tk.Degraded, bound: tk.Bound, phase: tk.Phase}
 			}
-			en.gen = gen
+			en.gen = snap.Epoch()
 			if en.degraded {
 				return en, -1, nil
 			}
@@ -340,9 +349,9 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, erro
 func (e *Engine) QueryPair(ctx context.Context, source, target int32) (float64, error) {
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindPair, source, target), false,
 		func(fctx context.Context) (*engineEntry, int64, error) {
-			gen := e.swapGen.Load()
 			snap := e.pin()
 			defer snap.Release()
+			gen := snap.Epoch()
 			g := snap.Graph()
 			if target < 0 || int(target) >= g.N() {
 				return nil, 0, fmt.Errorf("resacc: target %d out of range [0,%d)", target, g.N())
@@ -419,6 +428,10 @@ func (e *Engine) QueryBatch(ctx context.Context, sources []int32) ([]*Result, []
 // stays put. onRetire (may be nil) is armed on the new snapshot. Returns
 // the number of cache entries invalidated.
 func (e *Engine) applyLiveSwap(g *Graph, affected map[int32]struct{}, full bool, onRetire func()) int {
+	// Bumping the counter before storing the pointer is fine: the put gate
+	// reads generations off the snapshots themselves, never this counter,
+	// so the window between the two cannot pair a new generation with a
+	// pin of the old snapshot.
 	gen := e.swapGen.Add(1)
 	next := live.NewSnapshot(g, gen, onRetire)
 	old := e.snap.Swap(next)
@@ -476,6 +489,10 @@ func (e *Engine) UpdateGraph(g *Graph) {
 // graph — for callers whose freshness policy is time- or event-based
 // (e.g. randomized re-scoring) rather than graph edits.
 func (e *Engine) Invalidate() {
+	// The swapGen bump keeps the Swaps stat counting invalidations; the
+	// epoch bump both retires every existing key and (via the put gate's
+	// key-epoch check) keeps straddling computations from re-parking
+	// results under the retired keyspace.
 	e.swapGen.Add(1)
 	e.epoch.Add(1)
 	e.inner.Purge()
@@ -487,11 +504,19 @@ func (e *Engine) Invalidate() {
 // fresh snapshot, swaps it in and invalidates the affected cache entries.
 // It reports whether a swap happened.
 //
-// Invalidation is scoped, not a purge: edits that netted out to nothing
-// (add then remove) swap nothing and keep the whole cache; otherwise only
+// Invalidation is scoped, not a purge, when the lineage allows it: d's
+// cumulative edits describe the delta from d.Base(), so only while the
+// engine is still serving that exact graph can they identify which cached
+// answers moved. In that case edits that netted out to nothing (add then
+// remove) swap nothing and keep the whole cache, and otherwise only
 // entries whose source lies in the delta-affected region are dropped, with
 // a full purge as fallback when scoping aborts (see live.AffectedSources)
-// or the node set changed.
+// or the node set changed. Once the served graph is no longer d's base —
+// after a previous sync of the same session, or when d was built over an
+// unrelated graph — the delta says nothing about the served graph, so
+// SyncDynamic always materialises, swaps and fully purges. (The streaming
+// path re-bases its edit session on every swap and never loses scoping
+// this way.)
 //
 // Deprecated: SyncDynamic serialises the caller's edits against its own
 // sync cadence and rebuilds from whatever Dynamic it is handed. New code
@@ -506,10 +531,15 @@ func (e *Engine) SyncDynamic(d *DynamicGraph) (bool, error) {
 	}
 	adds, removes := d.PendingEdits()
 	old := e.Graph()
-	if adds+removes == 0 && d.N() == old.N() {
-		// Edits netted out (e.g. add then remove of the same edge): the
-		// current snapshot already IS the edited graph, so swapping or
-		// invalidating anything would only shed warm cache for nothing.
+	sameBase := old == d.Base()
+	if adds+removes == 0 && d.N() == old.N() && sameBase {
+		// Edits netted out (e.g. add then remove of the same edge) against
+		// the very graph being served: the current snapshot already IS the
+		// edited graph, so swapping or invalidating anything would only
+		// shed warm cache for nothing. Without the base match this
+		// conclusion is unsound — after a prior sync the engine serves an
+		// intermediate snapshot, and a session whose edits net to zero
+		// still means "back to the base", which that snapshot is not.
 		e.dynVer = v
 		return false, nil
 	}
@@ -520,8 +550,9 @@ func (e *Engine) SyncDynamic(d *DynamicGraph) (bool, error) {
 	}
 	var affected map[int32]struct{}
 	ok := false
-	if snap.N() == old.N() {
-		// Node-set changes always purge; edge-only deltas get scoped.
+	if sameBase && snap.N() == old.N() {
+		// Node-set changes and foreign lineages always purge; edge-only
+		// deltas over the graph we are serving get scoped.
 		affected, ok = live.AffectedSources(old, live.ChangedSources(added, removed), e.affectConfig())
 	}
 	e.applyLiveSwap(snap, affected, !ok, nil)

@@ -419,3 +419,167 @@ func TestEngineSyncDynamicScopedInvalidation(t *testing.T) {
 		t.Fatal("recomputed source 11 does not see the new edge")
 	}
 }
+
+// TestEngineSyncDynamicReSyncAfterNetZero: SyncDynamic never re-bases the
+// caller's Dynamic, so after one sync the session's edits no longer
+// describe the served graph. The regression: add e → sync (engine serves a
+// snapshot WITH e) → remove e → sync. The session's pending edits are now
+// (0,0), but treating that as "nothing to do" would leave the engine
+// serving the deleted edge forever; the second sync must swap back to the
+// edge-free graph and purge.
+func TestEngineSyncDynamicReSyncAfterNetZero(t *testing.T) {
+	e, g := testEngine(t, EngineOptions{})
+	ctx := context.Background()
+
+	d := NewDynamicGraph(g)
+	u, v := int32(7), int32(211)
+	if g.HasEdge(u, v) {
+		t.Fatalf("test edge %d->%d already present", u, v)
+	}
+	if err := d.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	if refreshed, err := e.SyncDynamic(d); err != nil || !refreshed {
+		t.Fatalf("first sync: refreshed=%v err=%v", refreshed, err)
+	}
+	if !e.Graph().HasEdge(u, v) {
+		t.Fatal("engine not serving the added edge after first sync")
+	}
+	before, err := e.Query(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Scores[v] == 0 {
+		t.Fatalf("source %d does not see the added edge", u)
+	}
+
+	if err := d.RemoveEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := e.SyncDynamic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refreshed {
+		t.Fatal("net-zero session over a superseded base reported nothing to do")
+	}
+	if e.Graph().HasEdge(u, v) {
+		t.Fatal("engine still serving the deleted edge after re-sync")
+	}
+	// The session base no longer matches the served graph, so the swap
+	// must have purged rather than trusting the cumulative (empty) delta.
+	if st := e.Stats(); st.CacheEntries != 0 {
+		t.Fatalf("stale entries survived the re-sync: %+v", st)
+	}
+	after, err := e.Query(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Scores[v] >= before.Scores[v] {
+		t.Fatalf("score to removed neighbour did not drop: before=%g after=%g",
+			before.Scores[v], after.Scores[v])
+	}
+}
+
+// TestEngineComputeStraddlingScopedSwapNotCached: a computation that
+// pinned the pre-swap snapshot and finishes after a scoped swap must not
+// land in the cache — the key epoch is unchanged by a scoped swap, so only
+// the put gate (entry snapshot epoch vs currently published snapshot
+// epoch) stands between the swap's invalidation sweep and a stale answer
+// for an affected source surviving indefinitely.
+func TestEngineComputeStraddlingScopedSwapNotCached(t *testing.T) {
+	// Directed: a cycle over 0..9, 11→10→0; node 11 has no in-edges, so an
+	// edit sourced at 11 scopes to exactly {11}.
+	b := NewGraphBuilder(12)
+	for i := int32(0); i < 10; i++ {
+		b.AddEdge(i, (i+1)%10)
+	}
+	b.AddEdge(10, 0)
+	b.AddEdge(11, 10)
+	g := b.MustBuild()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	compute := func(_ context.Context, cg *Graph, source int32, _ Params) (*Result, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-release
+		}
+		return &Result{Source: source, Scores: make([]float64, cg.N())}, nil
+	}
+	e := NewEngine(g, DefaultParams(g), EngineOptions{Compute: compute})
+	defer e.Close()
+	l, err := e.StartLive(LiveOptions{MaxStaleness: time.Hour, Tolerance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, qerr := e.Query(context.Background(), 11)
+		done <- qerr
+	}()
+	<-started // the computation has pinned the pre-swap snapshot
+
+	if _, err := l.Apply([][2]int32{{11, 4}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if swapped, err := l.Flush(); err != nil || !swapped {
+		t.Fatalf("flush: swapped=%v err=%v", swapped, err)
+	}
+	if st := l.Stats(); st.ScopedSwaps != 1 {
+		// A full purge would bump the key epoch and mask the gate.
+		t.Fatalf("swap not scoped: %+v", st)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The straddling result must have been refused by the put gate, so the
+	// same query recomputes against the new snapshot instead of hitting a
+	// stale entry.
+	if _, err := e.Query(context.Background(), 11); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("straddling result was served from cache: computes=%d, want 2", got)
+	}
+}
+
+// TestEngineSyncDynamicForeignBasePurges: a Dynamic built over a graph the
+// engine never served gets no scoped invalidation — its cumulative edits
+// describe the wrong delta — so the sync must swap in the snapshot and
+// purge the whole cache (epoch bump).
+func TestEngineSyncDynamicForeignBasePurges(t *testing.T) {
+	e, g := testEngine(t, EngineOptions{})
+	ctx := context.Background()
+	if _, err := e.Query(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	other := GenerateBarabasiAlbert(g.N(), 3, 99) // same n, different lineage
+	d := NewDynamicGraph(other)
+	if err := d.AddEdge(7, 211); err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := e.SyncDynamic(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refreshed {
+		t.Fatal("foreign-base sync did not refresh")
+	}
+	st := e.Stats()
+	if st.Epoch != 1 {
+		t.Fatalf("foreign-base sync did not purge fully: %+v", st)
+	}
+	if st.CacheEntries != 0 {
+		t.Fatalf("stale entries survived a foreign-base sync: %+v", st)
+	}
+	if !e.Graph().HasEdge(7, 211) {
+		t.Fatal("engine not serving the foreign snapshot")
+	}
+}

@@ -306,15 +306,31 @@ func (m *Manager) swapLocked() (err error) {
 	// snapshot serving and the edit backlog intact.
 	faultinject.Hit("live.swap")
 
+	// Register ownership before publishing so the retire hook — and any
+	// observer attributing queries to the snapshot the instant it becomes
+	// current — always finds the entry. If the swap callback panics the
+	// snapshot was never published, so the deferred rollback removes the
+	// entry again; otherwise a failed retry per attempt would leak one
+	// ownership record each, and Owns(g) would report an unpublished graph
+	// forever.
 	m.ownMu.Lock()
 	m.owned[g] = struct{}{}
 	m.ownMu.Unlock()
+	published := false
+	defer func() {
+		if !published {
+			m.ownMu.Lock()
+			delete(m.owned, g)
+			m.ownMu.Unlock()
+		}
+	}()
 	invalidated := m.swap(g, affected, !ok, func() {
 		m.ownMu.Lock()
 		delete(m.owned, g)
 		m.ownMu.Unlock()
 		m.retiredSnaps.Add(1)
 	})
+	published = true
 
 	// Publication succeeded: re-base the edit session on the snapshot it
 	// just produced, so the next delta is exactly "edits since the

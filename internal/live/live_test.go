@@ -63,6 +63,50 @@ func TestSnapshotInstallRetire(t *testing.T) {
 	}
 }
 
+// TestSwapCallbackPanicDoesNotLeakOwnership: a snapshot registered in the
+// ownership set ahead of publication must be rolled back when the swap
+// callback panics — otherwise every failed retry leaks one entry and Owns
+// reports a never-published graph forever.
+func TestSwapCallbackPanicDoesNotLeakOwnership(t *testing.T) {
+	g := chain(t, 16)
+	fail := true
+	var published *graph.Graph
+	m := NewManager(g, func(ng *graph.Graph, _ map[int32]struct{}, _ bool, _ func()) int {
+		if fail {
+			panic("test: swap callback")
+		}
+		published = ng
+		return 0
+	}, Config{MaxStaleness: time.Hour, Affect: AffectConfig{Alpha: 0.2, Tolerance: 0.05}})
+	defer m.Close()
+
+	if _, err := m.Apply([][2]int32{{0, 9}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Flush(); err == nil {
+			t.Fatal("faulted swap reported success")
+		}
+	}
+	if st := m.Stats(); st.SwapFailures != 3 || st.Epoch != 0 {
+		t.Fatalf("failure bookkeeping: %+v", st)
+	}
+	m.ownMu.Lock()
+	ownedN := len(m.owned)
+	m.ownMu.Unlock()
+	if ownedN != 1 || !m.Owns(g) {
+		t.Fatalf("failed swaps leaked ownership entries: owned=%d", ownedN)
+	}
+
+	fail = false
+	if swapped, err := m.Flush(); err != nil || !swapped {
+		t.Fatalf("post-fault flush: swapped=%v err=%v", swapped, err)
+	}
+	if published == nil || !m.Owns(published) {
+		t.Fatal("recovered swap did not register the published snapshot")
+	}
+}
+
 func TestChangedSources(t *testing.T) {
 	got := ChangedSources(
 		[][2]int32{{1, 2}, {1, 3}, {4, 0}},
