@@ -14,9 +14,11 @@ package resacc
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"resacc/internal/algo"
+	"resacc/internal/algo/alias"
 	"resacc/internal/algo/forward"
 	"resacc/internal/bench"
 	"resacc/internal/core"
@@ -159,6 +161,55 @@ func BenchmarkHHopFWDPhase(b *testing.B) {
 	}
 }
 
+// BenchmarkHHopFWDPhaseNoSweep is BenchmarkHHopFWDPhase with the
+// dense-sweep backend disabled — the pre-powerpush queue-only drain. The
+// pair quantifies the switchover's effect on a dense whole-graph cascade;
+// keep both rows in BENCH_resacc.json so a regression in either backend is
+// attributable.
+func BenchmarkHHopFWDPhaseNoSweep(b *testing.B) {
+	g := dataset.MustBuild("twitter-s", 0.1)
+	p := algo.DefaultParams(g)
+	s := core.Solver{DenseSwitch: -1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := s.Query(g, 1, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomWalkAlias is BenchmarkRandomWalk through the Vose alias
+// table: one fused RNG draw per step instead of restart-then-neighbour
+// draws. Build cost is excluded — serving builds once per snapshot and
+// amortizes it over every query.
+func BenchmarkRandomWalkAlias(b *testing.B) {
+	g := dataset.MustBuild("twitter-s", 0.1)
+	t := alias.Build(g, 0.2)
+	r := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Walk(int32(i%g.N()), r)
+	}
+}
+
+// BenchmarkQueryPooledRepeatAlias is the steady-state repeat query with
+// alias-table walk sampling, the -alias-walks serving configuration.
+func BenchmarkQueryPooledRepeatAlias(b *testing.B) {
+	g := dataset.MustBuild("twitter-s", 0.1)
+	p := algo.DefaultParams(g)
+	s := core.Solver{Alias: alias.Build(g, p.Alpha)}
+	w := ws.New(g.N())
+	s.QueryWS(g, 1, p, w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.QueryWS(g, 1, p, w)
+	}
+}
+
 // BenchmarkPushParallel measures the round-synchronous parallel push drain
 // against the sequential one on a ~1M-edge RMAT graph, isolating the push
 // phase (no remedy walks, no updating phase). workers=1 is the classic
@@ -173,6 +224,13 @@ func BenchmarkPushParallel(b *testing.B) {
 	const src = 1
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			if workers > runtime.GOMAXPROCS(0) {
+				// Without the cores the measurement is pure round overhead —
+				// noise that would trip the ns/op regression gate. The skip
+				// is visible in the -bench output, so a multi-core run still
+				// reports every worker count.
+				b.Skipf("workers=%d > GOMAXPROCS=%d: no cores to measure scaling on", workers, runtime.GOMAXPROCS(0))
+			}
 			cfg := forward.PushConfig{Workers: workers, EngageMass: 1}
 			w := ws.New(g.N())
 			run := func() {

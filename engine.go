@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"resacc/internal/algo/alias"
 	"resacc/internal/core"
+	"resacc/internal/graph"
 	"resacc/internal/live"
 	"resacc/internal/obs"
 	"resacc/internal/serve"
@@ -61,6 +63,31 @@ type EngineOptions struct {
 	// WalkWorkers. Results are deterministic per effective push-worker
 	// count.
 	PushWorkers int
+	// Relabel renumbers each served graph snapshot in decreasing
+	// total-degree order at load/swap time (graph.RelabelByDegree), which
+	// improves push and walk cache locality on skewed graphs. The
+	// relabeled graph is an internal artifact of the snapshot: callers
+	// keep using original node ids everywhere — query sources, ranked
+	// results, score vectors, edge edits, Graph(), and query-hook events
+	// all stay in the caller's id space, with the engine translating at
+	// the serving boundary. Answers are equally valid but not
+	// bit-identical to an unrelabeled engine's (float summation order and
+	// walk RNG streams follow the internal labeling). A custom Compute
+	// receives the relabeled graph and a translated source; its returned
+	// scores are translated back before serving.
+	Relabel bool
+	// AliasWalks builds a Vose alias table per graph snapshot (lazily, on
+	// the first query that needs it; shared read-only afterwards) and
+	// routes the remedy phase's random walks through it — one fused RNG
+	// draw per step instead of separate restart and neighbour draws. Same
+	// distribution and ε/δ guarantee, different RNG consumption, so
+	// results differ per-walk from the direct path but stay deterministic.
+	// The table costs ~16·(|E|+|V|) bytes per live snapshot.
+	AliasWalks bool
+	// DenseSwitch tunes the sequential push phases' dense-sweep
+	// switchover as a fraction of |E| (see core.Solver.DenseSwitch):
+	// 0 = the default (1/8), negative disables the sweep backend.
+	DenseSwitch float64
 	// Metrics, when non-nil, receives the engine metric families (cache
 	// hits/misses/evictions, dedup joins, sheds, queue depth, cache
 	// size, cached-vs-computed latency). Note the registry type lives in
@@ -117,6 +144,9 @@ type Engine struct {
 	wsPool      *ws.Pool
 	walkWorkers int
 	pushWorkers int
+	denseSwitch float64
+	relabel     bool
+	aliasWalks  bool
 
 	// syncMu serialises SyncDynamic snapshot/swap pairs; dynVer is the
 	// last Dynamic.Version applied.
@@ -149,15 +179,108 @@ func (en *engineEntry) bytes() int64 {
 	return s
 }
 
+// snapMeta is the per-snapshot serving sidecar (live.Snapshot.Derived):
+// the id-relabel mappings plus the lazily built alias table. It is
+// attached before the snapshot is published and immutable afterwards,
+// except for the once-guarded alias build.
+type snapMeta struct {
+	// orig is the caller-id-space graph the snapshot was relabeled from;
+	// nil when the snapshot's own ids are the caller's (no relabeling).
+	// Query events, Graph() and the live write path all speak orig.
+	orig *Graph
+	// toOld/toNew translate between the snapshot's internal ids and the
+	// caller's (graph.RelabelByDegree); nil when ids coincide.
+	toOld, toNew []int32
+
+	aliasOnce sync.Once
+	alias     *alias.Table
+}
+
+// aliasTable returns the snapshot's alias table, building it on first use.
+// Concurrent first queries serialise on the Once; afterwards the table is
+// shared read-only.
+func (m *snapMeta) aliasTable(g *Graph, alpha float64) *alias.Table {
+	m.aliasOnce.Do(func() { m.alias = alias.Build(g, alpha) })
+	return m.alias
+}
+
+// metaOf returns the snapshot's serving sidecar, or nil for a plain
+// snapshot (no relabeling, no alias walks — the zero-overhead path).
+func metaOf(s *live.Snapshot) *snapMeta {
+	if d := s.Derived(); d != nil {
+		return d.(*snapMeta)
+	}
+	return nil
+}
+
+// newSnapshot wraps g — always in the caller's id space — as the next
+// served snapshot, applying load-time degree relabeling and attaching the
+// per-snapshot sidecar when the engine's options call for them.
+func (e *Engine) newSnapshot(g *Graph, gen uint64, onRetire func()) *live.Snapshot {
+	if !e.relabel && !e.aliasWalks {
+		return live.NewSnapshot(g, gen, onRetire)
+	}
+	m := &snapMeta{}
+	served := g
+	if e.relabel {
+		rg, toOld, toNew := graph.RelabelByDegree(g)
+		m.orig, m.toOld, m.toNew = g, toOld, toNew
+		served = rg
+	}
+	s := live.NewSnapshot(served, gen, onRetire)
+	s.SetDerived(m)
+	return s
+}
+
+// eventGraph is the graph identity a snapshot's queries are reported
+// against: the caller-id-space original when the snapshot is relabeled,
+// the snapshot's own graph otherwise.
+func (e *Engine) eventGraph(s *live.Snapshot) *Graph {
+	if m := metaOf(s); m != nil && m.orig != nil {
+		return m.orig
+	}
+	return s.Graph()
+}
+
+// ingressSource translates a caller-space source id into the snapshot's
+// internal id space, validating the range (the solver would reject the
+// translated id too late to produce a caller-meaningful message).
+func ingressSource(m *snapMeta, g *Graph, source int32) (int32, error) {
+	if m == nil || m.toNew == nil {
+		return source, nil
+	}
+	if source < 0 || int(source) >= g.N() {
+		return 0, fmt.Errorf("resacc: source %d out of range [0,%d)", source, g.N())
+	}
+	return m.toNew[source], nil
+}
+
+// egressResult translates a result computed in the snapshot's internal id
+// space back to the caller's: scores are permuted and Source restored.
+// Identity when the snapshot is not relabeled.
+func egressResult(m *snapMeta, source int32, res *Result) *Result {
+	if m == nil || m.toOld == nil {
+		return res
+	}
+	return &Result{
+		Source: source,
+		Scores: graph.ApplyRelabeling(res.Scores, m.toOld),
+		Stats:  res.Stats, Degraded: res.Degraded, Bound: res.Bound,
+	}
+}
+
 // NewEngine returns a started engine serving queries on g with fixed
 // parameters p. Close it to stop the worker pool.
 func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 	e := &Engine{
-		params:  p,
-		fp:      serve.Fingerprint(p),
-		compute: opts.Compute,
-		custom:  opts.Compute != nil,
-		wsPool:  ws.NewPool(),
+		params:      p,
+		fp:          serve.Fingerprint(p),
+		compute:     opts.Compute,
+		custom:      opts.Compute != nil,
+		wsPool:      ws.NewPool(),
+		denseSwitch: opts.DenseSwitch,
+		relabel:     opts.Relabel,
+		aliasWalks:  opts.AliasWalks,
 	}
 	serveWorkers := opts.Workers
 	if serveWorkers <= 0 {
@@ -178,12 +301,7 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 			e.pushWorkers = budget
 		}
 	}
-	if e.compute == nil {
-		e.compute = func(ctx context.Context, g *Graph, source int32, p Params) (*Result, error) {
-			return querySolverCtx(ctx, g, source, p, e.solver())
-		}
-	}
-	e.snap.Store(live.NewSnapshot(g, 0, nil))
+	e.snap.Store(e.newSnapshot(g, 0, nil))
 	e.wsPool.Refit(g.N())
 	e.inner = serve.New[*engineEntry](serve.Config{
 		CapacityBytes: opts.CacheBytes,
@@ -228,7 +346,24 @@ func (e *Engine) pin() *live.Snapshot {
 // solver is the ResAcc solver default computations run with: the engine's
 // workspace pool plus its resolved walk parallelism.
 func (e *Engine) solver() core.Solver {
-	return core.Solver{Workers: e.walkWorkers, PushWorkers: e.pushWorkers, Pool: e.wsPool}
+	return core.Solver{
+		Workers: e.walkWorkers, PushWorkers: e.pushWorkers,
+		DenseSwitch: e.denseSwitch, Pool: e.wsPool,
+	}
+}
+
+// snapSolver is solver() plus the per-snapshot artifacts: the score remap
+// back to caller ids and the snapshot's alias table (built lazily here on
+// the first query that wants it).
+func (e *Engine) snapSolver(snap *live.Snapshot) core.Solver {
+	s := e.solver()
+	if m := metaOf(snap); m != nil {
+		s.ScoreRemap = m.toOld
+		if e.aliasWalks {
+			s.Alias = m.aliasTable(snap.Graph(), e.params.Alpha)
+		}
+	}
+	return s
 }
 
 // WalkWorkers returns the resolved per-query remedy walk parallelism.
@@ -242,8 +377,11 @@ func (e *Engine) PushWorkers() int { return e.pushWorkers }
 // Queries after Close fail.
 func (e *Engine) Close() { e.inner.Close() }
 
-// Graph returns the graph snapshot currently being served.
-func (e *Engine) Graph() *Graph { return e.snap.Load().Graph() }
+// Graph returns the current graph in the caller's id space. With
+// EngineOptions.Relabel the engine internally serves a degree-relabeled
+// copy; that copy never escapes — this accessor, query results and hook
+// events all speak original ids.
+func (e *Engine) Graph() *Graph { return e.eventGraph(e.snap.Load()) }
 
 // Params returns the engine's fixed query parameters.
 func (e *Engine) Params() Params { return e.params }
@@ -277,7 +415,7 @@ func (e *Engine) queryFull(ctx context.Context, source int32, wait bool) (*Resul
 		func(fctx context.Context) (*engineEntry, int64, error) {
 			snap := e.pin()
 			defer snap.Release()
-			res, err := e.compute(fctx, snap.Graph(), source, e.params)
+			res, err := e.computeFull(fctx, snap, source)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -291,6 +429,28 @@ func (e *Engine) queryFull(ctx context.Context, source int32, wait bool) (*Resul
 		return nil, err
 	}
 	return en.res, nil
+}
+
+// computeFull runs one full single-source computation against a pinned
+// snapshot, translating ids at the serving boundary: the caller-space
+// source goes in through the snapshot's relabel mapping, the answer comes
+// back out in caller ids (the default solver remaps during extraction; a
+// custom Compute's scores are permuted afterwards).
+func (e *Engine) computeFull(fctx context.Context, snap *live.Snapshot, source int32) (*Result, error) {
+	g := snap.Graph()
+	m := metaOf(snap)
+	src, err := ingressSource(m, g, source)
+	if err != nil {
+		return nil, err
+	}
+	if !e.custom {
+		return querySolverOn(fctx, g, e.eventGraph(snap), src, source, e.params, e.snapSolver(snap))
+	}
+	res, err := e.compute(fctx, g, src, e.params)
+	if err != nil {
+		return nil, err
+	}
+	return egressResult(m, source, res), nil
 }
 
 // QueryTopK answers a top-k query through the engine. With the default
@@ -312,18 +472,27 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, erro
 			snap := e.pin()
 			defer snap.Release()
 			g := snap.Graph()
+			m := metaOf(snap)
+			src, err := ingressSource(m, g, source)
+			if err != nil {
+				return nil, 0, err
+			}
 			var en *engineEntry
 			if e.custom {
-				res, err := e.compute(fctx, g, source, e.params)
+				res, err := e.compute(fctx, g, src, e.params)
 				if err != nil {
 					return nil, 0, err
 				}
+				res = egressResult(m, source, res)
 				en = &engineEntry{ranked: res.TopK(k), degraded: res.Degraded, bound: res.Bound}
 				if res.Degraded {
 					en.phase = res.Stats.DegradedPhase.String()
 				}
 			} else {
-				tk, err := queryTopKSolverCtx(fctx, g, source, k, e.params, e.solver())
+				// The snapshot solver's ScoreRemap translates each round's
+				// scores before ranking, so the ranked node ids are already
+				// caller-space.
+				tk, err := queryTopKSolverOn(fctx, g, e.eventGraph(snap), src, source, k, e.params, e.snapSolver(snap))
 				if err != nil {
 					return nil, 0, err
 				}
@@ -356,12 +525,18 @@ func (e *Engine) QueryPair(ctx context.Context, source, target int32) (float64, 
 			if target < 0 || int(target) >= g.N() {
 				return nil, 0, fmt.Errorf("resacc: target %d out of range [0,%d)", target, g.N())
 			}
+			m := metaOf(snap)
+			src, err := ingressSource(m, g, source)
+			if err != nil {
+				return nil, 0, err
+			}
 			var pair float64
 			if e.custom {
-				res, err := e.compute(fctx, g, source, e.params)
+				res, err := e.compute(fctx, g, src, e.params)
 				if err != nil {
 					return nil, 0, err
 				}
+				res = egressResult(m, source, res)
 				if res.Degraded {
 					// A pair estimate has no way to carry its error bound;
 					// serve it to the current waiters but keep it out of
@@ -370,8 +545,14 @@ func (e *Engine) QueryPair(ctx context.Context, source, target int32) (float64, 
 				}
 				pair = res.Scores[target]
 			} else {
-				var err error
-				pair, err = QueryPair(g, source, target, e.params)
+				// π(s,t) is invariant under relabeling, so translating both
+				// endpoints is the whole boundary — the scalar needs no
+				// translation back.
+				tgt := target
+				if m != nil && m.toNew != nil {
+					tgt = m.toNew[target]
+				}
+				pair, err = QueryPair(g, src, tgt, e.params)
 				if err != nil {
 					return nil, 0, err
 				}
@@ -433,7 +614,11 @@ func (e *Engine) applyLiveSwap(g *Graph, affected map[int32]struct{}, full bool,
 	// so the window between the two cannot pair a new generation with a
 	// pin of the old snapshot.
 	gen := e.swapGen.Add(1)
-	next := live.NewSnapshot(g, gen, onRetire)
+	// newSnapshot re-applies degree relabeling to the incoming graph (g is
+	// always caller-id-space), so a relabeling engine pays one O(m)
+	// reordering per swap — in exchange every query until the next swap
+	// runs on the cache-friendly layout.
+	next := e.newSnapshot(g, gen, onRetire)
 	old := e.snap.Swap(next)
 	// Drop the superseded snapshot's current-pointer reference; it retires
 	// once the last in-flight query releases it.

@@ -1,0 +1,210 @@
+// Package alias implements Vose/Walker alias tables for the remedy phase's
+// random-walk inner loop, the precompute-for-speed trick of the BePI/TPA
+// line of RWR systems (arXiv:1708.02574).
+//
+// The direct walk step costs two RNG draws and two data-dependent branches:
+// a Float64 restart test, then an Intn (with Lemire rejection, occasionally
+// more draws) to pick among d out-neighbours through the CSR indirection.
+// The alias table fuses both decisions into one categorical draw over d+1
+// outcomes — "stop here" with probability α (encoded as the sentinel node
+// −1) and each out-neighbour with probability (1−α)/d — so a step is one
+// Uint64, one multiply-high, one compare, one 16-byte cell load. Dead ends
+// keep zero cells; the walk stops there as before.
+//
+// Sampling uses the fixed-point trick: with k cells, one 64-bit draw u
+// splits via bits.Mul64(u, k) into a uniform slot (high word) and a uniform
+// fraction (low word) compared against the cell's 64-bit threshold. Cell
+// probabilities are quantized to 1/2⁶⁴, so each outcome's probability is
+// exact to within k/2⁶⁴ of the true value — at most ~2⁻⁴⁰ for the largest
+// plausible degree, far below the walk estimator's own sampling noise and
+// the ε/δ guarantee's slack. Cells with acceptance probability 1 store
+// their own outcome as the alias, making them exactly branchless-correct.
+//
+// A Table is immutable after Build and safe for concurrent readers; the
+// serving layer builds one lazily per graph snapshot and shares it.
+package alias
+
+import (
+	"math"
+	"math/bits"
+
+	"resacc/internal/graph"
+	"resacc/internal/rng"
+)
+
+// cell is one alias slot: outcome primary with probability thresh/2⁶⁴,
+// outcome alt otherwise. Outcomes are out-neighbour ids, or −1 for "the
+// walk stops here".
+type cell struct {
+	thresh       uint64
+	primary, alt int32
+}
+
+// Table holds per-node alias tables over the fused restart+step outcome
+// distribution at a fixed alpha. CSR-shaped: node v's cells live at
+// cells[off[v]:off[v+1]], d(v)+1 of them (0 for dead ends).
+type Table struct {
+	alpha float64
+	off   []int
+	cells []cell
+}
+
+// Build constructs the table for every node of g at restart probability
+// alpha. Cost is O(n+m) time and 16·(n+m)+8·n bytes, linear like one CSR
+// copy.
+func Build(g *graph.Graph, alpha float64) *Table {
+	n := g.N()
+	t := &Table{alpha: alpha, off: make([]int, n+1)}
+	total := 0
+	for v := int32(0); int(v) < n; v++ {
+		t.off[v] = total
+		if d := g.OutDegree(v); d > 0 {
+			total += d + 1
+		}
+	}
+	t.off[n] = total
+	t.cells = make([]cell, total)
+
+	// Vose scratch, reused across nodes: scaled probabilities and the
+	// small/large worklists, sized to the largest outcome count.
+	maxK := 0
+	for v := int32(0); int(v) < n; v++ {
+		if d := g.OutDegree(v); d+1 > maxK {
+			maxK = d + 1
+		}
+	}
+	prob := make([]float64, maxK)
+	outcome := make([]int32, maxK)
+	small := make([]int32, 0, maxK)
+	large := make([]int32, 0, maxK)
+
+	for v := int32(0); int(v) < n; v++ {
+		d := g.OutDegree(v)
+		if d == 0 {
+			continue
+		}
+		k := d + 1
+		// Outcome 0 is the restart; 1..d the out-neighbours. Scaled to
+		// mean 1: q_i = w_i · k.
+		outcome[0] = -1
+		prob[0] = alpha * float64(k)
+		share := (1 - alpha) / float64(d) * float64(k)
+		for i, w := range g.Out(v) {
+			outcome[i+1] = w
+			prob[i+1] = share
+		}
+		small, large = small[:0], large[:0]
+		for i := 0; i < k; i++ {
+			if prob[i] < 1 {
+				small = append(small, int32(i))
+			} else {
+				large = append(large, int32(i))
+			}
+		}
+		cells := t.cells[t.off[v]:t.off[v+1]]
+		for len(small) > 0 && len(large) > 0 {
+			s := small[len(small)-1]
+			small = small[:len(small)-1]
+			l := large[len(large)-1]
+			cells[s] = cell{
+				thresh:  quantize(prob[s]),
+				primary: outcome[s],
+				alt:     outcome[l],
+			}
+			prob[l] -= 1 - prob[s]
+			if prob[l] < 1 {
+				large = large[:len(large)-1]
+				small = append(small, l)
+			}
+		}
+		// Leftovers have probability 1 up to float round-off; storing the
+		// outcome as its own alias makes them exact regardless of the
+		// threshold value.
+		for _, i := range large {
+			cells[i] = cell{thresh: math.MaxUint64, primary: outcome[i], alt: outcome[i]}
+		}
+		for _, i := range small {
+			cells[i] = cell{thresh: math.MaxUint64, primary: outcome[i], alt: outcome[i]}
+		}
+	}
+	return t
+}
+
+// quantize maps a probability in [0,1] to a 64-bit threshold. Values ≥ 1
+// saturate (callers make those cells self-aliasing, so saturation is
+// exact, not approximate).
+func quantize(p float64) uint64 {
+	if p >= 1 {
+		return math.MaxUint64
+	}
+	if p <= 0 {
+		return 0
+	}
+	return uint64(p * (1 << 63) * 2) // p·2⁶⁴ without overflowing the constant
+}
+
+// Alpha returns the restart probability the table was built for. Callers
+// must fall back to direct sampling when it doesn't match the query's.
+func (t *Table) Alpha() float64 { return t.alpha }
+
+// N returns the number of nodes the table covers.
+func (t *Table) N() int { return len(t.off) - 1 }
+
+// Bytes returns the table's approximate memory footprint.
+func (t *Table) Bytes() int64 {
+	return int64(len(t.off))*8 + int64(len(t.cells))*16
+}
+
+// Walk simulates one random walk with restart from v and returns the node
+// it terminates at — the same chain as algo.Walk, sampled through the
+// alias tables: one Uint64 per step instead of a restart draw plus a
+// neighbour draw, and no CSR indirection. It consumes the rng differently
+// from algo.Walk, so for a fixed seed the two return different (identically
+// distributed, up to the package-level quantization) endpoints.
+func (t *Table) Walk(v int32, r *rng.Source) int32 {
+	cur := v
+	for {
+		lo := t.off[cur]
+		k := t.off[cur+1] - lo
+		if k == 0 {
+			return cur // dead end: the walk stops with certainty
+		}
+		slot, frac := bits.Mul64(r.Uint64(), uint64(k))
+		c := &t.cells[lo+int(slot)]
+		next := c.primary
+		if frac >= c.thresh {
+			next = c.alt
+		}
+		if next < 0 {
+			return cur
+		}
+		cur = next
+	}
+}
+
+// StepProb returns the exact probability (as represented, quantization
+// included) that one step from v yields outcome `to`, with −1 meaning "the
+// walk stops". Exported for the distribution tests; not a hot path.
+func (t *Table) StepProb(v, to int32) float64 {
+	lo, hi := t.off[v], t.off[v+1]
+	k := hi - lo
+	if k == 0 {
+		if to == -1 {
+			return 1
+		}
+		return 0
+	}
+	p := 0.0
+	per := 1 / float64(k)
+	for i := lo; i < hi; i++ {
+		c := &t.cells[i]
+		accept := float64(c.thresh) / (1 << 63) / 2 // thresh/2⁶⁴
+		if c.primary == to {
+			p += per * accept
+		}
+		if c.alt == to {
+			p += per * (1 - accept)
+		}
+	}
+	return p
+}

@@ -1,0 +1,139 @@
+package alias_test
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/alias"
+	"resacc/internal/graph"
+	"resacc/internal/graph/gen"
+	"resacc/internal/rng"
+)
+
+// TestExactStepDistribution is the satellite exactness test: for every node
+// the table's represented one-step distribution must equal the direct CDF
+// sampler's — alpha for stop, (1−alpha)/d per out-neighbour — to within the
+// documented k/2⁶⁴ quantization, which at float64 precision means equality
+// to ~1e-15.
+func TestExactStepDistribution(t *testing.T) {
+	for _, alpha := range []float64{0.15, 0.2, 0.5} {
+		g := gen.RMAT(8, 6, 3)
+		tab := alias.Build(g, alpha)
+		if tab.Alpha() != alpha {
+			t.Fatal("alpha not recorded")
+		}
+		for v := int32(0); int(v) < g.N(); v++ {
+			d := g.OutDegree(v)
+			wantStop := alpha
+			if d == 0 {
+				wantStop = 1
+			}
+			if got := tab.StepProb(v, -1); math.Abs(got-wantStop) > 1e-12 {
+				t.Fatalf("node %d: P(stop) = %v, want %v", v, got, wantStop)
+			}
+			if d == 0 {
+				continue
+			}
+			share := (1 - alpha) / float64(d)
+			// Duplicate targets are impossible (simple graph), so per-edge
+			// probability checks are exact.
+			for _, w := range g.Out(v) {
+				if got := tab.StepProb(v, w); math.Abs(got-share) > 1e-12 {
+					t.Fatalf("node %d→%d: P = %v, want %v", v, w, got, share)
+				}
+			}
+			// Total mass over stop + neighbours is exactly 1 cellwise.
+			sum := tab.StepProb(v, -1)
+			for _, w := range g.Out(v) {
+				sum += tab.StepProb(v, w)
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("node %d: step distribution sums to %v", v, sum)
+			}
+		}
+	}
+}
+
+// TestSeededSamplingAgreement: under a seeded rng.Source, empirical
+// single-step frequencies from the table must track the direct CDF
+// sampler's analytic distribution within Monte-Carlo tolerance.
+func TestSeededSamplingAgreement(t *testing.T) {
+	const alpha = 0.2
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(0, 4)
+	// 1..4 are dead ends, so a walk from 0 takes exactly one table step.
+	g := b.MustBuild()
+	tab := alias.Build(g, alpha)
+
+	const trials = 200000
+	var r rng.Source
+	r.Reseed(42)
+	counts := make(map[int32]int)
+	for i := 0; i < trials; i++ {
+		counts[tab.Walk(0, &r)]++
+	}
+	want := map[int32]float64{0: alpha, 1: (1 - alpha) / 4, 2: (1 - alpha) / 4, 3: (1 - alpha) / 4, 4: (1 - alpha) / 4}
+	for node, p := range want {
+		got := float64(counts[node]) / trials
+		// 5σ on a Bernoulli(p) mean over `trials` samples.
+		tol := 5 * math.Sqrt(p*(1-p)/trials)
+		if math.Abs(got-p) > tol {
+			t.Fatalf("node %d: empirical %v vs %v (tol %v)", node, got, p, tol)
+		}
+	}
+}
+
+// TestWalkEndpointDistributionMatchesDirect: full walks through the table
+// and through algo.Walk are identically distributed; compare endpoint
+// frequencies on a small strongly-connected graph.
+func TestWalkEndpointDistributionMatchesDirect(t *testing.T) {
+	const alpha = 0.2
+	g := gen.WattsStrogatz(30, 4, 0.3, 7)
+	tab := alias.Build(g, alpha)
+
+	const trials = 150000
+	var ra, rd rng.Source
+	ra.Reseed(9)
+	rd.Reseed(1009)
+	ca := make([]float64, g.N())
+	cd := make([]float64, g.N())
+	for i := 0; i < trials; i++ {
+		ca[tab.Walk(0, &ra)]++
+		cd[algo.Walk(g, 0, alpha, &rd)]++
+	}
+	for v := 0; v < g.N(); v++ {
+		pa, pd := ca[v]/trials, cd[v]/trials
+		avg := (pa + pd) / 2
+		tol := 6*math.Sqrt(avg*(1-avg)/trials) + 1e-4
+		if math.Abs(pa-pd) > tol {
+			t.Fatalf("node %d: alias %v vs direct %v (tol %v)", v, pa, pd, tol)
+		}
+	}
+}
+
+func TestDeadEndAndShape(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1) // 1 and 2 are dead ends; 2 is isolated
+	g := b.MustBuild()
+	tab := alias.Build(g, 0.2)
+	var r rng.Source
+	r.Reseed(5)
+	for i := 0; i < 100; i++ {
+		if got := tab.Walk(1, &r); got != 1 {
+			t.Fatalf("dead-end walk moved to %d", got)
+		}
+		if got := tab.Walk(2, &r); got != 2 {
+			t.Fatalf("isolated walk moved to %d", got)
+		}
+	}
+	if tab.N() != 3 {
+		t.Fatalf("N = %d", tab.N())
+	}
+	if tab.Bytes() <= 0 {
+		t.Fatal("empty footprint")
+	}
+}

@@ -1,0 +1,146 @@
+package forward
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/graph/gen"
+	"resacc/internal/ws"
+)
+
+// pooledState assembles a State in the pooled configuration (Track + marks
+// scratch), the only shape drainDense serves.
+func pooledState(n int, src int32, dirty, inQueue *ws.Marks) *State {
+	dirty.Grow(n)
+	dirty.Clear()
+	inQueue.Grow(n)
+	st := NewState(n, src)
+	st.Track = dirty
+	st.UseScratch(inQueue, nil)
+	dirty.Mark(src)
+	return st
+}
+
+// TestDenseDrainEquivalence: with a small DenseMass the drain escalates to
+// whole-range sweeps; the result must stay within the forward-push
+// invariant's residual bound of the plain queue drain, and both must be
+// quiescent and mass-conserving.
+func TestDenseDrainEquivalence(t *testing.T) {
+	g := gen.RMAT(10, 6, 5)
+	const alpha, rmax = 0.2, 1e-7
+	n := g.N()
+
+	var d1, q1, d2, q2 ws.Marks
+	plain := pooledState(n, 0, &d1, &q1)
+	RunFromPar(g, alpha, rmax, plain, []int32{0}, false, nil, PushConfig{})
+
+	dense := pooledState(n, 0, &d2, &q2)
+	RunFromPar(g, alpha, rmax, dense, []int32{0}, false, nil, PushConfig{DenseMass: 256})
+	if dense.Sweeps == 0 {
+		t.Fatal("DenseMass=256 never escalated to a sweep")
+	}
+
+	var prsd, drsd float64
+	for v := 0; v < n; v++ {
+		prsd += plain.Residue[v]
+		drsd += dense.Residue[v]
+	}
+	var psum, dsum float64
+	for v := 0; v < n; v++ {
+		psum += plain.Reserve[v]
+		dsum += dense.Reserve[v]
+	}
+	if math.Abs(psum+prsd-1) > 1e-9 || math.Abs(dsum+drsd-1) > 1e-9 {
+		t.Fatalf("mass lost: plain Σ=%v dense Σ=%v", psum+prsd, dsum+drsd)
+	}
+	bound := prsd + drsd + 1e-12
+	for v := 0; v < n; v++ {
+		if diff := math.Abs(plain.Reserve[v] - dense.Reserve[v]); diff > bound {
+			t.Fatalf("node %d: |plain−dense| = %v > residual bound %v", v, diff, bound)
+		}
+		// Both quiescent.
+		deg := g.OutDegree(int32(v))
+		lim := rmax * float64(deg)
+		if deg == 0 {
+			lim = rmax
+		}
+		if plain.Residue[v] >= lim || dense.Residue[v] >= lim {
+			t.Fatalf("node %d not quiescent: plain %v dense %v (lim %v)", v, plain.Residue[v], dense.Residue[v], lim)
+		}
+	}
+}
+
+// TestDenseDrainBitIdenticalBelowThreshold: a DenseMass the query never
+// reaches must leave the push sequence — and every output bit — identical to
+// the plain pooled drain.
+func TestDenseDrainBitIdenticalBelowThreshold(t *testing.T) {
+	g := gen.ErdosRenyi(400, 3200, 7)
+	const alpha, rmax = 0.2, 1e-6
+	n := g.N()
+
+	var d1, q1, d2, q2 ws.Marks
+	plain := pooledState(n, 3, &d1, &q1)
+	RunFromPar(g, alpha, rmax, plain, []int32{3}, false, nil, PushConfig{})
+
+	dense := pooledState(n, 3, &d2, &q2)
+	RunFromPar(g, alpha, rmax, dense, []int32{3}, false, nil, PushConfig{DenseMass: 1 << 40})
+	if dense.Sweeps != 0 {
+		t.Fatal("unreachable DenseMass escalated anyway")
+	}
+	if dense.Pushes != plain.Pushes {
+		t.Fatalf("push count drifted: %d vs %d", dense.Pushes, plain.Pushes)
+	}
+	for v := 0; v < n; v++ {
+		if math.Float64bits(plain.Reserve[v]) != math.Float64bits(dense.Reserve[v]) ||
+			math.Float64bits(plain.Residue[v]) != math.Float64bits(dense.Residue[v]) {
+			t.Fatalf("node %d: below-threshold dense drain not bit-identical", v)
+		}
+	}
+}
+
+// TestDenseDrainRestricted: the sweep must honor restrict/skip exactly as
+// the queue drain does when engaged from a restricted search (the h-HopFWD
+// shape).
+func TestDenseDrainRestricted(t *testing.T) {
+	g := gen.RMAT(9, 6, 13)
+	const alpha, rmax = 0.2, 1e-7
+	n := g.N()
+
+	var restrict ws.Marks
+	restrict.Grow(n)
+	restrict.Clear()
+	for v := int32(0); int(v) < n/2; v++ {
+		restrict.Mark(v)
+	}
+	const skip = int32(0)
+
+	var d1, q1, d2, q2 ws.Marks
+	plain := pooledState(n, 1, &d1, &q1)
+	plain.RestrictTo(&restrict, skip)
+	RunFromPar(g, alpha, rmax, plain, []int32{1}, false, nil, PushConfig{})
+
+	dense := pooledState(n, 1, &d2, &q2)
+	dense.RestrictTo(&restrict, skip)
+	RunFromPar(g, alpha, rmax, dense, []int32{1}, false, nil, PushConfig{DenseMass: 128})
+	if dense.Sweeps == 0 {
+		t.Skip("graph too sparse to escalate at DenseMass=128")
+	}
+
+	var prsd, drsd float64
+	for v := 0; v < n; v++ {
+		prsd += plain.Residue[v]
+		drsd += dense.Residue[v]
+	}
+	bound := prsd + drsd + 1e-12
+	for v := int32(0); int(v) < n; v++ {
+		if !restrict.Has(v) || v == skip {
+			if dense.Reserve[v] != 0 {
+				t.Fatalf("ineligible node %d gained reserve %v under dense drain", v, dense.Reserve[v])
+			}
+			continue
+		}
+		if diff := math.Abs(plain.Reserve[v] - dense.Reserve[v]); diff > bound {
+			t.Fatalf("node %d: |plain−dense| = %v > %v", v, diff, bound)
+		}
+	}
+}

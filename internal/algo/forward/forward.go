@@ -30,6 +30,10 @@ type State struct {
 	// the whole search.
 	Rounds      int64
 	MaxFrontier int
+	// Sweeps counts whole-range dense-sweep rounds run by the powerpush
+	// backend (see PushConfig.DenseMass); zero when the drain stayed on the
+	// queue.
+	Sweeps int64
 
 	inQueue []bool
 	queue   []int32

@@ -44,6 +44,18 @@ type PushConfig struct {
 	// never pay round overhead and keep the sequential path's exact
 	// results.
 	EngageMass int
+	// DenseMass, when > 0, arms the dense-sweep backend on the sequential
+	// (Workers ≤ 1) pooled drain: once the queue's pending out-edge mass
+	// reaches DenseMass, the drain flushes its queue and hands the state to
+	// powerpush.Sweep — CSR-ordered whole-range rounds with ~3 memory
+	// touches per edge instead of the queue's ~6 — until a round's pushed
+	// mass falls back below DenseMass, then collects the surviving
+	// above-threshold nodes and resumes queue draining. Queries that never
+	// cross the threshold are bit-identical to the plain drain. The
+	// parallel (Workers > 1) drain ignores it: the round-synchronous engine
+	// already owns the dense regime there, and layering both backends would
+	// make results depend on which engaged first.
+	DenseMass int
 }
 
 const (
@@ -69,6 +81,9 @@ const (
 func RunFromPar(g *graph.Graph, alpha, rmax float64, st *State, seeds []int32, force bool, done <-chan struct{}, cfg PushConfig) (aborted bool) {
 	st.seed(g, rmax, seeds, force)
 	if cfg.Workers <= 1 {
+		if cfg.DenseMass > 0 && st.Track != nil && st.queueMarks != nil {
+			return st.drainDense(g, alpha, rmax, done, cfg.DenseMass)
+		}
 		return st.drain(g, alpha, rmax, done)
 	}
 	return st.drainAdaptive(g, alpha, rmax, done, cfg)

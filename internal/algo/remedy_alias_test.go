@@ -1,0 +1,56 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo/alias"
+	"resacc/internal/graph/gen"
+)
+
+// TestRemedyWSTabSameMass: alias-table walks deposit exactly the same total
+// mass as direct walks (every planned walk lands somewhere with its full
+// increment); only where it lands is re-randomized by the different rng
+// consumption.
+func TestRemedyWSTabSameMass(t *testing.T) {
+	g := gen.RMAT(9, 5, 17)
+	p := DefaultParams(g)
+	tab := alias.Build(g, p.Alpha)
+	for _, workers := range []int{1, 3} {
+		wd, _, _ := remedyFixture(t, g.N())
+		wa, _, _ := remedyFixture(t, g.N())
+		const seed = 31
+		stD := RemedyWSTab(g, p, wd, seed, workers, nil, nil)
+		stA := RemedyWSTab(g, p, wa, seed, workers, tab, nil)
+		if stD.Walks != stA.Walks || stD.RSum != stA.RSum || stD.NR != stA.NR {
+			t.Fatalf("workers=%d: plans diverged: %+v vs %+v", workers, stD, stA)
+		}
+		var sumD, sumA float64
+		for v := 0; v < g.N(); v++ {
+			sumD += wd.Reserve[v]
+			sumA += wa.Reserve[v]
+		}
+		if math.Abs(sumD-sumA) > 1e-9 {
+			t.Fatalf("workers=%d: deposited mass differs: %v vs %v", workers, sumD, sumA)
+		}
+	}
+}
+
+// TestRemedyWSTabMismatchFallsBack: a table built for a different alpha (or
+// graph size) must be ignored, reproducing the direct path bit-for-bit
+// rather than sampling a different chain.
+func TestRemedyWSTabMismatchFallsBack(t *testing.T) {
+	g := gen.RMAT(8, 5, 7)
+	p := DefaultParams(g)
+	stale := alias.Build(g, p.Alpha/2)
+	wd, _, _ := remedyFixture(t, g.N())
+	wa, _, _ := remedyFixture(t, g.N())
+	const seed = 13
+	RemedyWSTab(g, p, wd, seed, 1, nil, nil)
+	RemedyWSTab(g, p, wa, seed, 1, stale, nil)
+	for v := 0; v < g.N(); v++ {
+		if math.Float64bits(wd.Reserve[v]) != math.Float64bits(wa.Reserve[v]) {
+			t.Fatalf("node %d: mismatched table was not ignored", v)
+		}
+	}
+}

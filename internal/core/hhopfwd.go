@@ -27,6 +27,9 @@ type hopInfo struct {
 	// sequential drain handled the phase).
 	rounds      int64
 	maxFrontier int
+	// sweeps counts the dense backend's whole-range rounds (zero when the
+	// drain stayed on the queue).
+	sweeps int64
 	// Diagnostics from the updating phase.
 	r1 float64 // residue of s after the accumulating phase
 	t  int     // number of accumulating phases collapsed (T)
@@ -136,6 +139,7 @@ func runHHopFWD(g *graph.Graph, src int32, alpha, rmaxHop float64, h int, wholeG
 	w.Queue = st.TakeQueue()
 	info.pushes += st.Pushes
 	info.rounds, info.maxFrontier = st.Rounds, st.MaxFrontier
+	info.sweeps = st.Sweeps
 	if info.aborted {
 		// The updating phase's geometric rescaling models T further
 		// accumulating phases run to quiescence; applied to a half-drained
@@ -223,6 +227,7 @@ func runRestrictedForward(g *graph.Graph, src int32, alpha, rmaxHop float64, h i
 	w.Queue = st.TakeQueue()
 	info.pushes = st.Pushes
 	info.rounds, info.maxFrontier = st.Rounds, st.MaxFrontier
+	info.sweeps = st.Sweeps
 	info.r1 = w.Residue[src]
 	return info
 }

@@ -18,6 +18,7 @@ type omInfo struct {
 	pushes      int64
 	rounds      int64
 	maxFrontier int
+	sweeps      int64
 	rsum        float64
 	aborted     bool
 }
@@ -65,6 +66,7 @@ func runOMFWD(g *graph.Graph, alpha, rmaxF float64, w *ws.Workspace, frontier []
 		pushes:      st.Pushes,
 		rounds:      st.Rounds,
 		maxFrontier: st.MaxFrontier,
+		sweeps:      st.Sweeps,
 		rsum:        st.ResidueSum(),
 		aborted:     aborted,
 	}

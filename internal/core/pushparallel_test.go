@@ -84,13 +84,18 @@ func TestParallelPushDeterministicPerWorkerCount(t *testing.T) {
 
 // TestSequentialUnaffectedByPushWorkersBelowEngage: with the default
 // engagement threshold, small queries at PushWorkers=4 must stay
-// bit-identical to the plain sequential solver.
+// bit-identical to the plain sequential solver. The reference disables the
+// dense-sweep backend (DenseSwitch < 0): it is a sequential-only feature —
+// PushWorkers > 1 hands the dense regime to the round-synchronous engine
+// instead — so the exact invariant is "parallel below engage ==
+// sequential queue drain". Dense-vs-queue equivalence has its own tests in
+// the forward package.
 func TestSequentialUnaffectedByPushWorkersBelowEngage(t *testing.T) {
 	g := gen.ErdosRenyi(300, 1500, 5)
 	p := algo.DefaultParams(g)
 	p.Seed = 7
 	wSeq := ws.New(g.N())
-	Solver{}.QueryWS(g, 2, p, wSeq)
+	Solver{DenseSwitch: -1}.QueryWS(g, 2, p, wSeq)
 	want := wSeq.ExtractScores()
 
 	wPar := ws.New(g.N())

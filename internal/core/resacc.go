@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"resacc/internal/algo"
+	"resacc/internal/algo/alias"
 	"resacc/internal/algo/forward"
 	"resacc/internal/crash"
 	"resacc/internal/faultinject"
@@ -120,6 +121,10 @@ type Stats struct {
 	// threshold).
 	HopRounds, OMFWDRounds int64
 	MaxFrontier            int
+	// HopSweeps and OMFWDSweeps count whole-range dense-sweep rounds run by
+	// the powerpush backend per push phase (see Solver.DenseSwitch); zero
+	// when the drains stayed on the queue.
+	HopSweeps, OMFWDSweeps int64
 
 	// Degraded reports that the query's context fired before the pipeline
 	// finished and the reserves are an anytime underestimate rather than
@@ -153,6 +158,9 @@ func (s Stats) String() string {
 		line += fmt.Sprintf(" par-push (rounds=%d+%d max_frontier=%d)",
 			s.HopRounds, s.OMFWDRounds, s.MaxFrontier)
 	}
+	if s.HopSweeps > 0 || s.OMFWDSweeps > 0 {
+		line += fmt.Sprintf(" dense-push (sweeps=%d+%d)", s.HopSweeps, s.OMFWDSweeps)
+	}
 	if s.Degraded {
 		line += fmt.Sprintf(" DEGRADED (phase=%s bound=%.3g)", s.DegradedPhase, s.ResidualBound)
 	}
@@ -182,6 +190,32 @@ type Solver struct {
 	// PushEngage overrides the parallel drain's engagement threshold
 	// (0 = forward.DefaultEngageMass). Mostly a test/tuning knob.
 	PushEngage int
+	// DenseSwitch sets the dense-sweep switchover threshold as a fraction
+	// of |E|: when the sequential drain's pending out-edge mass crosses
+	// DenseSwitch·|E|, the push phases escalate to CSR-ordered whole-range
+	// sweeps (package powerpush) and fall back to the queue once the
+	// frontier thins again. Zero means the default fraction
+	// (DefaultDenseSwitch = 1/8); negative disables the sweep backend
+	// entirely. Below the threshold results are bit-identical to the plain
+	// drain; past it they are residue-bound-equivalent (same quiescence
+	// condition and error bounds, different float summation order). Ignored
+	// when PushWorkers > 1 — the round-synchronous engine owns the dense
+	// regime there.
+	DenseSwitch float64
+	// Alias, when non-nil, routes the remedy phase's random walks through
+	// the alias table (one fused RNG draw per step) instead of
+	// algo.Walk's restart-then-neighbour draws. The table must have been
+	// built for this graph at the query's alpha; mismatches fall back to
+	// direct sampling. Estimates differ per-walk from the direct path —
+	// same distribution, same ε/δ guarantee — and stay deterministic per
+	// (Seed, Workers, table-present).
+	Alias *alias.Table
+	// ScoreRemap, when non-nil, is the relabeled→original id permutation
+	// (graph.RelabelByDegree's toOld) applied as scores are extracted: the
+	// query runs in the relabeled id space and the answer comes out in the
+	// caller's original space at no extra pass. Only Query/QueryCtx apply
+	// it; QueryWS leaves w.Reserve in the graph's own id space.
+	ScoreRemap []int32
 	// Pool supplies the per-query workspace. Nil uses a package-wide
 	// default pool; the serving engine injects its own so graph swaps can
 	// invalidate scratch together with the result cache.
@@ -204,10 +238,25 @@ func (s Solver) pool() *ws.Pool {
 	return defaultPool
 }
 
+// DefaultDenseSwitch is the fraction of |E| at which the sequential drain
+// escalates to dense sweeps when Solver.DenseSwitch is zero. At an eighth
+// of the graph's out-edge mass pending, the queue's per-edge bookkeeping
+// reliably loses to CSR-ordered whole-range rounds (see BENCH_resacc.json).
+const DefaultDenseSwitch = 0.125
+
 // pushConfig is the forward-engine configuration both push phases run
-// under.
-func (s Solver) pushConfig() forward.PushConfig {
-	return forward.PushConfig{Workers: s.PushWorkers, EngageMass: s.PushEngage}
+// under. It is graph-dependent: the dense-sweep threshold is a fraction of
+// this graph's edge count.
+func (s Solver) pushConfig(g *graph.Graph) forward.PushConfig {
+	pc := forward.PushConfig{Workers: s.PushWorkers, EngageMass: s.PushEngage}
+	frac := s.DenseSwitch
+	if frac == 0 {
+		frac = DefaultDenseSwitch
+	}
+	if frac > 0 {
+		pc.DenseMass = int(frac * float64(g.M()))
+	}
+	return pc
 }
 
 // Query answers the SSRWR query and returns the per-phase statistics. It
@@ -247,7 +296,7 @@ func (s Solver) QueryCtx(ctx context.Context, g *graph.Graph, src int32, p algo.
 		pool.Put(w)
 	}()
 	stats = s.QueryWSCtx(ctx, g, src, p, w)
-	return w.ExtractScores(), stats, nil
+	return w.ExtractScoresRemapped(s.ScoreRemap), stats, nil
 }
 
 // QueryWS runs the three phases on the caller-provided workspace and leaves
@@ -282,7 +331,7 @@ func (s Solver) QueryWSCtx(ctx context.Context, g *graph.Graph, src int32, p alg
 
 	// Phase 1: h-HopFWD (or its ablated replacements).
 	start := time.Now()
-	pc := s.pushConfig()
+	pc := s.pushConfig(g)
 	var hop hopInfo
 	switch s.Variant {
 	case NoLoop:
@@ -295,6 +344,7 @@ func (s Solver) QueryWSCtx(ctx context.Context, g *graph.Graph, src int32, p alg
 	stats.HopFWD = time.Since(start)
 	stats.HopPushes = hop.pushes
 	stats.HopRounds, stats.MaxFrontier = hop.rounds, hop.maxFrontier
+	stats.HopSweeps = hop.sweeps
 	stats.R1, stats.T, stats.S = hop.r1, hop.t, hop.s
 	stats.SubgraphSize = hop.subSize
 	stats.FrontierSize = len(hop.frontier)
@@ -314,6 +364,7 @@ func (s Solver) QueryWSCtx(ctx context.Context, g *graph.Graph, src int32, p alg
 		om := runOMFWD(g, p.Alpha, p.RMaxF, w, hop.frontier, pc, done)
 		stats.OMFWD = time.Since(start)
 		stats.OMFWDPushes, stats.OMFWDRounds = om.pushes, om.rounds
+		stats.OMFWDSweeps = om.sweeps
 		if om.maxFrontier > stats.MaxFrontier {
 			stats.MaxFrontier = om.maxFrontier
 		}
@@ -330,7 +381,7 @@ func (s Solver) QueryWSCtx(ctx context.Context, g *graph.Graph, src int32, p alg
 	// Phase 3: remedy.
 	faultinject.Hit("core.remedy.start")
 	start = time.Now()
-	rs := algo.RemedyWSCtx(g, p, w, p.Seed, s.Workers, done)
+	rs := algo.RemedyWSTab(g, p, w, p.Seed, s.Workers, s.Alias, done)
 	stats.Remedy = time.Since(start)
 	stats.Walks = rs.Walks
 	if rs.Aborted {

@@ -8,16 +8,37 @@ import (
 )
 
 // binaryMagic identifies the CSR snapshot format, versioned so future
-// layout changes can be detected instead of mis-read.
-var binaryMagic = [8]byte{'R', 'S', 'A', 'C', 'C', 'G', '0', '1'}
+// layout changes can be detected instead of mis-read. Version 2 appends a
+// node-id relabel mapping after the adjacency; version 1 is the bare CSR.
+var (
+	binaryMagic   = [8]byte{'R', 'S', 'A', 'C', 'C', 'G', '0', '1'}
+	binaryMagicV2 = [8]byte{'R', 'S', 'A', 'C', 'C', 'G', '0', '2'}
+)
 
 // WriteBinary writes g as a compact CSR snapshot: magic, n, m, the out
 // offsets and the out adjacency (in-adjacency is reconstructed on load).
 // Loading a snapshot is ~10x faster than re-parsing an edge list, which
 // matters for the benchmark harness's larger graphs.
 func WriteBinary(w io.Writer, g *Graph) error {
+	return WriteBinaryMapped(w, g, nil)
+}
+
+// WriteBinaryMapped is WriteBinary for a relabeled graph: toOld (as
+// returned by RelabelByDegree) rides along in the snapshot so a loader can
+// translate node ids without re-deriving the permutation — re-deriving is
+// impossible once only the relabeled CSR survives, since degree ties hide
+// the original order. A nil toOld writes the plain version-1 format, so v1
+// snapshots stay byte-identical.
+func WriteBinaryMapped(w io.Writer, g *Graph, toOld []int32) error {
+	magic := binaryMagic
+	if toOld != nil {
+		if len(toOld) != g.n {
+			return fmt.Errorf("graph: mapping has %d entries for %d nodes", len(toOld), g.n)
+		}
+		magic = binaryMagicV2
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
+	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	hdr := [2]int64{int64(g.n), int64(len(g.outAdj))}
@@ -34,34 +55,51 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
 		return err
 	}
+	if toOld != nil {
+		if err := binary.Write(bw, binary.LittleEndian, toOld); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
-// ReadBinary loads a snapshot written by WriteBinary, validating the magic,
-// header and adjacency invariants before reconstructing the in-CSR.
+// ReadBinary loads a snapshot written by WriteBinary or WriteBinaryMapped,
+// validating the magic, header and adjacency invariants before
+// reconstructing the in-CSR. A version-2 relabel mapping, if present, is
+// validated and discarded; use ReadBinaryMapped to keep it.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	g, _, err := ReadBinaryMapped(r)
+	return g, err
+}
+
+// ReadBinaryMapped is ReadBinary returning the relabel mapping too: for a
+// version-2 snapshot, toOld[newID] gives the original id of each node (a
+// validated permutation); for a version-1 snapshot toOld is nil, meaning
+// ids are original.
+func ReadBinaryMapped(r io.Reader) (g *Graph, toOld []int32, err error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("graph: reading magic: %w", err)
+		return nil, nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %q (not a CSR snapshot)", magic)
+	mapped := magic == binaryMagicV2
+	if magic != binaryMagic && !mapped {
+		return nil, nil, fmt.Errorf("graph: bad magic %q (not a CSR snapshot)", magic)
 	}
 	var hdr [2]int64
 	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
-		return nil, fmt.Errorf("graph: reading header: %w", err)
+		return nil, nil, fmt.Errorf("graph: reading header: %w", err)
 	}
 	n, m := hdr[0], hdr[1]
 	const maxReasonable = 1 << 40
 	if n < 0 || m < 0 || n > maxReasonable || m > maxReasonable {
-		return nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
+		return nil, nil, fmt.Errorf("graph: implausible header n=%d m=%d", n, m)
 	}
 	offs := make([]int64, n+1)
 	if err := binary.Read(br, binary.LittleEndian, offs); err != nil {
-		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		return nil, nil, fmt.Errorf("graph: reading offsets: %w", err)
 	}
-	g := &Graph{
+	g = &Graph{
 		n:      int(n),
 		outAdj: make([]int32, m),
 		outOff: make([]int, n+1),
@@ -69,20 +107,33 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	prev := int64(0)
 	for i, o := range offs {
 		if o < prev || o > m {
-			return nil, fmt.Errorf("graph: offset %d out of order", i)
+			return nil, nil, fmt.Errorf("graph: offset %d out of order", i)
 		}
 		g.outOff[i] = int(o)
 		prev = o
 	}
 	if offs[n] != m {
-		return nil, fmt.Errorf("graph: final offset %d != m %d", offs[n], m)
+		return nil, nil, fmt.Errorf("graph: final offset %d != m %d", offs[n], m)
 	}
 	if err := binary.Read(br, binary.LittleEndian, g.outAdj); err != nil {
-		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+		return nil, nil, fmt.Errorf("graph: reading adjacency: %w", err)
 	}
 	for _, v := range g.outAdj {
 		if v < 0 || int64(v) >= n {
-			return nil, fmt.Errorf("graph: adjacency target %d out of range", v)
+			return nil, nil, fmt.Errorf("graph: adjacency target %d out of range", v)
+		}
+	}
+	if mapped {
+		toOld = make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, toOld); err != nil {
+			return nil, nil, fmt.Errorf("graph: reading relabel mapping: %w", err)
+		}
+		seen := make([]bool, n)
+		for i, old := range toOld {
+			if old < 0 || int64(old) >= n || seen[old] {
+				return nil, nil, fmt.Errorf("graph: relabel mapping entry %d=%d is not a permutation", i, old)
+			}
+			seen[old] = true
 		}
 	}
 	// Rebuild the in-CSR by counting sort, as Builder does.
@@ -102,5 +153,5 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			cursor[v]++
 		}
 	}
-	return g, nil
+	return g, toOld, nil
 }

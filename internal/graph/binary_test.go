@@ -63,6 +63,106 @@ func TestBinaryEmptyGraph(t *testing.T) {
 	}
 }
 
+// TestBinaryMappedRoundTrip: a relabeled snapshot carries its permutation;
+// plain v1 snapshots read back with a nil mapping through the same entry
+// point; ReadBinary tolerates (and discards) a v2 mapping.
+func TestBinaryMappedRoundTrip(t *testing.T) {
+	g := randomGraph(40, 160, 9)
+	rg, toOld, _ := RelabelByDegree(g)
+	var buf bytes.Buffer
+	if err := WriteBinaryMapped(&buf, rg, toOld); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+
+	g2, toOld2, err := ReadBinaryMapped(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != rg.N() || g2.M() != rg.M() {
+		t.Fatalf("shape drifted: %d/%d vs %d/%d", g2.N(), g2.M(), rg.N(), rg.M())
+	}
+	if len(toOld2) != len(toOld) {
+		t.Fatalf("mapping length %d, want %d", len(toOld2), len(toOld))
+	}
+	for i := range toOld {
+		if toOld2[i] != toOld[i] {
+			t.Fatalf("mapping[%d]=%d, want %d", i, toOld2[i], toOld[i])
+		}
+	}
+	// ReadBinary on a v2 snapshot: same graph, mapping dropped.
+	if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+		t.Fatalf("ReadBinary rejected v2 snapshot: %v", err)
+	}
+	// A v1 snapshot through the mapped reader: nil mapping.
+	var v1 bytes.Buffer
+	if err := WriteBinary(&v1, g); err != nil {
+		t.Fatal(err)
+	}
+	_, toOld3, err := ReadBinaryMapped(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toOld3 != nil {
+		t.Fatalf("v1 snapshot produced a mapping: %v", toOld3)
+	}
+}
+
+// TestBinaryNilMappingIsV1: WriteBinaryMapped with a nil mapping must stay
+// byte-identical to WriteBinary — existing v1 snapshots and their readers
+// are unaffected by the format extension.
+func TestBinaryNilMappingIsV1(t *testing.T) {
+	g := randomGraph(20, 80, 4)
+	var a, b bytes.Buffer
+	if err := WriteBinary(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryMapped(&b, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("nil-mapping snapshot differs from v1 bytes")
+	}
+	if !bytes.HasPrefix(a.Bytes(), []byte("RSACCG01")) {
+		t.Fatalf("v1 magic changed: %q", a.Bytes()[:8])
+	}
+}
+
+func TestBinaryRejectsBadMapping(t *testing.T) {
+	g := randomGraph(10, 30, 2)
+	n := g.N()
+	// Wrong length at write time.
+	if err := WriteBinaryMapped(&bytes.Buffer{}, g, make([]int32, n-1)); err == nil {
+		t.Error("short mapping accepted at write time")
+	}
+	// Duplicate entry (not a permutation) at read time.
+	dup := make([]int32, n)
+	for i := range dup {
+		dup[i] = int32(i)
+	}
+	dup[0] = dup[1]
+	var buf bytes.Buffer
+	if err := WriteBinaryMapped(&buf, g, dup); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadBinaryMapped(&buf); err == nil {
+		t.Error("non-permutation mapping accepted at read time")
+	}
+	// Truncated mapping.
+	buf.Reset()
+	ok := make([]int32, n)
+	for i := range ok {
+		ok[i] = int32(n - 1 - i)
+	}
+	if err := WriteBinaryMapped(&buf, g, ok); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, _, err := ReadBinaryMapped(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Error("truncated mapping accepted")
+	}
+}
+
 func TestBinaryRejectsGarbage(t *testing.T) {
 	cases := []string{
 		"",

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // RelabelByDegree returns an isomorphic copy of g whose nodes are numbered
 // in decreasing total-degree order, plus the mappings between old and new
@@ -18,13 +18,13 @@ func RelabelByDegree(g *Graph) (relabeled *Graph, toOld, toNew []int32) {
 	for i := range toOld {
 		toOld[i] = int32(i)
 	}
-	sort.Slice(toOld, func(a, b int) bool {
-		da := g.OutDegree(toOld[a]) + g.InDegree(toOld[a])
-		db := g.OutDegree(toOld[b]) + g.InDegree(toOld[b])
+	slices.SortFunc(toOld, func(a, b int32) int {
+		da := g.OutDegree(a) + g.InDegree(a)
+		db := g.OutDegree(b) + g.InDegree(b)
 		if da != db {
-			return da > db
+			return db - da // decreasing degree
 		}
-		return toOld[a] < toOld[b]
+		return int(a) - int(b) // increasing id on ties
 	})
 	toNew = make([]int32, n)
 	for newID, oldID := range toOld {
@@ -44,9 +44,18 @@ func RelabelByDegree(g *Graph) (relabeled *Graph, toOld, toNew []int32) {
 // ApplyRelabeling translates a score vector computed on the relabeled
 // graph back to original node ids.
 func ApplyRelabeling(scores []float64, toOld []int32) []float64 {
-	out := make([]float64, len(scores))
+	return ApplyRelabelingInto(make([]float64, len(scores)), scores, toOld)
+}
+
+// ApplyRelabelingInto is ApplyRelabeling into a caller-owned destination,
+// so steady-state serving paths translate without allocating. dst must be
+// at least as long as scores and is fully overwritten (the permutation
+// touches every slot); dst and scores must not alias. Returns dst[:len
+// (scores)].
+func ApplyRelabelingInto(dst, scores []float64, toOld []int32) []float64 {
+	dst = dst[:len(scores)]
 	for newID, s := range scores {
-		out[toOld[newID]] = s
+		dst[toOld[newID]] = s
 	}
-	return out
+	return dst
 }

@@ -48,6 +48,29 @@ func TestRelabelOrdersByDegree(t *testing.T) {
 	}
 }
 
+func TestApplyRelabelingIntoMatchesAndDoesNotAllocate(t *testing.T) {
+	g := randomGraph(60, 240, 11)
+	rg, toOld, _ := RelabelByDegree(g)
+	scores := make([]float64, rg.N())
+	for i := range scores {
+		scores[i] = float64(i) * 0.25
+	}
+	want := ApplyRelabeling(scores, toOld)
+	dst := make([]float64, rg.N())
+	got := ApplyRelabelingInto(dst, scores, toOld)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("node %d: Into %v vs fresh %v", v, got[v], want[v])
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		ApplyRelabelingInto(dst, scores, toOld)
+	})
+	if allocs > 0 {
+		t.Fatalf("ApplyRelabelingInto allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
 func TestApplyRelabeling(t *testing.T) {
 	g := line(4) // degrees: 1,2,2,1 (total) -> nodes 1,2 first
 	rg, toOld, toNew := RelabelByDegree(g)

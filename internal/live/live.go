@@ -406,7 +406,16 @@ func (m *Manager) adopt(g *graph.Graph) (onRetire func()) {
 // Adopt registers the currently served snapshot with the ownership
 // bookkeeping and installs the retire hook on it.
 func (m *Manager) Adopt(s *Snapshot) {
-	s.InstallRetire(m.adopt(s.Graph()))
+	m.AdoptAs(s, s.Graph())
+}
+
+// AdoptAs is Adopt with an explicit ownership identity: g is the graph by
+// which observers will recognise this snapshot's query events. The serving
+// engine needs the split when it relabels node ids — events are reported
+// against the caller-id-space graph while the snapshot itself holds the
+// relabeled copy.
+func (m *Manager) AdoptAs(s *Snapshot, g *graph.Graph) {
+	s.InstallRetire(m.adopt(g))
 }
 
 // Close flushes pending edits and shuts the write path down. Further

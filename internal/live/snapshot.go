@@ -20,6 +20,12 @@ import (
 type Snapshot struct {
 	g     *graph.Graph
 	epoch uint64
+	// derived holds a serving-layer sidecar pinned to this snapshot's
+	// lifetime (relabel mappings, lazily built alias tables). It is written
+	// once via SetDerived before the snapshot is published through the
+	// atomic current pointer — that publication is the happens-before edge
+	// that makes the plain field safe for every reader.
+	derived any
 
 	refs    atomic.Int64
 	retired atomic.Bool
@@ -43,6 +49,14 @@ func NewSnapshot(g *graph.Graph, epoch uint64, onRetire func()) *Snapshot {
 
 // Graph returns the snapshot's immutable graph.
 func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// SetDerived attaches a serving-layer sidecar (per-snapshot artifacts such
+// as id-relabel mappings). It must be called before the snapshot is
+// published to readers; see the derived field.
+func (s *Snapshot) SetDerived(v any) { s.derived = v }
+
+// Derived returns the sidecar attached with SetDerived, or nil.
+func (s *Snapshot) Derived() any { return s.derived }
 
 // Epoch returns the swap generation this snapshot was published at.
 func (s *Snapshot) Epoch() uint64 { return s.epoch }

@@ -75,6 +75,20 @@ func (m *Marks) Mark(v int32) bool {
 	return true
 }
 
+// MarkAll adds every slot of [0,n) to the set in one sequential pass. The
+// dense-sweep push backend uses it at engagement: a whole-range sweep may
+// write any slot, and one O(n) stamp pass is far cheaper than a per-edge
+// Mark in the sweep's inner loop. Slots already marked keep their single
+// touched entry.
+func (m *Marks) MarkAll(n int) {
+	for v := int32(0); int(v) < n; v++ {
+		if m.stamp[v] != m.gen {
+			m.stamp[v] = m.gen
+			m.touched = append(m.touched, v)
+		}
+	}
+}
+
 // Unmark removes v from the set. The touched list intentionally keeps v (it
 // records "was ever marked this generation", which is what sparse reset
 // needs), and a later re-Mark appends v again — so on sets that use Unmark,

@@ -151,6 +151,29 @@ func (w *Workspace) ExtractScores() []float64 {
 	return out
 }
 
+// MarkAllDirty marks every slot of [0,n) dirty. The dense-sweep push
+// backend calls it once at engagement instead of recording per-edge
+// touches; the extra marks only cost the next Reset a zero-write to
+// already-zero slots.
+func (w *Workspace) MarkAllDirty() {
+	w.Dirty.MarkAll(w.n)
+}
+
+// ExtractScoresRemapped is ExtractScores with an id translation applied at
+// the copy: slot v of the (relabeled-graph) reserve lands at toOld[v] in
+// the output, so the serving boundary pays no second permutation pass or
+// extra allocation. A nil toOld is the identity.
+func (w *Workspace) ExtractScoresRemapped(toOld []int32) []float64 {
+	if toOld == nil {
+		return w.ExtractScores()
+	}
+	out := make([]float64, w.n)
+	for _, v := range w.Dirty.touched {
+		out[toOld[v]] = w.Reserve[v]
+	}
+	return out
+}
+
 // GrowStreams sizes the per-worker RNG scratch to k streams and returns it.
 func (w *Workspace) GrowStreams(k int) []rng.Source {
 	if cap(w.Streams) < k {

@@ -79,8 +79,12 @@ func (e *Engine) StartLive(opts LiveOptions) (*Live, error) {
 		OnSwap:       opts.OnSwap,
 	})
 	// Adopt the boot snapshot into the ownership bookkeeping so observers
-	// can attribute queries still pinned to it after the first swap.
-	m.Adopt(e.snap.Load())
+	// can attribute queries still pinned to it after the first swap. The
+	// ownership identity is the caller-id-space graph — the one query
+	// events report — which differs from the snapshot's own graph when the
+	// engine relabels.
+	boot := e.snap.Load()
+	m.AdoptAs(boot, e.eventGraph(boot))
 	return &Live{m: m, e: e}, nil
 }
 

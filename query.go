@@ -83,9 +83,19 @@ func querySolver(g *Graph, source int32, p Params, s core.Solver) (*Result, erro
 // querySolverCtx is the ctx-aware spine under Query/QueryCtx and the
 // engine's default compute.
 func querySolverCtx(ctx context.Context, g *Graph, source int32, p Params, s core.Solver) (*Result, error) {
+	return querySolverOn(ctx, g, g, source, source, p, s)
+}
+
+// querySolverOn is querySolverCtx with the serving boundary split out: the
+// solver runs on g with internal source src, while the query event and the
+// result speak the caller's id space (eventG, source). The two spaces
+// differ only for a relabeling engine — s.ScoreRemap translates the score
+// vector during extraction, so only the bookkeeping fields need mapping
+// here. Everywhere else the pairs coincide.
+func querySolverOn(ctx context.Context, g, eventG *Graph, src, source int32, p Params, s core.Solver) (*Result, error) {
 	start := time.Now()
-	scores, stats, err := s.QueryCtx(ctx, g, source, p)
-	notifyQueryHooks(QueryEvent{Graph: g, Source: source, Start: start, Duration: time.Since(start), Stats: stats, Err: err})
+	scores, stats, err := s.QueryCtx(ctx, g, src, p)
+	notifyQueryHooks(QueryEvent{Graph: eventG, Source: source, Start: start, Duration: time.Since(start), Stats: stats, Err: err})
 	if err != nil {
 		return nil, err
 	}

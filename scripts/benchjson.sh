@@ -5,14 +5,30 @@
 # (scripts/bench_baseline.json) so before/after allocation regressions are
 # visible in one file. CI uploads the result as a build artifact.
 #
+# The script is also the performance regression gate: after measuring, it
+# compares every tracked benchmark's ns_per_op against the committed
+# BENCH_resacc.json "current" section and exits non-zero when any row got
+# more than 10% slower (override with BENCH_TOLERANCE_PCT). Rows listed in
+# scripts/bench_allowlist.txt are reported but never fail the job; rows
+# present on only one side (new benchmark, or skipped on this machine —
+# BenchmarkPushParallel skips worker counts above GOMAXPROCS) are ignored.
+# Set BENCH_GATE=off when intentionally re-baselining the committed file.
+#
 # Usage: scripts/benchjson.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 out=${1:-BENCH_resacc.json}
-filter='^BenchmarkQueryTable3/(dblp-s|webstan-s)/(resacc|fora)$|^BenchmarkForwardPush$|^BenchmarkHHopFWDPhase$|^BenchmarkQueryPooledRepeat$|^BenchmarkPushParallel/workers=(1|2|4|8)$|^BenchmarkLiveWriteMix/(scoped|purge)$'
+filter='^BenchmarkQueryTable3/(dblp-s|webstan-s)/(resacc|fora)$|^BenchmarkForwardPush$|^BenchmarkHHopFWDPhase(NoSweep)?$|^BenchmarkRandomWalk(Alias)?$|^BenchmarkQueryPooledRepeat(Alias)?$|^BenchmarkPushParallel/workers=(1|2|4|8)$|^BenchmarkLiveWriteMix/(scoped|purge)$'
 
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+ref=$(mktemp)
+trap 'rm -f "$tmp" "$ref"' EXIT
+# Snapshot the committed numbers before $out (usually the same file) is
+# overwritten.
+if [ -f BENCH_resacc.json ]; then
+	cp BENCH_resacc.json "$ref"
+fi
+
 go test -run '^$' -bench "$filter" -benchmem -benchtime 10x . | tee "$tmp" 1>&2
 
 {
@@ -44,3 +60,60 @@ go test -run '^$' -bench "$filter" -benchmem -benchtime 10x . | tee "$tmp" 1>&2
 	printf '  }\n}\n'
 } > "$out"
 echo "wrote $out" 1>&2
+
+if [ "${BENCH_GATE:-on}" = "off" ]; then
+	echo "benchjson: regression gate disabled (BENCH_GATE=off)" 1>&2
+	exit 0
+fi
+if ! [ -s "$ref" ]; then
+	echo "benchjson: no committed BENCH_resacc.json to gate against; skipping" 1>&2
+	exit 0
+fi
+
+# Gate: name -> ns_per_op of the committed "current" section vs the run we
+# just measured. The committed file is machine-written, one benchmark
+# object per line, so line-oriented awk is enough — no JSON parser needed.
+awk -v tol="${BENCH_TOLERANCE_PCT:-10}" -v allow=scripts/bench_allowlist.txt '
+function parse(line) { # sets pname/pns; returns 1 when the line is a row
+	if (match(line, /"name": "[^"]+"/) == 0) return 0
+	pname = substr(line, RSTART + 9, RLENGTH - 10)
+	if (match(line, /"ns_per_op": [0-9.eE+-]+/) == 0) return 0
+	pns = substr(line, RSTART + 13, RLENGTH - 13) + 0
+	return 1
+}
+BEGIN {
+	while ((getline line < allow) > 0) {
+		sub(/#.*/, "", line)
+		gsub(/^[ \t]+/, "", line)
+		gsub(/[ \t]+$/, "", line)
+		if (line != "") allowed[line] = 1
+	}
+	close(allow)
+	fails = 0
+}
+FNR == 1 { filenum++; incur = 0 }
+/"current"/ { incur = 1 }
+filenum == 1 { if (incur && parse($0)) ref[pname] = pns; next }
+{ if (incur && parse($0)) cur[pname] = pns }
+END {
+	for (name in cur) {
+		if (!(name in ref) || ref[name] <= 0) continue
+		pct = (cur[name] / ref[name] - 1) * 100
+		if (pct <= tol) continue
+		if (name in allowed) {
+			printf "benchjson: ALLOWED regression %s: %.0f -> %.0f ns/op (+%.1f%%)\n", \
+				name, ref[name], cur[name], pct > "/dev/stderr"
+			continue
+		}
+		printf "benchjson: FAIL %s regressed %.0f -> %.0f ns/op (+%.1f%% > %s%%)\n", \
+			name, ref[name], cur[name], pct, tol > "/dev/stderr"
+		fails++
+	}
+	if (fails) {
+		printf "benchjson: %d tracked benchmark(s) regressed; re-baseline intentionally with BENCH_GATE=off\n", \
+			fails > "/dev/stderr"
+		exit 1
+	}
+	print "benchjson: regression gate passed" > "/dev/stderr"
+}
+' "$ref" "$out"

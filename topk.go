@@ -58,6 +58,16 @@ func QueryTopKCtx(ctx context.Context, g *Graph, source int32, k int, p Params) 
 // later, cheaper-round ranking cannot be trusted to improve on it and the
 // deadline has already fired.
 func queryTopKSolverCtx(ctx context.Context, g *Graph, source int32, k int, p Params, s core.Solver) (TopK, error) {
+	return queryTopKSolverOn(ctx, g, g, source, source, k, p, s)
+}
+
+// queryTopKSolverOn is queryTopKSolverCtx with the serving boundary split
+// out, mirroring querySolverOn: rounds run on g with internal source src;
+// events and the ranking speak the caller's id space (eventG, source). A
+// relabeling engine passes a solver whose ScoreRemap translates each
+// round's scores before ranking, so the ranked node ids come out
+// caller-space with no extra pass here.
+func queryTopKSolverOn(ctx context.Context, g, eventG *Graph, src, source int32, k int, p Params, s core.Solver) (TopK, error) {
 	if k <= 0 {
 		return TopK{}, fmt.Errorf("resacc: QueryTopK needs k > 0, got %d", k)
 	}
@@ -70,8 +80,8 @@ func queryTopKSolverCtx(ctx context.Context, g *Graph, source int32, k int, p Pa
 		q := p
 		q.NScale = scale
 		roundStart := time.Now()
-		scores, stats, err := s.QueryCtx(ctx, g, source, q)
-		notifyQueryHooks(QueryEvent{Graph: g, Source: source, Start: roundStart, Duration: time.Since(roundStart), Stats: stats, Err: err})
+		scores, stats, err := s.QueryCtx(ctx, g, src, q)
+		notifyQueryHooks(QueryEvent{Graph: eventG, Source: source, Start: roundStart, Duration: time.Since(roundStart), Stats: stats, Err: err})
 		if err != nil {
 			return TopK{}, err
 		}
