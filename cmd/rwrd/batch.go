@@ -56,7 +56,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		k = s.g.N()
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.effectiveTimeout())
 	defer cancel()
 	start := time.Now()
 	results, errs := s.engine.QueryBatch(ctx, req.Sources)

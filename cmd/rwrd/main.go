@@ -13,16 +13,27 @@
 //	GET /v1/stats                            graph + server + engine statistics
 //	GET /v1/traces?n=20                      recent query traces (JSON)
 //	GET /metrics                             Prometheus text exposition
-//	GET /healthz                             liveness
+//	GET /healthz                             liveness (the process is up)
+//	GET /readyz                              readiness (route traffic here?)
 //	GET /debug/pprof/                        profiling (with -pprof)
 //
 // Responses are JSON (except /metrics). Every query routes through a
 // serving engine (see docs/SERVING.md): a sharded result cache keyed by
 // (source, params, graph epoch), singleflight deduplication of identical
-// concurrent queries, and admission control — when the bounded wait queue
-// is full the server answers 429 with a Retry-After header instead of
-// queueing unboundedly. SIGINT/SIGTERM trigger a graceful shutdown that
-// drains in-flight queries.
+// concurrent queries, and adaptive admission control — a CoDel-style
+// sojourn controller sheds queries once the queue wait stands above target,
+// answering 429 with a drain-rate-derived Retry-After instead of queueing
+// unboundedly. Under Elevated pressure the server browns out: per-query
+// deadlines tighten so the anytime solver serves degraded (206) answers
+// with sound error bounds before any shedding starts (see the "Overload
+// contract" in docs/SERVING.md). The liveness/readiness split: /healthz is
+// 200 whenever the process can answer HTTP, while /readyz turns 503 during
+// SIGTERM drain, before a snapshot is published, or at Critical pressure —
+// wire the load balancer to /readyz and the restart policy to /healthz.
+// With -live, writes have backpressure of their own: per-client -edit-quota
+// token buckets and a bounded pending-edit backlog, both answering 429 +
+// Retry-After. SIGINT/SIGTERM trigger a graceful shutdown that fails
+// readiness first, then drains in-flight queries.
 package main
 
 import (
@@ -67,11 +78,19 @@ func main() {
 		queryTO    = flag.Duration("query-timeout", 30*time.Second, "per-request answer deadline")
 		maxBatch   = flag.Int("max-batch", 1024, "max sources per /v1/batch request")
 
+		sojournTgt = flag.Duration("sojourn-target", 0, "queue-wait target for adaptive admission: sustained waits above it shed with 429 (0 = 25ms, negative disables sojourn control)")
+		brownout   = flag.Duration("brownout", 2*time.Second, "tightened per-query deadline while pressure is Elevated, serving degraded 206 answers instead of queueing (0 disables)")
+		memLimitMB = flag.Int64("mem-limit-mb", 0, "soft heap limit feeding the pressure monitor (0 = no memory signal)")
+
 		liveMode  = flag.Bool("live", false, "enable streaming edge edits via POST /v1/edges")
 		staleness = flag.Duration("max-staleness", 500*time.Millisecond, "bound on how long an accepted edit may stay invisible to queries (with -live)")
 		swapPend  = flag.Int("swap-pending", 0, "pending-edit count that forces an immediate snapshot swap (0 = 1024; with -live)")
 		staleTol  = flag.Float64("stale-tolerance", 0, "absolute per-node score movement tolerated on cache entries surviving a scoped swap (0 = epsilon*delta; with -live)")
 		maxEdits  = flag.Int("max-edits", 4096, "max edits per /v1/edges request")
+		editQuota = flag.Float64("edit-quota", 0, "per-client edit quota in edits/s on /v1/edges, rejected batches answer 429 + Retry-After (0 = unlimited; with -live)")
+		editBurst = flag.Float64("edit-burst", 0, "per-client edit burst allowance in edits (0 = 4x -edit-quota; with -live -edit-quota)")
+		editBklog = flag.Int("edit-backlog", 0, "pending-edit backlog bound; batches past it answer 429 + Retry-After (0 = 4x swap-pending; with -live)")
+		swapGap   = flag.Duration("min-swap-gap", 0, "minimum gap between pending-cap-triggered inline swaps, so write storms cannot monopolise the writer (0 = no throttle; with -live)")
 	)
 	flag.Parse()
 
@@ -96,26 +115,33 @@ func main() {
 		TraceBuffer: *traceBuf,
 		Pprof:       *withPprof,
 		Engine: resacc.EngineOptions{
-			Workers:     *workers,
-			WalkWorkers: *walkWkrs,
-			PushWorkers: *pushWkrs,
-			Relabel:     *relabel,
-			DenseSwitch: *denseSw,
-			AliasWalks:  *aliasWalks,
-			QueueDepth:  *queueDepth,
-			CacheBytes:  *cacheMB << 20,
-			CacheTTL:    *cacheTTL,
-			CacheShards: *cacheShard,
+			Workers:       *workers,
+			WalkWorkers:   *walkWkrs,
+			PushWorkers:   *pushWkrs,
+			Relabel:       *relabel,
+			DenseSwitch:   *denseSw,
+			AliasWalks:    *aliasWalks,
+			QueueDepth:    *queueDepth,
+			SojournTarget: *sojournTgt,
+			MemSoftLimit:  *memLimitMB << 20,
+			CacheBytes:    *cacheMB << 20,
+			CacheTTL:      *cacheTTL,
+			CacheShards:   *cacheShard,
 		},
 		QueryTimeout: *queryTO,
+		Brownout:     *brownout,
 		MaxBatch:     *maxBatch,
 		Live:         *liveMode,
 		LiveOptions: resacc.LiveOptions{
 			MaxStaleness: *staleness,
 			MaxPending:   *swapPend,
+			MaxBacklog:   *editBklog,
+			MinSwapGap:   *swapGap,
 			Tolerance:    *staleTol,
 		},
-		MaxEdits: *maxEdits,
+		MaxEdits:  *maxEdits,
+		EditQuota: *editQuota,
+		EditBurst: *editBurst,
 	})
 	defer srv.Close()
 
@@ -147,6 +173,9 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
+		// Fail readiness first so load balancers stop routing here while the
+		// drain runs; /healthz stays green the whole way down.
+		srv.BeginDrain()
 		logger.Info("rwrd: shutting down, draining in-flight queries", "grace", *drainGrace)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 		defer cancel()

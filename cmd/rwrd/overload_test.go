@@ -1,0 +1,213 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"resacc"
+)
+
+func TestReadyzLifecycle(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/readyz")
+	if rec.Code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("fresh readyz: %d %v", rec.Code, body)
+	}
+
+	// Critical pressure: not ready, with a backoff hint — but alive.
+	s.engine.Pressure().SetSignal("test", func() float64 { return 2.0 })
+	rec, body = get(t, s, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable || body["status"] != "overloaded" {
+		t.Fatalf("readyz at critical: %d %v", rec.Code, body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("overloaded readyz without Retry-After")
+	}
+	if rec, _ := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatal("healthz failed under pressure; liveness must not track load")
+	}
+	s.engine.Pressure().SetSignal("test", nil)
+	if rec, _ := get(t, s, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatal("readyz did not recover after pressure cleared")
+	}
+
+	// Drain beats everything and is sticky.
+	s.BeginDrain()
+	s.BeginDrain() // idempotent
+	rec, body = get(t, s, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("readyz while draining: %d %v", rec.Code, body)
+	}
+	if rec, _ := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatal("healthz failed during drain")
+	}
+}
+
+func TestRetryAfterIsDrainDerived(t *testing.T) {
+	s := testServer(t)
+	// Warm the drain estimate, then force Critical so a fresh source sheds.
+	if rec, _ := get(t, s, "/v1/query?source=1&k=3"); rec.Code != http.StatusOK {
+		t.Fatal("warmup query failed")
+	}
+	s.engine.Pressure().SetSignal("test", func() float64 { return 2.0 })
+	rec, _ := get(t, s, "/v1/query?source=2&k=3")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("fresh query at critical: %d, want 429", rec.Code)
+	}
+	secs, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || secs < 1 || secs > 30 {
+		t.Fatalf("Retry-After = %q, want integer seconds in [1,30]", rec.Header().Get("Retry-After"))
+	}
+	// A cached source keeps serving at Critical.
+	if rec, _ := get(t, s, "/v1/query?source=1&k=3"); rec.Code != http.StatusOK {
+		t.Fatalf("cached query at critical: %d, want 200", rec.Code)
+	}
+}
+
+func TestBrownoutTightensDeadline(t *testing.T) {
+	g := resacc.GenerateBarabasiAlbert(200, 3, 7)
+	s := newServer(g, resacc.DefaultParams(g), serverOpts{
+		Log: discardLogger(), QueryTimeout: time.Minute, Brownout: 50 * time.Millisecond})
+	t.Cleanup(s.Close)
+
+	if d := s.effectiveTimeout(); d != time.Minute {
+		t.Fatalf("nominal timeout = %v, want the full minute", d)
+	}
+	s.engine.Pressure().SetSignal("test", func() float64 { return 0.7 }) // Elevated
+	if d := s.effectiveTimeout(); d != 50*time.Millisecond {
+		t.Fatalf("elevated timeout = %v, want the 50ms brownout", d)
+	}
+	_, body := get(t, s, "/v1/stats")
+	pr := body["pressure"].(map[string]any)
+	if pr["level"] != "elevated" || pr["brownout_active"] != true {
+		t.Fatalf("stats pressure block: %v", pr)
+	}
+	s.engine.Pressure().SetSignal("test", nil)
+	if d := s.effectiveTimeout(); d != time.Minute {
+		t.Fatal("brownout did not lift with the pressure")
+	}
+
+	// A brownout that is not tighter than the base deadline is dropped.
+	s2 := newServer(g, resacc.DefaultParams(g), serverOpts{
+		Log: discardLogger(), QueryTimeout: time.Second, Brownout: time.Second})
+	t.Cleanup(s2.Close)
+	if s2.brownout != 0 {
+		t.Fatalf("brownout %v ≥ timeout survived, want disabled", s2.brownout)
+	}
+}
+
+func TestEditQuotaPerClient(t *testing.T) {
+	s := liveServer(t, serverOpts{EditQuota: 2, EditBurst: 2})
+	fresh := missingEdges(t, s, 4)
+	send := func(client, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/edges", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client-ID", client)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := send("alice", edgeBody(fresh[0], fresh[1])); rec.Code != http.StatusOK {
+		t.Fatalf("within-burst batch: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := send("alice", edgeBody(fresh[2]))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota batch: %d, want 429", rec.Code)
+	}
+	secs, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("quota 429 Retry-After = %q, want integer seconds ≥ 1", rec.Header().Get("Retry-After"))
+	}
+	// A rejected batch applies nothing.
+	if s.engine.Graph().HasEdge(fresh[2][0], fresh[2][1]) || s.live.Stats().PendingAdds > 2 {
+		t.Fatal("over-quota edit leaked into the write path")
+	}
+	// Another client has its own bucket.
+	if rec := send("bob", edgeBody(fresh[3])); rec.Code != http.StatusOK {
+		t.Fatalf("other client throttled: %d", rec.Code)
+	}
+	_, body := get(t, s, "/v1/stats")
+	q := body["edit_quota"].(map[string]any)
+	if q["rejected"].(float64) != 1 || q["clients"].(float64) != 2 {
+		t.Fatalf("edit_quota stats: %v", q)
+	}
+	// /metrics surfaces the family.
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(mrec.Body.String(), "rwr_edit_quota_rejected_total 1") {
+		t.Error("quota rejection not in /metrics")
+	}
+}
+
+// missingEdges returns n node pairs absent from s's graph, so edit batches
+// built from them never turn into pending-count-free noops.
+func missingEdges(t *testing.T, s *server, n int) [][2]int32 {
+	t.Helper()
+	g := s.engine.Graph()
+	out := make([][2]int32, 0, n)
+	for u := int32(0); u < int32(g.N()) && len(out) < n; u++ {
+		for v := u + 1; v < int32(g.N()) && len(out) < n; v++ {
+			if !g.HasEdge(u, v) && !g.HasEdge(v, u) {
+				out = append(out, [2]int32{u, v})
+			}
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("graph too dense: found %d of %d missing edges", len(out), n)
+	}
+	return out
+}
+
+func edgeBody(edges ...[2]int32) string {
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = "[" + strconv.Itoa(int(e[0])) + "," + strconv.Itoa(int(e[1])) + "]"
+	}
+	return `{"add":[` + strings.Join(parts, ",") + `]}`
+}
+
+func TestEditBacklogReturns429(t *testing.T) {
+	s := liveServer(t, serverOpts{LiveOptions: resacc.LiveOptions{
+		MaxStaleness: time.Hour, MaxPending: 100, MaxBacklog: 2}})
+	fresh := missingEdges(t, s, 3)
+	// With backlog headroom, invalid batches still answer 400, not 429.
+	if rec, _ := postJSON(t, s, "/v1/edges", `{"add":[[0,0]]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("self-loop with headroom: %d, want 400", rec.Code)
+	}
+	if rec, _ := postJSON(t, s, "/v1/edges", edgeBody(fresh[0], fresh[1])); rec.Code != http.StatusOK {
+		t.Fatalf("first batch: %d", rec.Code)
+	}
+	rec, body := postJSON(t, s, "/v1/edges", edgeBody(fresh[2]))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("batch past backlog: %d %v, want 429", rec.Code, body)
+	}
+	if secs, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("backlog 429 Retry-After = %q", rec.Header().Get("Retry-After"))
+	}
+	_, stats := get(t, s, "/v1/stats")
+	lv := stats["live"].(map[string]any)
+	if lv["rejected_backlog"].(float64) != 1 || lv["max_backlog"].(float64) != 2 || lv["backlog_frac"].(float64) != 1.0 {
+		t.Fatalf("live backlog stats: %v", lv)
+	}
+	// Past the gate even an invalid batch is 429: the bound is checked
+	// first, so a full backlog never burns cycles validating edits.
+	if rec, _ := postJSON(t, s, "/v1/edges", `{"add":[[0,0]]}`); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("self-loop past gate: %d, want 429", rec.Code)
+	}
+}
+
+func TestEditClientIdentity(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/v1/edges", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if got := editClient(r); got != "10.1.2.3" {
+		t.Fatalf("remote-addr client = %q", got)
+	}
+	r.Header.Set("X-Client-ID", "svc-a")
+	if got := editClient(r); got != "svc-a" {
+		t.Fatalf("header client = %q", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -16,6 +17,7 @@ import (
 	"resacc"
 	"resacc/internal/algo"
 	"resacc/internal/obs"
+	"resacc/internal/pressure"
 )
 
 // serverOpts configures the daemon: observability plus the serving-engine
@@ -46,6 +48,18 @@ type serverOpts struct {
 	// MaxEdits caps the edit count (adds plus removes) of one /v1/edges
 	// request (≤ 0 = 4096).
 	MaxEdits int
+	// Brownout is the tightened per-query deadline used instead of
+	// QueryTimeout while the engine's pressure level is Elevated or worse:
+	// the anytime machinery then serves cheaper degraded (206) answers
+	// with sound bounds instead of queueing toward 429s (0 disables
+	// brownout degradation; values ≥ QueryTimeout are ignored).
+	Brownout time.Duration
+	// EditQuota, when > 0, enforces a per-client token-bucket quota on
+	// POST /v1/edges of this many edits/s (burst EditBurst, ≤ 0 =
+	// 4×EditQuota). Clients are keyed by X-Client-ID, falling back to the
+	// remote address. Over-quota batches answer 429 + Retry-After.
+	EditQuota float64
+	EditBurst float64
 }
 
 // server routes every request through a resacc.Engine (result cache,
@@ -62,8 +76,11 @@ type server struct {
 	started time.Time
 
 	queryTimeout time.Duration
+	brownout     time.Duration
 	maxBatch     int
 	maxEdits     int
+	quota        *pressure.Quota // nil = no per-client edit quota
+	draining     atomic.Bool     // SIGTERM received: /readyz fails, traffic should move
 
 	log      *slog.Logger
 	reg      *obs.Registry
@@ -95,17 +112,24 @@ func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
 	if opts.MaxEdits <= 0 {
 		opts.MaxEdits = 4096
 	}
+	if opts.Brownout >= opts.QueryTimeout {
+		opts.Brownout = 0 // a "tightened" deadline that is not tighter is a no-op
+	}
 	s := &server{
 		mux:          http.NewServeMux(),
 		g:            g,
 		params:       p,
 		started:      time.Now(),
 		queryTimeout: opts.QueryTimeout,
+		brownout:     opts.Brownout,
 		maxBatch:     opts.MaxBatch,
 		maxEdits:     opts.MaxEdits,
 		log:          opts.Log,
 		reg:          obs.NewRegistry(),
 		traces:       obs.NewTraceRing(opts.TraceBuffer),
+	}
+	if opts.Live && opts.EditQuota > 0 {
+		s.quota = pressure.NewQuota(opts.EditQuota, opts.EditBurst)
 	}
 	s.registerMetrics()
 	opts.Engine.Metrics = s.reg
@@ -124,6 +148,7 @@ func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
 	s.unhook = resacc.RegisterQueryHook(s.observeQuery)
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/pair", s.handlePair)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -193,6 +218,14 @@ func (s *server) registerMetrics() {
 	s.frontierHist = s.reg.Histogram("rwr_push_frontier_size",
 		"Largest frontier snapshot per query in the parallel push engine (queries that engaged it only).",
 		obs.ExpBuckets(1, 4, 12))
+	if s.quota != nil {
+		s.reg.CounterFunc("rwr_edit_quota_rejected_total",
+			"Edit batches refused because the client's token bucket was empty.",
+			s.quota.Rejects)
+		s.reg.GaugeFunc("rwr_edit_quota_clients",
+			"Clients with a tracked edit-quota bucket.",
+			func() float64 { return float64(s.quota.Clients()) })
+	}
 }
 
 // servedGraph returns the graph snapshot queries currently run against
@@ -272,8 +305,60 @@ func (s *server) Close() {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
+// handleHealth is pure liveness: the process is up and able to answer
+// HTTP. It stays 200 through overload and drain — restarting an overloaded
+// server only makes the overload worse. Readiness (should this instance
+// receive traffic?) is the separate /readyz.
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the load-balancer signal: 503 while draining after
+// SIGTERM, while no snapshot is published yet, or while pressure is
+// Critical (new traffic would only be shed — send it elsewhere first).
+// Liveness stays on /healthz.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		w.Header().Set("Retry-After", retrySecs(s.engine.RetryAfter()))
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "draining", "reason": "shutting down"})
+	case s.engine == nil || s.servedGraph() == nil:
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "starting", "reason": "no snapshot published yet"})
+	case s.engine.Pressure().Level() >= pressure.Critical:
+		w.Header().Set("Retry-After", retrySecs(s.engine.RetryAfter()))
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "overloaded", "reason": "pressure critical"})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing here
+// while the HTTP server finishes in-flight requests. Idempotent.
+func (s *server) BeginDrain() { s.draining.Store(true) }
+
+// effectiveTimeout picks the per-request deadline: the configured
+// QueryTimeout normally, the tighter Brownout while pressure is Elevated
+// or worse — under pressure the deadline-aware solver converts the budget
+// cut into a degraded (206) answer with a sound bound instead of a longer
+// queue.
+func (s *server) effectiveTimeout() time.Duration {
+	if s.brownout > 0 && s.engine.Pressure().Level() >= pressure.Elevated {
+		return s.brownout
+	}
+	return s.queryTimeout
+}
+
+// retrySecs renders a Retry-After duration as the whole-seconds string the
+// HTTP header wants (never below "1").
+func retrySecs(d time.Duration) string {
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 type rankedJSON struct {
@@ -291,7 +376,10 @@ type rankedJSON struct {
 func (s *server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, resacc.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		// The hint is derived from the observed drain rate and the backlog
+		// ahead of a new arrival — an honest "when will there be room",
+		// not a constant.
+		w.Header().Set("Retry-After", retrySecs(s.engine.RetryAfter()))
 		s.writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded, retry later"})
 	case errors.Is(err, context.Canceled):
 		s.reg.Counter("rwr_request_cancellations_total", "", "kind", "client_cancel").Inc()
@@ -322,7 +410,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if n := s.servedGraph().N(); k > n {
 		k = n
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.effectiveTimeout())
 	defer cancel()
 	start := time.Now()
 	top, err := s.engine.QueryTopK(ctx, source, k)
@@ -374,7 +462,7 @@ func (s *server) handlePair(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.queryTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.effectiveTimeout())
 	defer cancel()
 	est, err := s.engine.QueryPair(ctx, source, target)
 	if err != nil {
@@ -411,6 +499,20 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"graph_swaps":   es.Swaps,
 			"snapshot_refs": es.SnapshotRefs,
 		},
+		"pressure": map[string]any{
+			"level":           es.PressureLevel,
+			"loads":           es.PressureLoads,
+			"sojourn_ms":      float64(es.Sojourn.Microseconds()) / 1000,
+			"drain_rate":      es.DrainRate,
+			"draining":        s.draining.Load(),
+			"brownout_active": s.brownout > 0 && s.engine.Pressure().Level() >= pressure.Elevated,
+		},
+	}
+	if s.quota != nil {
+		out["edit_quota"] = map[string]any{
+			"rejected": s.quota.Rejects(),
+			"clients":  s.quota.Clients(),
+		}
 	}
 	if s.live != nil {
 		ls := s.live.Stats()
@@ -426,6 +528,9 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"full_swaps":        ls.FullSwaps,
 			"swap_failures":     ls.SwapFailures,
 			"invalidated":       ls.Invalidated,
+			"rejected_backlog":  ls.RejectedBacklog,
+			"max_backlog":       ls.MaxBacklog,
+			"backlog_frac":      s.live.BacklogFrac(),
 			"retired_snapshots": ls.RetiredSnapshots,
 			"last_swap_ms":      float64(ls.LastSwap.Microseconds()) / 1000,
 		}
@@ -455,12 +560,36 @@ func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			"error": "invalid JSON body: " + err.Error()})
 		return
 	}
-	if n := len(req.Add) + len(req.Remove); n > s.maxEdits {
+	n := len(req.Add) + len(req.Remove)
+	if n > s.maxEdits {
 		s.writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
 			"error": fmt.Sprintf("%d edits exceeds the per-request cap of %d", n, s.maxEdits)})
 		return
 	}
+	// Per-client quota first (cheap, no lock on the write path), then the
+	// global backlog budget inside Apply. A flush-only request charges one
+	// token — it still costs a snapshot build.
+	if s.quota != nil {
+		cost := float64(n)
+		if cost < 1 {
+			cost = 1
+		}
+		if ok, retry := s.quota.Allow(editClient(r), cost); !ok {
+			w.Header().Set("Retry-After", retrySecs(retry))
+			s.writeJSON(w, http.StatusTooManyRequests, map[string]string{
+				"error": "per-client edit quota exhausted, retry later"})
+			return
+		}
+	}
 	res, err := s.live.Apply(req.Add, req.Remove)
+	if errors.Is(err, resacc.ErrEditBacklog) {
+		// The hint is when the staleness timer will have flushed the
+		// backlog, plus the observed swap cost.
+		w.Header().Set("Retry-After", retrySecs(s.live.RetryAfter()))
+		s.writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": "pending-edit backlog full, retry later"})
+		return
+	}
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
@@ -483,6 +612,19 @@ func (s *server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		"swapped":         res.Swapped,
 		"epoch":           res.Epoch,
 	})
+}
+
+// editClient identifies the quota bucket for a write request: an explicit
+// X-Client-ID header when the caller sets one, the remote host otherwise.
+func editClient(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
 }
 
 // handleMetrics serves the registry in Prometheus text exposition format.

@@ -31,6 +31,10 @@ type loadConfig struct {
 	// The server must run with -live.
 	writeMix  float64
 	editBatch int
+
+	// slo, when positive, adds an SLO-attainment line to the report:
+	// the fraction of query arrivals answered (200/206) within it.
+	slo time.Duration
 }
 
 // runLoad drives cfg.workers closed loops against the server for
@@ -47,6 +51,7 @@ func runLoad(ctx context.Context, cfg loadConfig) (*report, error) {
 	defer cancel()
 
 	rep := newReport()
+	rep.slo = cfg.slo
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.workers; i++ {

@@ -23,6 +23,20 @@
 // then shows sustained edges/s alongside query throughput and latency.
 //
 //	rwrload -addr http://localhost:8080 -write-mix 0.1 -edit-batch 8
+//
+// With -open the driver switches to an open-loop arrival process: requests
+// fire on Poisson arrivals at -rate per second whether or not earlier
+// answers have come back, optionally multiplied by -burst for the first
+// -burst-len of every -burst-every window. That is the arrival model that
+// actually overloads a server (a closed loop self-throttles to capacity),
+// so it is the mode that exercises admission control, brownout, and
+// write backpressure. Open-loop requests are never retried, and arrivals
+// past -max-inflight outstanding requests are counted as client drops.
+// With -slo the report adds SLO attainment over all query arrivals —
+// shed, errored, and dropped arrivals count as misses — plus goodput
+// (SLO-meeting answers per second):
+//
+//	rwrload -addr http://localhost:8080 -open -rate 500 -burst 4 -slo 100ms
 package main
 
 import (
@@ -51,6 +65,14 @@ func main() {
 		backoff  = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, jittered, raised to Retry-After)")
 		writeMix = flag.Float64("write-mix", 0, "fraction of requests sent as POST /v1/edges edit batches (server must run -live)")
 		editN    = flag.Int("edit-batch", 8, "edge edits per write request (with -write-mix)")
+
+		open       = flag.Bool("open", false, "open-loop mode: Poisson arrivals at -rate instead of closed-loop workers")
+		rate       = flag.Float64("rate", 100, "mean arrivals per second (with -open)")
+		burst      = flag.Float64("burst", 1, "arrival-rate multiplier during burst windows (with -open; <= 1 disables)")
+		burstEvery = flag.Duration("burst-every", 10*time.Second, "burst window period (with -open -burst)")
+		burstLen   = flag.Duration("burst-len", 2*time.Second, "burst window length at the start of each period (with -open -burst)")
+		slo        = flag.Duration("slo", 0, "per-query latency SLO; the report adds attainment over all arrivals (0 = off)")
+		inflight   = flag.Int("max-inflight", 256, "outstanding-request cap in open-loop mode; arrivals past it count as drops")
 	)
 	flag.Parse()
 
@@ -86,7 +108,22 @@ func main() {
 		cfg.n = n
 	}
 
-	rep, err := runLoad(context.Background(), cfg)
+	var rep *report
+	var err error
+	if *open {
+		rep, err = runOpenLoad(context.Background(), openConfig{
+			loadConfig:  cfg,
+			rate:        *rate,
+			burst:       *burst,
+			burstEvery:  *burstEvery,
+			burstLen:    *burstLen,
+			slo:         *slo,
+			maxInflight: *inflight,
+		})
+	} else {
+		cfg.slo = *slo
+		rep, err = runLoad(context.Background(), cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rwrload:", err)
 		os.Exit(1)

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOpenLoopHoldsRate checks the arrival process is driven by the
+// configured rate, not by server latency: a server that answers instantly
+// and one that answers slowly should see a similar number of arrivals.
+func TestOpenLoopHoldsRate(t *testing.T) {
+	arrivals := func(delay time.Duration) uint64 {
+		var hits atomic.Uint64
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			time.Sleep(delay)
+			json.NewEncoder(w).Encode(map[string]any{"results": []any{}})
+		}))
+		defer srv.Close()
+		_, err := runOpenLoad(context.Background(), openConfig{
+			loadConfig: loadConfig{base: srv.URL, duration: 500 * time.Millisecond,
+				skew: 0, k: 5, n: 50, seed: 1, client: srv.Client()},
+			rate: 200, maxInflight: 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hits.Load()
+	}
+	fast, slow := arrivals(0), arrivals(50*time.Millisecond)
+	// ~100 arrivals expected either way; allow wide scheduling slop but
+	// reject the closed-loop signature (slow server → far fewer requests).
+	if fast < 30 || slow < 30 {
+		t.Fatalf("arrivals fast=%d slow=%d, want ≥ 30 each (rate 200/s × 0.5s)", fast, slow)
+	}
+	if slow*3 < fast {
+		t.Fatalf("slow server suppressed arrivals (fast=%d slow=%d): loop is not open", fast, slow)
+	}
+}
+
+// TestOpenLoopDropsAtInflightCap pins maxInflight to 1 against a server
+// slower than the arrival interval: most arrivals must be counted as
+// client drops, not queued.
+func TestOpenLoopDropsAtInflightCap(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(100 * time.Millisecond)
+		json.NewEncoder(w).Encode(map[string]any{"results": []any{}})
+	}))
+	defer srv.Close()
+	rep, err := runOpenLoad(context.Background(), openConfig{
+		loadConfig: loadConfig{base: srv.URL, duration: 400 * time.Millisecond,
+			skew: 0, k: 5, n: 50, seed: 1, client: srv.Client()},
+		rate: 500, maxInflight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.dropped.Load() == 0 {
+		t.Fatalf("500/s into a 10/s server with inflight 1 dropped nothing: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "dropped") {
+		t.Fatalf("summary missing drop line:\n%s", rep)
+	}
+}
+
+// TestOpenLoopSLOAttainment splits answers across the SLO boundary and
+// checks the attainment line counts sheds as misses.
+func TestOpenLoopSLOAttainment(t *testing.T) {
+	var hits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) % 3 {
+		case 0: // slow answer: an SLO miss that still succeeds
+			time.Sleep(300 * time.Millisecond)
+			json.NewEncoder(w).Encode(map[string]any{"results": []any{}})
+		case 1: // shed: an SLO miss
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		default: // fast answer: within SLO
+			json.NewEncoder(w).Encode(map[string]any{"results": []any{}})
+		}
+	}))
+	defer srv.Close()
+	rep, err := runOpenLoad(context.Background(), openConfig{
+		loadConfig: loadConfig{base: srv.URL, duration: 600 * time.Millisecond,
+			skew: 0, k: 5, n: 50, seed: 1, client: srv.Client()},
+		rate: 100, slo: 100 * time.Millisecond, maxInflight: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okInSLO := rep.sloOK.Load()
+	if okInSLO == 0 {
+		t.Fatalf("no request met a 100ms SLO against a fast stub: %s", rep)
+	}
+	answered := rep.ok.Load() + rep.degraded.Load()
+	if okInSLO >= answered && rep.requests.Load() > 3 {
+		t.Fatalf("every answer within SLO despite 300ms stalls: sloOK=%d answered=%d", okInSLO, answered)
+	}
+	if !strings.Contains(rep.String(), "within SLO") {
+		t.Fatalf("summary missing SLO line:\n%s", rep)
+	}
+}
+
+// TestOpenLoopWriteMix drives a pure write stream and checks edits are
+// dispatched and classified through the open loop.
+func TestOpenLoopWriteMix(t *testing.T) {
+	var edits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/edges" || r.Method != http.MethodPost {
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+		var req struct {
+			Add    [][2]int32 `json:"add"`
+			Remove [][2]int32 `json:"remove"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		edits.Add(uint64(len(req.Add) + len(req.Remove)))
+		json.NewEncoder(w).Encode(map[string]any{"applied": len(req.Add)})
+	}))
+	defer srv.Close()
+	rep, err := runOpenLoad(context.Background(), openConfig{
+		loadConfig: loadConfig{base: srv.URL, duration: 300 * time.Millisecond,
+			skew: 0, k: 5, n: 50, seed: 1, client: srv.Client(),
+			writeMix: 1.0, editBatch: 4},
+		rate: 100, maxInflight: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.writeOK.Load() == 0 || edits.Load() == 0 {
+		t.Fatalf("no write batches landed: %s", rep)
+	}
+	if rep.edits.Load() != rep.writeOK.Load()*4 {
+		t.Fatalf("edit accounting: %d edits for %d batches of 4", rep.edits.Load(), rep.writeOK.Load())
+	}
+}
+
+// TestOpenLoopBurstMultiplier checks rateAt applies the multiplier only
+// inside the burst window.
+func TestOpenLoopBurstMultiplier(t *testing.T) {
+	cfg := &openConfig{rate: 100, burst: 4,
+		burstEvery: 10 * time.Second, burstLen: 2 * time.Second}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 400}, {time.Second, 400}, {1999 * time.Millisecond, 400},
+		{2 * time.Second, 100}, {5 * time.Second, 100}, {9 * time.Second, 100},
+		{10 * time.Second, 400}, {11 * time.Second, 400}, {12 * time.Second, 100},
+	}
+	for _, c := range cases {
+		if got := cfg.rateAt(c.at); got != c.want {
+			t.Errorf("rateAt(%s) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	// No bursts configured → flat.
+	flat := &openConfig{rate: 100, burst: 1, burstEvery: 10 * time.Second, burstLen: 2 * time.Second}
+	if got := flat.rateAt(0); got != 100 {
+		t.Errorf("burst 1 should be flat, got %v", got)
+	}
+}
+
+// TestOpenLoopRejectsBadRate covers the config validation path.
+func TestOpenLoopRejectsBadRate(t *testing.T) {
+	_, err := runOpenLoad(context.Background(), openConfig{
+		loadConfig: loadConfig{n: 10, duration: time.Millisecond, client: http.DefaultClient},
+		rate:       0,
+	})
+	if err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+}

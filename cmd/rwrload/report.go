@@ -26,6 +26,14 @@ type report struct {
 	edits    atomic.Uint64 // edge edits accepted (writeOK × batch size)
 	writeLat *obs.Histogram
 
+	// Open-loop extras: dropped counts arrivals lost to the client's
+	// inflight cap (never sent); sloOK counts answered queries (200 or 206)
+	// that landed within slo. Attainment is judged against every query
+	// arrival — a shed, error, or drop is an SLO miss, not an exclusion.
+	dropped atomic.Uint64
+	sloOK   atomic.Uint64
+	slo     time.Duration
+
 	latency *obs.Histogram // successful query requests only, seconds
 	elapsed time.Duration  // wall time of the run, set once at the end
 }
@@ -40,14 +48,18 @@ func newReport() *report {
 // record classifies one request. status < 0 means a transport error.
 func (r *report) record(status int, d time.Duration) {
 	r.requests.Add(1)
-	switch {
-	case status == 200:
-		r.ok.Add(1)
+	switch status {
+	case 200, 206:
+		if status == 200 {
+			r.ok.Add(1)
+		} else {
+			r.degraded.Add(1)
+		}
 		r.latency.Observe(d.Seconds())
-	case status == 206:
-		r.degraded.Add(1)
-		r.latency.Observe(d.Seconds())
-	case status == 429:
+		if r.slo > 0 && d <= r.slo {
+			r.sloOK.Add(1)
+		}
+	case 429:
 		r.shed.Add(1)
 	default:
 		r.errs.Add(1)
@@ -105,6 +117,20 @@ func (r *report) String() string {
 	}
 	fmt.Fprintf(&b, "shed (429) %d (%.1f%%)\n", shed, rate)
 	fmt.Fprintf(&b, "errors     %d\n", r.errs.Load())
+	if drop := r.dropped.Load(); drop > 0 {
+		fmt.Fprintf(&b, "dropped    %d (client inflight cap; raise -max-inflight)\n", drop)
+	}
+	if r.slo > 0 {
+		// Every query arrival counts: shed, errored, and dropped arrivals
+		// all missed the SLO. Goodput is SLO-meeting answers per second.
+		offered := total - r.writes.Load() + r.dropped.Load()
+		att := 0.0
+		if offered > 0 {
+			att = 100 * float64(r.sloOK.Load()) / float64(offered)
+		}
+		fmt.Fprintf(&b, "slo %-6s %.1f%% within SLO (goodput %.1f/s)\n",
+			r.slo, att, float64(r.sloOK.Load())/secs)
+	}
 	if ret := r.retries.Load(); ret > 0 {
 		fmt.Fprintf(&b, "retries    %d\n", ret)
 	}

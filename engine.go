@@ -13,6 +13,7 @@ import (
 	"resacc/internal/graph"
 	"resacc/internal/live"
 	"resacc/internal/obs"
+	"resacc/internal/pressure"
 	"resacc/internal/serve"
 	"resacc/internal/ws"
 )
@@ -48,6 +49,19 @@ type EngineOptions struct {
 	// QueueDepth bounds computations waiting for a worker (0 =
 	// 4×workers); beyond it, interactive queries shed with ErrOverloaded.
 	QueueDepth int
+	// SojournTarget / SojournInterval tune adaptive admission: interactive
+	// queries shed once the realized queue wait stays above the target for
+	// a full interval — a standing queue — even while QueueDepth still has
+	// room, and shed responses derive Retry-After from the observed drain
+	// rate (0 = 25ms / 100ms defaults; a negative SojournTarget disables
+	// sojourn control, falling back to fixed-depth shedding only).
+	SojournTarget   time.Duration
+	SojournInterval time.Duration
+	// MemSoftLimit, when > 0, feeds live heap bytes into the engine's
+	// pressure monitor as a fraction of this soft limit, so memory
+	// pressure can drive brownout degradation alongside queue sojourn and
+	// the pending-edit watermark.
+	MemSoftLimit int64
 	// WalkWorkers parallelizes each query's remedy-phase random walks.
 	// It is clamped to GOMAXPROCS/Workers so that Workers concurrent
 	// queries never oversubscribe the machine (≤ 0 = exactly that
@@ -131,6 +145,7 @@ type Engine struct {
 	// with a pin of the still-old snapshot.
 	swapGen atomic.Uint64
 	inner   *serve.Engine[*engineEntry]
+	monitor *pressure.Monitor
 	compute ComputeFunc
 	custom  bool
 	// liveOn enforces at most one attached live write path (StartLive).
@@ -303,14 +318,33 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 	}
 	e.snap.Store(e.newSnapshot(g, 0, nil))
 	e.wsPool.Refit(g.N())
+	e.monitor = pressure.NewMonitor(pressure.MonitorConfig{})
 	e.inner = serve.New[*engineEntry](serve.Config{
-		CapacityBytes: opts.CacheBytes,
-		Shards:        opts.CacheShards,
-		TTL:           opts.CacheTTL,
-		Workers:       opts.Workers,
-		QueueDepth:    opts.QueueDepth,
-		Metrics:       opts.Metrics,
+		CapacityBytes:   opts.CacheBytes,
+		Shards:          opts.CacheShards,
+		TTL:             opts.CacheTTL,
+		Workers:         opts.Workers,
+		QueueDepth:      opts.QueueDepth,
+		SojournTarget:   opts.SojournTarget,
+		SojournInterval: opts.SojournInterval,
+		Pressure:        e.monitor,
+		Metrics:         opts.Metrics,
 	})
+	// The monitor aggregates whatever load signals exist: queue sojourn
+	// always (unless sojourn control is disabled), heap bytes when a soft
+	// limit is set, and the pending-edit watermark once StartLive attaches
+	// a write path.
+	if c := e.inner.Codel(); c != nil {
+		e.monitor.SetSignal("queue_sojourn", c.LoadFrac)
+	}
+	if opts.MemSoftLimit > 0 {
+		e.monitor.SetSignal("heap_bytes", pressure.HeapFrac(opts.MemSoftLimit))
+	}
+	if reg := opts.Metrics; reg != nil {
+		reg.GaugeFunc("rwr_pressure_level",
+			"Aggregated load level (0=nominal, 1=elevated brownout, 2=critical shedding).",
+			func() float64 { return float64(e.monitor.Level()) })
+	}
 	// The put gate runs under the cache shard lock: together with the
 	// shard-locked invalidation sweep it makes "compute on old snapshot,
 	// cache after the swap" impossible (see Cache.SetGate). The entry
@@ -365,6 +399,17 @@ func (e *Engine) snapSolver(snap *live.Snapshot) core.Solver {
 	}
 	return s
 }
+
+// Pressure returns the engine's load-level monitor. Servers use it to pick
+// the brownout tier per request (tighten deadlines at Elevated, fail
+// readiness at Critical); the engine itself already sheds non-waiting
+// cache misses at Critical.
+func (e *Engine) Pressure() *pressure.Monitor { return e.monitor }
+
+// RetryAfter derives the backoff hint for a shed query from the admission
+// queue's observed drain rate and current depth (whole seconds, clamped to
+// [1s, 30s]) — what an HTTP server should put in Retry-After next to a 429.
+func (e *Engine) RetryAfter() time.Duration { return e.inner.RetryAfter() }
 
 // WalkWorkers returns the resolved per-query remedy walk parallelism.
 func (e *Engine) WalkWorkers() int { return e.walkWorkers }
@@ -763,11 +808,31 @@ type EngineStats struct {
 	// SnapshotRefs is the reference count of the current snapshot (1 plus
 	// the queries pinning it right now).
 	SnapshotRefs int64
+	// PressureLevel is the aggregated load level ("nominal", "elevated",
+	// "critical"); PressureLoads holds each signal's last evaluated load
+	// fraction (1.0 = at its limit).
+	PressureLevel string
+	PressureLoads map[string]float64
+	// Sojourn is the smoothed queue wait of admitted computations and
+	// DrainRate the observed completion rate (tasks/s); both are zero when
+	// sojourn control is disabled.
+	Sojourn   time.Duration
+	DrainRate float64
 }
 
 // Stats returns current serving counters.
 func (e *Engine) Stats() EngineStats {
+	lvl, loads := e.monitor.Snapshot()
+	var sojourn time.Duration
+	var drain float64
+	if c := e.inner.Codel(); c != nil {
+		sojourn, drain = c.Sojourn(), c.DrainRate()
+	}
 	return EngineStats{
+		PressureLevel: lvl.String(),
+		PressureLoads: loads,
+		Sojourn:       sojourn,
+		DrainRate:     drain,
 		Hits:         e.inner.Hits(),
 		Misses:       e.inner.Misses(),
 		Joins:        e.inner.Joins(),

@@ -58,16 +58,24 @@ func BarabasiAlbert(n, k int, seed uint64) *graph.Graph {
 		}
 	}
 	chosen := make(map[int32]struct{}, k)
+	order := make([]int32, 0, k)
 	for v := int32(k + 1); v < int32(n); v++ {
 		clear(chosen)
+		order = order[:0]
 		for len(chosen) < k {
 			u := targets[r.Intn(len(targets))]
 			if u == v {
 				continue
 			}
+			if _, dup := chosen[u]; dup {
+				continue
+			}
 			chosen[u] = struct{}{}
+			order = append(order, u)
 		}
-		for u := range chosen {
+		// Append in pick order, not map order: ranging over the map here
+		// would reshuffle targets per run and break seed determinism.
+		for _, u := range order {
 			b.AddUndirected(v, u)
 			targets = append(targets, v, u)
 		}

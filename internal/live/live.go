@@ -32,10 +32,17 @@ import (
 	"resacc/internal/faultinject"
 	"resacc/internal/graph"
 	"resacc/internal/obs"
+	"resacc/internal/pressure"
 )
 
 // ErrClosed is returned by Apply/Flush after Close.
 var ErrClosed = errors.New("live: manager closed")
+
+// ErrBacklog is returned by Apply when accepting the batch would push the
+// pending-edit backlog past Config.MaxBacklog. Nothing is applied; the
+// caller should back off for RetryAfter and resubmit. cmd/rwrd maps it to
+// HTTP 429 + Retry-After.
+var ErrBacklog = errors.New("live: pending-edit backlog full, batch rejected")
 
 // SwapFunc publishes a freshly built snapshot to the serving layer. full
 // reports that scoping aborted and every cached entry must go; otherwise
@@ -56,6 +63,21 @@ type Config struct {
 	// pending (≤ 0 = 1024), bounding both swap cost and the offset the
 	// affected-region expansion must cover.
 	MaxPending int
+	// MaxBacklog bounds the pending-edit backlog outright: an Apply batch
+	// that would push past it is rejected whole with ErrBacklog instead of
+	// growing the write queue without bound (≤ 0 = 4×MaxPending). The
+	// backlog can exceed MaxPending only while swaps are failing or
+	// MinSwapGap is deferring them, which is exactly when rejecting is
+	// better than queueing.
+	MaxBacklog int
+	// MinSwapGap throttles MaxPending-triggered inline swaps: after a
+	// swap, another inline swap is deferred until this much time has
+	// passed, so a write storm cannot monopolise the writer with
+	// back-to-back snapshot builds (read priority — queries pin snapshots
+	// RCU-style and never wait on the writer, but every build burns CPU
+	// the workers could use). The MaxStaleness timer ignores the gap, so
+	// the staleness contract still holds (≤ 0 = no throttle).
+	MinSwapGap time.Duration
 	// Affect tunes the scoped-invalidation expansion; Alpha and Tolerance
 	// must be set by the caller (the engine facade derives them from its
 	// query parameters).
@@ -87,6 +109,7 @@ type Manager struct {
 	dyn          *graph.Dynamic
 	base         *graph.Graph // graph dyn is based on = currently published
 	pendingSince time.Time
+	lastSwapAt   time.Time // last successful swap, for the MinSwapGap throttle
 	timer        *time.Timer
 	epoch        uint64 // successful swaps
 	closed       bool
@@ -103,9 +126,11 @@ type Manager struct {
 	swapFailures               atomic.Uint64
 	invalidated                atomic.Uint64
 	retiredSnaps               atomic.Uint64
+	rejected                   atomic.Uint64
 	lastSwapNanos              atomic.Int64
 	mSwaps, mInvScoped         *obs.Counter
 	mInvFull, mAddOps, mRemOps *obs.Counter
+	mRejected                  *obs.Counter
 	mSwapDur                   *obs.Histogram
 }
 
@@ -117,6 +142,9 @@ func NewManager(base *graph.Graph, swap SwapFunc, cfg Config) *Manager {
 	}
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = 1024
+	}
+	if cfg.MaxBacklog <= 0 {
+		cfg.MaxBacklog = 4 * cfg.MaxPending
 	}
 	m := &Manager{
 		cfg:   cfg,
@@ -137,9 +165,14 @@ func NewManager(base *graph.Graph, swap SwapFunc, cfg Config) *Manager {
 		m.mSwapDur = reg.Histogram("rwr_graph_swap_seconds",
 			"Latency of live snapshot swaps (build + affected-region + publish).",
 			obs.DefBuckets)
+		m.mRejected = reg.Counter("rwr_live_backlog_rejected_total",
+			"Apply batches rejected because the pending-edit backlog was full.")
 		reg.GaugeFunc("rwr_live_pending_edits",
 			"Edge edits accepted but not yet visible in a served snapshot.",
 			func() float64 { s := m.Stats(); return float64(s.PendingAdds + s.PendingRemoves) })
+		reg.GaugeFunc("rwr_live_backlog_frac",
+			"Pending-edit backlog as a fraction of MaxBacklog (1.0 = writes rejected).",
+			m.BacklogFrac)
 		reg.GaugeFunc("rwr_live_snapshot_epoch",
 			"Monotonic count of live snapshot swaps published.",
 			func() float64 { return float64(m.Stats().Epoch) })
@@ -171,6 +204,17 @@ func (m *Manager) Apply(add, remove [][2]int32) (ApplyResult, error) {
 	defer m.mu.Unlock()
 	if m.closed {
 		return ApplyResult{}, ErrClosed
+	}
+	// Backpressure gate: the whole batch is rejected before anything is
+	// applied when it could push the backlog past MaxBacklog (counting ops
+	// that may turn out to be noops — conservative, but a rejected batch is
+	// retryable while an unbounded backlog is not).
+	if adds, removes := m.dyn.PendingEdits(); adds+removes+len(add)+len(remove) > m.cfg.MaxBacklog {
+		m.rejected.Add(1)
+		if m.mRejected != nil {
+			m.mRejected.Inc()
+		}
+		return ApplyResult{}, ErrBacklog
 	}
 	n := int32(m.dyn.N())
 	for i, e := range add {
@@ -225,8 +269,14 @@ func (m *Manager) Apply(add, remove [][2]int32) (ApplyResult, error) {
 			m.timer = time.AfterFunc(m.cfg.MaxStaleness, m.timerFlush)
 		}
 		if adds+removes >= m.cfg.MaxPending {
-			if err := m.swapLocked(); err == nil {
-				res.Swapped = true
+			// Read priority: defer an inline swap that would land within
+			// MinSwapGap of the previous one — the staleness timer is
+			// already armed, so visibility stays bounded while the writer
+			// stops competing with query workers for CPU.
+			if m.cfg.MinSwapGap <= 0 || time.Since(m.lastSwapAt) >= m.cfg.MinSwapGap {
+				if err := m.swapLocked(); err == nil {
+					res.Swapped = true
+				}
 			}
 		}
 	}
@@ -339,6 +389,7 @@ func (m *Manager) swapLocked() (err error) {
 	m.base = g
 	m.epoch++
 	m.pendingSince = time.Time{}
+	m.lastSwapAt = time.Now()
 	if m.timer != nil {
 		m.timer.Stop()
 		m.timer = nil
@@ -367,6 +418,44 @@ func (m *Manager) swapLocked() (err error) {
 		m.cfg.OnSwap(g, added, removed)
 	}
 	return nil
+}
+
+// BacklogFrac returns the pending-edit backlog as a fraction of
+// MaxBacklog — the write-path load signal for a pressure.Monitor (1.0
+// means Apply is rejecting).
+func (m *Manager) BacklogFrac() float64 {
+	m.mu.Lock()
+	adds, removes := m.dyn.PendingEdits()
+	m.mu.Unlock()
+	return float64(adds+removes) / float64(m.cfg.MaxBacklog)
+}
+
+// RetryAfter estimates how long a rejected writer should back off: the
+// time until the staleness deadline flushes the current backlog plus the
+// cost of that swap (as observed on the last one), rounded up to whole
+// seconds and clamped to [1s, pressure.MaxRetryAfter].
+func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	wait := m.cfg.MaxStaleness
+	if !m.pendingSince.IsZero() {
+		wait = m.cfg.MaxStaleness - time.Since(m.pendingSince)
+		if wait < 0 {
+			wait = 0
+		}
+	}
+	m.mu.Unlock()
+	wait += time.Duration(m.lastSwapNanos.Load())
+	d := wait.Truncate(time.Second)
+	if d < wait {
+		d += time.Second
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > pressure.MaxRetryAfter {
+		d = pressure.MaxRetryAfter
+	}
+	return d
 }
 
 // Graph returns the graph of the most recently published snapshot (the
@@ -453,6 +542,11 @@ type Stats struct {
 	Swaps, ScopedSwaps, FullSwaps, SwapFailures uint64
 	// Invalidated counts cache entries evicted by swaps (both scopes).
 	Invalidated uint64
+	// RejectedBacklog counts Apply batches refused because the backlog
+	// was full.
+	RejectedBacklog uint64
+	// MaxBacklog is the configured backlog bound the rejections enforce.
+	MaxBacklog int
 	// RetiredSnapshots counts snapshots whose last in-flight query has
 	// released them.
 	RetiredSnapshots uint64
@@ -478,6 +572,8 @@ func (m *Manager) Stats() Stats {
 		FullSwaps:        m.fulls.Load(),
 		SwapFailures:     m.swapFailures.Load(),
 		Invalidated:      m.invalidated.Load(),
+		RejectedBacklog:  m.rejected.Load(),
+		MaxBacklog:       m.cfg.MaxBacklog,
 		RetiredSnapshots: m.retiredSnaps.Load(),
 		LastSwap:         time.Duration(m.lastSwapNanos.Load()),
 	}

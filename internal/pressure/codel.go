@@ -1,0 +1,244 @@
+// Package pressure is the overload-resilience layer shared by the serving
+// and mutation paths: a CoDel-style queue-sojourn controller for adaptive
+// admission (Codel), a multi-signal load-level monitor that drives brownout
+// degradation (Monitor), and per-client token-bucket quotas for write-path
+// backpressure (Quota).
+//
+// The design premise comes from the paper family's anytime invariant: the
+// engine can always trade accuracy for latency with a sound error bound, so
+// the right response to pressure is graded — serve full answers while
+// Nominal, serve cheaper bounded-error answers while Elevated, and shed
+// with an honest drain-derived Retry-After only at Critical — instead of a
+// single fixed-depth 429 cliff.
+package pressure
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default sojourn-control parameters, CoDel-flavoured: the target is the
+// queue wait considered "standing queue" rather than burst absorption, and
+// the interval is how long the wait must stay above target before admission
+// starts shedding.
+const (
+	DefaultSojournTarget   = 25 * time.Millisecond
+	DefaultSojournInterval = 100 * time.Millisecond
+
+	// drainWindow is the sampling window for the drain-rate estimate.
+	drainWindow = 500 * time.Millisecond
+
+	// MaxRetryAfter caps drain-derived Retry-After hints so a momentarily
+	// stalled drain estimate cannot push clients away for minutes.
+	MaxRetryAfter = 30 * time.Second
+)
+
+// Codel is a sojourn-time admission controller in the spirit of CoDel
+// (Nichols & Jacobson): instead of shedding on queue *depth* — which
+// conflates a harmless burst with a standing queue — it tracks how long
+// each admitted task actually waited for a worker. A queue that stays
+// above the target wait for a full interval is a standing queue; new
+// non-waiting work is then shed at the door until the wait drops below
+// target again. It also keeps a windowed drain-rate estimate so shed
+// responses can carry an honest Retry-After instead of a constant.
+//
+// All methods are safe for concurrent use. The zero value is not usable;
+// call NewCodel.
+type Codel struct {
+	target   time.Duration
+	interval time.Duration
+	now      func() time.Time // injectable clock for deterministic tests
+
+	mu          sync.Mutex
+	firstAbove  time.Time // when the wait first exceeded target (zero = it is below)
+	lastObserve time.Time
+	lastDecay   time.Time // idle-decay cursor; never before lastObserve
+	ewma        float64   // smoothed sojourn, seconds
+
+	// drain-rate window: completions are counted per drainWindow and the
+	// rate of the last full window is kept.
+	winStart time.Time
+	winCount int
+	rate     float64 // completions/s over the last full window
+
+	overloaded atomic.Bool
+	sheds      atomic.Uint64
+}
+
+// NewCodel returns a controller with the given target sojourn and overload
+// interval (≤ 0 picks the defaults: 25ms target, 100ms interval).
+func NewCodel(target, interval time.Duration) *Codel {
+	if target <= 0 {
+		target = DefaultSojournTarget
+	}
+	if interval <= 0 {
+		interval = DefaultSojournInterval
+	}
+	return &Codel{target: target, interval: interval, now: time.Now}
+}
+
+// Target returns the sojourn target.
+func (c *Codel) Target() time.Duration { return c.target }
+
+// Observe records the queue wait of a task that just reached a worker.
+// Call it at dequeue time, for every admitted task.
+func (c *Codel) Observe(wait time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.lastObserve = now
+	// EWMA with alpha 1/4: responsive to a building queue, but one stray
+	// slow dequeue does not flip the level.
+	c.ewma += 0.25 * (wait.Seconds() - c.ewma)
+	if wait < c.target {
+		c.firstAbove = time.Time{}
+		c.overloaded.Store(false)
+		return
+	}
+	if c.firstAbove.IsZero() {
+		c.firstAbove = now
+		return
+	}
+	if now.Sub(c.firstAbove) >= c.interval {
+		c.overloaded.Store(true)
+	}
+}
+
+// Complete records one finished task, feeding the drain-rate estimate.
+func (c *Codel) Complete() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	if c.winStart.IsZero() {
+		c.winStart = now
+		c.winCount = 1
+		return
+	}
+	c.winCount++
+	if el := now.Sub(c.winStart); el >= drainWindow {
+		c.rate = float64(c.winCount) / el.Seconds()
+		c.winStart, c.winCount = now, 0
+	}
+}
+
+// Overloaded reports whether admission should shed: the sojourn stayed
+// above target for a full interval and has not yet dropped back below it.
+// A controller that has seen no dequeue for a while recovers on its own —
+// an idle queue is by definition not a standing queue.
+func (c *Codel) Overloaded() bool {
+	if !c.overloaded.Load() {
+		return false
+	}
+	c.mu.Lock()
+	stale := c.now().Sub(c.lastObserve) > 2*c.interval
+	c.mu.Unlock()
+	if stale {
+		c.overloaded.Store(false)
+		return false
+	}
+	return true
+}
+
+// Shed counts one admission rejected because of sojourn overload (the pool
+// calls it so the counter stays next to the decision).
+func (c *Codel) Shed() { c.sheds.Add(1) }
+
+// Sheds returns how many admissions the sojourn controller rejected.
+func (c *Codel) Sheds() float64 { return float64(c.sheds.Load()) }
+
+// Sojourn returns the smoothed queue wait.
+func (c *Codel) Sojourn() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.decayLocked()
+	return time.Duration(c.ewma * float64(time.Second))
+}
+
+// decayLocked halves the sojourn EWMA for every interval that passed with
+// no dequeue to observe. Without it the controller can wedge: a spike
+// pushes the EWMA (and so LoadFrac) to Critical, Critical sheds every
+// admission, nothing dequeues, and the stale EWMA holds the server in
+// Critical with nothing left to refresh it. An idle queue's standing wait
+// is zero; the EWMA must converge there on its own.
+func (c *Codel) decayLocked() {
+	if c.ewma == 0 {
+		return
+	}
+	ref := c.lastObserve
+	if c.lastDecay.After(ref) {
+		ref = c.lastDecay
+	}
+	if ref.IsZero() {
+		return
+	}
+	now := c.now()
+	for c.ewma > 0 && now.Sub(ref) >= c.interval {
+		c.ewma /= 2
+		ref = ref.Add(c.interval)
+	}
+	// Below a microsecond the residue is noise, not a queue; snap to zero.
+	if c.ewma < 1e-6 {
+		c.ewma = 0
+	}
+	c.lastDecay = ref
+}
+
+// DrainRate returns the observed completion rate in tasks/s (0 until the
+// first sampling window fills).
+func (c *Codel) DrainRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.drainRateLocked()
+}
+
+func (c *Codel) drainRateLocked() float64 {
+	rate := c.rate
+	// Early traffic: fold the in-progress window in so the first shed of a
+	// cold process does not fall back to the 1s default.
+	if rate == 0 && c.winCount > 0 && !c.winStart.IsZero() {
+		if el := c.now().Sub(c.winStart); el > 0 {
+			rate = float64(c.winCount) / el.Seconds()
+		}
+	}
+	return rate
+}
+
+// RetryAfter estimates how long a shed caller should back off before the
+// backlog ahead of it can drain: (backlog+1)/drain-rate, rounded up to
+// whole seconds (the HTTP Retry-After unit) and clamped to [1s, 30s]. With
+// no drain estimate yet it returns the 1s floor.
+func (c *Codel) RetryAfter(backlog int) time.Duration {
+	c.mu.Lock()
+	rate := c.drainRateLocked()
+	c.mu.Unlock()
+	if rate <= 0 {
+		return time.Second
+	}
+	secs := math.Ceil(float64(backlog+1) / rate)
+	d := time.Duration(secs) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > MaxRetryAfter {
+		d = MaxRetryAfter
+	}
+	return d
+}
+
+// LoadFrac maps the controller's state onto the monitor's [0,1] load
+// scale: 1.0 (Critical) at 4× the target sojourn, and at least 0.75
+// (Elevated at the default thresholds) whenever sustained overload is
+// shedding — a standing queue is never Nominal.
+func (c *Codel) LoadFrac() float64 {
+	c.mu.Lock()
+	c.decayLocked()
+	s := c.ewma
+	c.mu.Unlock()
+	f := s / (4 * c.target.Seconds())
+	if c.Overloaded() && f < 0.75 {
+		f = 0.75
+	}
+	return f
+}

@@ -1,0 +1,202 @@
+package pressure
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic controller
+// tests; the real components only ever read it through the now func.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testCodel(target, interval time.Duration) (*Codel, *fakeClock) {
+	clk := newFakeClock()
+	c := NewCodel(target, interval)
+	c.now = clk.Now
+	return c, clk
+}
+
+func TestCodelBelowTargetNeverOverloads(t *testing.T) {
+	c, clk := testCodel(10*time.Millisecond, 100*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		c.Observe(time.Millisecond)
+		clk.Advance(5 * time.Millisecond)
+	}
+	if c.Overloaded() {
+		t.Fatal("overloaded with every sojourn below target")
+	}
+}
+
+func TestCodelSustainedAboveTargetSheds(t *testing.T) {
+	c, clk := testCodel(10*time.Millisecond, 100*time.Millisecond)
+	// First high observation only starts the interval clock.
+	c.Observe(50 * time.Millisecond)
+	if c.Overloaded() {
+		t.Fatal("overloaded immediately on first high sojourn (bursts must be absorbed)")
+	}
+	// Stay above target, but for less than the interval: still fine.
+	clk.Advance(50 * time.Millisecond)
+	c.Observe(50 * time.Millisecond)
+	if c.Overloaded() {
+		t.Fatal("overloaded before a full interval above target")
+	}
+	// A full interval above target: standing queue, shed.
+	clk.Advance(60 * time.Millisecond)
+	c.Observe(50 * time.Millisecond)
+	if !c.Overloaded() {
+		t.Fatal("not overloaded after a full interval above target")
+	}
+	// One below-target dequeue ends the episode.
+	clk.Advance(time.Millisecond)
+	c.Observe(time.Millisecond)
+	if c.Overloaded() {
+		t.Fatal("still overloaded after sojourn dropped below target")
+	}
+}
+
+func TestCodelDipBelowTargetResetsInterval(t *testing.T) {
+	c, clk := testCodel(10*time.Millisecond, 100*time.Millisecond)
+	c.Observe(50 * time.Millisecond)
+	clk.Advance(90 * time.Millisecond)
+	c.Observe(time.Millisecond) // dip: the interval clock must restart
+	clk.Advance(20 * time.Millisecond)
+	c.Observe(50 * time.Millisecond)
+	if c.Overloaded() {
+		t.Fatal("overloaded although the above-target episode restarted")
+	}
+}
+
+func TestCodelIdleRecovers(t *testing.T) {
+	c, clk := testCodel(10*time.Millisecond, 100*time.Millisecond)
+	c.Observe(50 * time.Millisecond)
+	clk.Advance(110 * time.Millisecond)
+	c.Observe(50 * time.Millisecond)
+	if !c.Overloaded() {
+		t.Fatal("not overloaded after sustained high sojourn")
+	}
+	// No dequeues for two intervals: the queue cannot be standing.
+	clk.Advance(250 * time.Millisecond)
+	if c.Overloaded() {
+		t.Fatal("overload state survived an idle queue")
+	}
+}
+
+func TestCodelDrainRateAndRetryAfter(t *testing.T) {
+	c, clk := testCodel(10*time.Millisecond, 100*time.Millisecond)
+	if got := c.RetryAfter(100); got != time.Second {
+		t.Fatalf("cold RetryAfter = %v, want 1s floor", got)
+	}
+	// 10 completions over 1s -> 10 tasks/s.
+	for i := 0; i < 11; i++ {
+		c.Complete()
+		clk.Advance(100 * time.Millisecond)
+	}
+	rate := c.DrainRate()
+	if rate < 9 || rate > 11 {
+		t.Fatalf("drain rate = %.2f, want ~10/s", rate)
+	}
+	// 19 queued ahead + this one = 2s at 10/s.
+	if got := c.RetryAfter(19); got != 2*time.Second {
+		t.Fatalf("RetryAfter(19) = %v, want 2s", got)
+	}
+	if got := c.RetryAfter(0); got != time.Second {
+		t.Fatalf("RetryAfter(0) = %v, want 1s", got)
+	}
+	if got := c.RetryAfter(1_000_000); got != MaxRetryAfter {
+		t.Fatalf("RetryAfter(huge) = %v, want clamp to %v", got, MaxRetryAfter)
+	}
+}
+
+func TestCodelDrainRateColdWindow(t *testing.T) {
+	c, clk := testCodel(10*time.Millisecond, 100*time.Millisecond)
+	// Only a partial window so far: the in-progress counts must still
+	// yield an estimate instead of the 1s fallback.
+	c.Complete()
+	clk.Advance(200 * time.Millisecond)
+	c.Complete()
+	clk.Advance(200 * time.Millisecond)
+	if rate := c.DrainRate(); rate <= 0 {
+		t.Fatalf("drain rate = %v, want partial-window estimate > 0", rate)
+	}
+}
+
+func TestCodelLoadFrac(t *testing.T) {
+	c, clk := testCodel(10*time.Millisecond, 100*time.Millisecond)
+	if f := c.LoadFrac(); f != 0 {
+		t.Fatalf("idle LoadFrac = %v, want 0", f)
+	}
+	// Saturate the EWMA at 4x target: critical.
+	for i := 0; i < 64; i++ {
+		c.Observe(40 * time.Millisecond)
+		clk.Advance(10 * time.Millisecond)
+	}
+	if f := c.LoadFrac(); f < 0.95 {
+		t.Fatalf("LoadFrac at 4x target = %v, want ~1", f)
+	}
+	if !c.Overloaded() {
+		t.Fatal("not overloaded at sustained 4x target")
+	}
+}
+
+func TestCodelShedCounter(t *testing.T) {
+	c, _ := testCodel(0, 0)
+	if c.Target() != DefaultSojournTarget {
+		t.Fatalf("default target = %v", c.Target())
+	}
+	c.Shed()
+	c.Shed()
+	if c.Sheds() != 2 {
+		t.Fatalf("sheds = %v, want 2", c.Sheds())
+	}
+}
+
+// TestCodelLoadFracDecaysWhenIdle is the anti-wedge regression: a sojourn
+// spike pushes LoadFrac past Critical, and if everything is then shed
+// (nothing dequeues, so nothing Observes), the EWMA must decay on its own
+// instead of holding the pressure level at Critical forever.
+func TestCodelLoadFracDecaysWhenIdle(t *testing.T) {
+	c, clk := testCodel(10*time.Millisecond, 100*time.Millisecond)
+	c.Observe(200 * time.Millisecond)
+	c.Observe(200 * time.Millisecond)
+	if f := c.LoadFrac(); f < 1 {
+		t.Fatalf("LoadFrac after 200ms sojourns = %v, want ≥ 1 (Critical)", f)
+	}
+	// No dequeues for a while: each idle interval halves the estimate.
+	clk.Advance(300 * time.Millisecond)
+	mid := c.LoadFrac()
+	if f := c.LoadFrac(); f >= 1 {
+		t.Fatalf("LoadFrac after 3 idle intervals = %v, want decayed below 1", f)
+	}
+	clk.Advance(2 * time.Second)
+	if f := c.LoadFrac(); f >= mid || f > 0.01 {
+		t.Fatalf("LoadFrac after 2s idle = %v, want ~0", f)
+	}
+	if s := c.Sojourn(); s != 0 {
+		t.Fatalf("Sojourn after long idle = %v, want 0", s)
+	}
+	// A fresh observation restarts the estimate from live data.
+	c.Observe(5 * time.Millisecond)
+	if f := c.LoadFrac(); f <= 0 {
+		t.Fatalf("LoadFrac after fresh observe = %v, want > 0", f)
+	}
+}

@@ -1,0 +1,173 @@
+package pressure
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is the aggregated load level the serving layer degrades by.
+type Level int32
+
+const (
+	// Nominal: serve full-quality answers.
+	Nominal Level = iota
+	// Elevated: brownout — tighten per-query deadlines so the anytime
+	// machinery serves cheaper degraded (206) answers with sound bounds
+	// instead of queueing toward collapse.
+	Elevated
+	// Critical: shed new non-waiting work (429 + drain-derived
+	// Retry-After); cache hits keep serving so goodput never hits zero.
+	Critical
+)
+
+func (l Level) String() string {
+	switch l {
+	case Elevated:
+		return "elevated"
+	case Critical:
+		return "critical"
+	default:
+		return "nominal"
+	}
+}
+
+// MonitorConfig tunes a Monitor. The zero value is usable: Elevated at a
+// 0.5 load fraction, Critical at 1.0, signals re-evaluated at most every
+// 100ms.
+type MonitorConfig struct {
+	// ElevatedAt / CriticalAt are thresholds on the maximum signal load
+	// fraction (≤ 0 = 0.5 / 1.0). Signals are normalized so 1.0 means
+	// "this resource is at its configured limit".
+	ElevatedAt, CriticalAt float64
+	// Refresh bounds how often the signal set is re-evaluated; between
+	// refreshes Level returns the cached value so the per-request cost is
+	// one atomic load (≤ 0 = 100ms; use a negative Refresh in tests to
+	// evaluate on every call).
+	Refresh time.Duration
+}
+
+// Monitor aggregates named load signals — queue sojourn, pending-edit
+// watermark, heap bytes — into one Level. Each signal is a function
+// returning a load fraction where ≥ 1.0 means the resource is at its
+// limit; the monitor's level is driven by the worst signal. Safe for
+// concurrent use; evaluation is rate-limited by Refresh so Level can sit
+// on the per-request hot path.
+type Monitor struct {
+	cfg MonitorConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	signals map[string]func() float64
+	loads   map[string]float64 // last evaluated fraction per signal
+
+	level     atomic.Int32
+	lastNanos atomic.Int64 // unix nanos of the last evaluation
+}
+
+// NewMonitor returns a monitor with no signals (Level = Nominal).
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.ElevatedAt <= 0 {
+		cfg.ElevatedAt = 0.5
+	}
+	if cfg.CriticalAt <= 0 {
+		cfg.CriticalAt = 1.0
+	}
+	if cfg.Refresh == 0 {
+		cfg.Refresh = 100 * time.Millisecond
+	}
+	return &Monitor{
+		cfg:     cfg,
+		now:     time.Now,
+		signals: make(map[string]func() float64),
+		loads:   make(map[string]float64),
+	}
+}
+
+// SetSignal registers (or replaces) the named signal; a nil fn removes it.
+// Signal functions must be safe for concurrent use and cheap enough to run
+// every Refresh.
+func (m *Monitor) SetSignal(name string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fn == nil {
+		delete(m.signals, name)
+		delete(m.loads, name)
+	} else {
+		m.signals[name] = fn
+	}
+	// Force the next Level call to re-evaluate with the new signal set.
+	m.lastNanos.Store(0)
+}
+
+// Level returns the current aggregated load level, re-evaluating the
+// signals when the cached value is older than Refresh.
+func (m *Monitor) Level() Level {
+	if last := m.lastNanos.Load(); last != 0 &&
+		m.now().Sub(time.Unix(0, last)) < m.cfg.Refresh {
+		return Level(m.level.Load())
+	}
+	return m.refresh()
+}
+
+func (m *Monitor) refresh() Level {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Another caller may have refreshed while we waited for the lock.
+	if last := m.lastNanos.Load(); last != 0 &&
+		m.now().Sub(time.Unix(0, last)) < m.cfg.Refresh {
+		return Level(m.level.Load())
+	}
+	worst := 0.0
+	for name, fn := range m.signals {
+		f := fn()
+		m.loads[name] = f
+		if f > worst {
+			worst = f
+		}
+	}
+	lvl := Nominal
+	switch {
+	case worst >= m.cfg.CriticalAt:
+		lvl = Critical
+	case worst >= m.cfg.ElevatedAt:
+		lvl = Elevated
+	}
+	m.level.Store(int32(lvl))
+	m.lastNanos.Store(m.now().UnixNano())
+	return lvl
+}
+
+// Load returns the last evaluated fraction of the named signal (0 when the
+// signal is absent or not yet evaluated).
+func (m *Monitor) Load(name string) float64 {
+	m.Level() // make sure the cache is not arbitrarily stale
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.loads[name]
+}
+
+// Snapshot returns the current level plus a copy of every signal's last
+// evaluated load fraction, for stats endpoints.
+func (m *Monitor) Snapshot() (Level, map[string]float64) {
+	lvl := m.Level()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	loads := make(map[string]float64, len(m.loads))
+	for k, v := range m.loads {
+		loads[k] = v
+	}
+	return lvl, loads
+}
+
+// HeapFrac returns a signal reading the live heap against a soft limit in
+// bytes. ReadMemStats is not free, which is exactly why Monitor evaluates
+// signals at most once per Refresh.
+func HeapFrac(softLimit int64) func() float64 {
+	return func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc) / float64(softLimit)
+	}
+}

@@ -1,0 +1,114 @@
+package pressure
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func testMonitor(cfg MonitorConfig) (*Monitor, *fakeClock) {
+	clk := newFakeClock()
+	m := NewMonitor(cfg)
+	m.now = clk.Now
+	return m, clk
+}
+
+func TestMonitorNoSignalsNominal(t *testing.T) {
+	m, _ := testMonitor(MonitorConfig{Refresh: -1})
+	if got := m.Level(); got != Nominal {
+		t.Fatalf("level with no signals = %v, want Nominal", got)
+	}
+}
+
+func TestMonitorThresholds(t *testing.T) {
+	m, _ := testMonitor(MonitorConfig{Refresh: -1})
+	load := 0.0
+	var mu sync.Mutex
+	m.SetSignal("x", func() float64 { mu.Lock(); defer mu.Unlock(); return load })
+	set := func(v float64) { mu.Lock(); load = v; mu.Unlock() }
+
+	for _, tc := range []struct {
+		load float64
+		want Level
+	}{
+		{0.0, Nominal}, {0.49, Nominal}, {0.5, Elevated},
+		{0.99, Elevated}, {1.0, Critical}, {2.5, Critical}, {0.1, Nominal},
+	} {
+		set(tc.load)
+		if got := m.Level(); got != tc.want {
+			t.Fatalf("load %.2f: level = %v, want %v", tc.load, got, tc.want)
+		}
+	}
+}
+
+func TestMonitorWorstSignalWins(t *testing.T) {
+	m, _ := testMonitor(MonitorConfig{Refresh: -1})
+	m.SetSignal("calm", func() float64 { return 0.1 })
+	m.SetSignal("hot", func() float64 { return 1.2 })
+	if got := m.Level(); got != Critical {
+		t.Fatalf("level = %v, want Critical (worst signal)", got)
+	}
+	if f := m.Load("hot"); f != 1.2 {
+		t.Fatalf("Load(hot) = %v, want 1.2", f)
+	}
+	// Removing the hot signal must force a re-evaluation.
+	m.SetSignal("hot", nil)
+	if got := m.Level(); got != Nominal {
+		t.Fatalf("level after removing hot signal = %v, want Nominal", got)
+	}
+	if f := m.Load("hot"); f != 0 {
+		t.Fatalf("Load(removed) = %v, want 0", f)
+	}
+}
+
+func TestMonitorRefreshCaches(t *testing.T) {
+	m, clk := testMonitor(MonitorConfig{Refresh: 100 * time.Millisecond})
+	calls := 0
+	m.SetSignal("x", func() float64 { calls++; return 0 })
+	m.Level()
+	m.Level()
+	m.Level()
+	if calls != 1 {
+		t.Fatalf("signal evaluated %d times inside one refresh window, want 1", calls)
+	}
+	clk.Advance(150 * time.Millisecond)
+	m.Level()
+	if calls != 2 {
+		t.Fatalf("signal evaluated %d times after window expiry, want 2", calls)
+	}
+}
+
+func TestMonitorSnapshot(t *testing.T) {
+	m, _ := testMonitor(MonitorConfig{Refresh: -1})
+	m.SetSignal("a", func() float64 { return 0.7 })
+	lvl, loads := m.Snapshot()
+	if lvl != Elevated {
+		t.Fatalf("snapshot level = %v, want Elevated", lvl)
+	}
+	if loads["a"] != 0.7 {
+		t.Fatalf("snapshot loads = %v", loads)
+	}
+	// The returned map is a copy.
+	loads["a"] = 99
+	if f := m.Load("a"); f != 0.7 {
+		t.Fatalf("internal load mutated through snapshot copy: %v", f)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lvl, want := range map[Level]string{
+		Nominal: "nominal", Elevated: "elevated", Critical: "critical",
+	} {
+		if got := lvl.String(); got != want {
+			t.Fatalf("Level(%d).String() = %q, want %q", lvl, got, want)
+		}
+	}
+}
+
+func TestHeapFrac(t *testing.T) {
+	f := HeapFrac(1 << 40) // 1 TiB soft limit: tiny fraction, but > 0
+	got := f()
+	if got <= 0 || got >= 1 {
+		t.Fatalf("HeapFrac(1TiB) = %v, want in (0,1)", got)
+	}
+}

@@ -1,0 +1,110 @@
+package pressure
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxQuotaClients bounds the bucket map so an address-spoofing client
+// cannot grow it without bound; stalest (fullest) buckets are evicted
+// first, which forgets only clients that were not consuming quota anyway.
+const maxQuotaClients = 4096
+
+// Quota is a set of per-client token buckets for write-path backpressure:
+// each client refills at rate tokens/s up to burst, and a request costing n
+// tokens (one per edge edit) is admitted only when the client's bucket
+// covers it. Rejections come with the wait until the bucket will, so the
+// 429 can carry an honest Retry-After. Safe for concurrent use.
+type Quota struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	rejects atomic.Uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuota returns a quota set refilling rate tokens/s per client with the
+// given burst capacity (≤ 0 = 4× rate, floored at rate so a single
+// rate-sized batch is always admissible from a full bucket).
+func NewQuota(rate, burst float64) *Quota {
+	if burst <= 0 {
+		burst = 4 * rate
+	}
+	if burst < rate {
+		burst = rate
+	}
+	return &Quota{rate: rate, burst: burst, now: time.Now,
+		buckets: make(map[string]*bucket)}
+}
+
+// Allow charges n tokens to client. When the bucket cannot cover the
+// charge nothing is deducted and retryAfter says how long until it could
+// (rounded up to whole seconds, clamped to [1s, 30s]). A Quota with
+// rate ≤ 0 admits everything.
+func (q *Quota) Allow(client string, n float64) (ok bool, retryAfter time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.buckets[client]
+	if b == nil {
+		q.evictLocked()
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[client] = b
+	} else {
+		b.tokens = math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	q.rejects.Add(1)
+	secs := math.Ceil((n - b.tokens) / q.rate)
+	d := time.Duration(secs) * time.Second
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > MaxRetryAfter {
+		d = MaxRetryAfter
+	}
+	return false, d
+}
+
+// evictLocked makes room for one more bucket when the map is at capacity,
+// dropping the entry that has been idle the longest.
+func (q *Quota) evictLocked() {
+	if len(q.buckets) < maxQuotaClients {
+		return
+	}
+	var oldest string
+	var oldestAt time.Time
+	for k, b := range q.buckets {
+		if oldest == "" || b.last.Before(oldestAt) {
+			oldest, oldestAt = k, b.last
+		}
+	}
+	delete(q.buckets, oldest)
+}
+
+// Clients returns how many client buckets are tracked.
+func (q *Quota) Clients() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}
+
+// Rejects returns how many charges were refused.
+func (q *Quota) Rejects() float64 { return float64(q.rejects.Load()) }

@@ -1,0 +1,112 @@
+package pressure
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testQuota(rate, burst float64) (*Quota, *fakeClock) {
+	clk := newFakeClock()
+	q := NewQuota(rate, burst)
+	q.now = clk.Now
+	return q, clk
+}
+
+func TestQuotaBurstThenReject(t *testing.T) {
+	q, _ := testQuota(10, 20)
+	ok, _ := q.Allow("a", 20)
+	if !ok {
+		t.Fatal("full burst not admitted from a fresh bucket")
+	}
+	ok, retry := q.Allow("a", 1)
+	if ok {
+		t.Fatal("admitted past an empty bucket")
+	}
+	if retry != time.Second {
+		t.Fatalf("retryAfter = %v, want 1s (1 token at 10/s rounds up)", retry)
+	}
+	if q.Rejects() != 1 {
+		t.Fatalf("rejects = %v, want 1", q.Rejects())
+	}
+}
+
+func TestQuotaRefill(t *testing.T) {
+	q, clk := testQuota(10, 20)
+	q.Allow("a", 20)
+	clk.Advance(time.Second) // +10 tokens
+	if ok, _ := q.Allow("a", 10); !ok {
+		t.Fatal("refilled tokens not admitted")
+	}
+	if ok, _ := q.Allow("a", 1); ok {
+		t.Fatal("admitted more than the refill")
+	}
+	// Refill caps at burst.
+	clk.Advance(time.Hour)
+	if ok, _ := q.Allow("a", 20); !ok {
+		t.Fatal("burst-capacity charge rejected after long idle")
+	}
+	if ok, _ := q.Allow("a", 1); ok {
+		t.Fatal("bucket refilled past burst")
+	}
+}
+
+func TestQuotaRetryAfterScalesWithDeficit(t *testing.T) {
+	q, _ := testQuota(10, 20)
+	q.Allow("a", 20)
+	_, retry := q.Allow("a", 55) // deficit 55 at 10/s -> 6s
+	if retry != 6*time.Second {
+		t.Fatalf("retryAfter = %v, want 6s", retry)
+	}
+	_, retry = q.Allow("a", 1e9)
+	if retry != MaxRetryAfter {
+		t.Fatalf("retryAfter = %v, want clamp to %v", retry, MaxRetryAfter)
+	}
+}
+
+func TestQuotaClientsIndependent(t *testing.T) {
+	q, _ := testQuota(10, 20)
+	q.Allow("a", 20)
+	if ok, _ := q.Allow("b", 20); !ok {
+		t.Fatal("client b throttled by client a's spend")
+	}
+	if q.Clients() != 2 {
+		t.Fatalf("clients = %d, want 2", q.Clients())
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	q, _ := testQuota(0, 0)
+	if ok, retry := q.Allow("a", 1e12); !ok || retry != 0 {
+		t.Fatal("rate ≤ 0 must admit everything")
+	}
+	if q.Clients() != 0 {
+		t.Fatal("disabled quota tracked a bucket")
+	}
+}
+
+func TestQuotaEviction(t *testing.T) {
+	q, clk := testQuota(10, 20)
+	for i := 0; i < maxQuotaClients; i++ {
+		q.Allow(fmt.Sprintf("c%d", i), 1)
+		clk.Advance(time.Millisecond)
+	}
+	if q.Clients() != maxQuotaClients {
+		t.Fatalf("clients = %d, want %d", q.Clients(), maxQuotaClients)
+	}
+	// One more client evicts the longest-idle bucket (c0) instead of growing.
+	q.Allow("fresh", 1)
+	if q.Clients() != maxQuotaClients {
+		t.Fatalf("clients after eviction = %d, want %d", q.Clients(), maxQuotaClients)
+	}
+	q.mu.Lock()
+	_, c0 := q.buckets["c0"]
+	_, last := q.buckets[fmt.Sprintf("c%d", maxQuotaClients-1)]
+	q.mu.Unlock()
+	if c0 {
+		t.Fatal("longest-idle bucket survived eviction")
+	}
+	if !last {
+		t.Fatal("recently active bucket was evicted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"resacc/internal/crash"
 	"resacc/internal/faultinject"
 	"resacc/internal/obs"
+	"resacc/internal/pressure"
 )
 
 // Config tunes one Engine. The zero value is usable: 64 MiB cache in 16
@@ -31,9 +32,23 @@ type Config struct {
 	// so a task per worker can always park). Beyond it, non-waiting
 	// requests shed.
 	QueueDepth int
+	// SojournTarget / SojournInterval tune the CoDel-style admission
+	// controller: non-waiting work sheds once the realized queue wait
+	// stays above target for a full interval, even while the depth-bounded
+	// queue still has room (0 = 25ms / 100ms defaults; a negative
+	// SojournTarget disables sojourn control and falls back to pure
+	// fixed-depth shedding).
+	SojournTarget   time.Duration
+	SojournInterval time.Duration
+	// Pressure, when non-nil, gates admission on the aggregated load
+	// level: at Critical, non-waiting cache misses shed at the door with
+	// ErrOverloaded (cache hits keep serving, so goodput never collapses
+	// to zero).
+	Pressure *pressure.Monitor
 	// Metrics, when non-nil, receives every engine metric family
 	// (hits, misses, evictions, dedup joins, sheds, queue depth,
-	// cache size, cached-vs-computed latency histograms).
+	// cache size, cached-vs-computed latency histograms, sojourn and
+	// drain-rate pressure gauges).
 	Metrics *obs.Registry
 }
 
@@ -68,8 +83,11 @@ type Engine[V any] struct {
 	cache   *Cache[V]
 	flights flightGroup[V]
 	pool    *Pool
+	codel   *pressure.Codel   // nil when sojourn control is disabled
+	monitor *pressure.Monitor // nil when no brownout gating is wired
 
 	hits, misses, joins, shed *obs.Counter
+	shedCritical              *obs.Counter
 	evictCap, evictTTL        *obs.Counter
 	evictInv                  *obs.Counter
 	panics                    *obs.Counter
@@ -102,9 +120,15 @@ func New[V any](cfg Config) *Engine[V] {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 4 * cfg.Workers
 	}
+	var codel *pressure.Codel
+	if cfg.SojournTarget >= 0 {
+		codel = pressure.NewCodel(cfg.SojournTarget, cfg.SojournInterval)
+	}
 	e := &Engine[V]{
-		cache: NewCache[V](cfg.CapacityBytes, cfg.Shards, cfg.TTL),
-		pool:  NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:   NewCache[V](cfg.CapacityBytes, cfg.Shards, cfg.TTL),
+		pool:    NewPoolSojourn(cfg.Workers, cfg.QueueDepth, codel),
+		codel:   codel,
+		monitor: cfg.Pressure,
 	}
 	if reg := cfg.Metrics; reg != nil {
 		e.hits = reg.Counter("rwr_engine_cache_hits_total",
@@ -114,7 +138,20 @@ func New[V any](cfg Config) *Engine[V] {
 		e.joins = reg.Counter("rwr_engine_dedup_joins_total",
 			"Engine queries that joined an in-flight identical computation.")
 		e.shed = reg.Counter("rwr_engine_shed_total",
-			"Engine queries shed because the wait queue was full.")
+			"Engine queries shed because the wait queue was full, the sojourn controller detected a standing queue, or pressure was Critical.")
+		e.shedCritical = reg.Counter("rwr_pressure_critical_sheds_total",
+			"Engine queries shed at the door because pressure was Critical.")
+		if codel != nil {
+			reg.GaugeFunc("rwr_pressure_sojourn_seconds",
+				"Smoothed queue wait of admitted computations.",
+				func() float64 { return codel.Sojourn().Seconds() })
+			reg.GaugeFunc("rwr_pressure_drain_rate",
+				"Observed computation completion rate (tasks/s).",
+				codel.DrainRate)
+			reg.CounterFunc("rwr_pressure_sojourn_sheds_total",
+				"Admissions rejected by the sojourn controller.",
+				codel.Sheds)
+		}
 		const evHelp = "Result-cache evictions, by reason."
 		e.evictCap = reg.Counter("rwr_engine_cache_evictions_total", evHelp, "reason", "capacity")
 		e.evictTTL = reg.Counter("rwr_engine_cache_evictions_total", evHelp, "reason", "expired")
@@ -137,6 +174,7 @@ func New[V any](cfg Config) *Engine[V] {
 			obs.DefBuckets, "path", "compute")
 	} else {
 		e.hits, e.misses, e.joins, e.shed = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
+		e.shedCritical = &obs.Counter{}
 		e.evictCap, e.evictTTL, e.evictInv = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
 		e.panics = &obs.Counter{}
 		e.histHit, e.histCompute = obs.NewHistogram(nil), obs.NewHistogram(nil)
@@ -178,6 +216,15 @@ func (e *Engine[V]) Do(ctx context.Context, key Key, wait bool,
 	if err := ctx.Err(); err != nil {
 		var zero V
 		return zero, OutcomeComputed, err
+	}
+	// Critical pressure sheds non-waiting misses at the door — before the
+	// singleflight, so a shed request does not pin a flight slot. Cache
+	// hits were already served above: goodput never collapses to zero.
+	if !wait && e.monitor != nil && e.monitor.Level() == pressure.Critical {
+		e.shed.Inc()
+		e.shedCritical.Inc()
+		var zero V
+		return zero, OutcomeComputed, ErrOverloaded
 	}
 	v, joined, err := e.flights.do(ctx, key, func(fctx context.Context, finish func(V, error)) {
 		run := func() {
@@ -250,6 +297,21 @@ func (e *Engine[V]) Cache() *Cache[V] { return e.cache }
 
 // Pool exposes the admission pool for depth/worker inspection.
 func (e *Engine[V]) Pool() *Pool { return e.pool }
+
+// Codel exposes the sojourn controller (nil when disabled) so the owner
+// can feed its load fraction into a pressure.Monitor.
+func (e *Engine[V]) Codel() *pressure.Codel { return e.codel }
+
+// RetryAfter derives a backoff hint for a shed request from the observed
+// drain rate and the backlog ahead of a new arrival, clamped to
+// [1s, pressure.MaxRetryAfter]. With sojourn control disabled it returns
+// the 1s floor.
+func (e *Engine[V]) RetryAfter() time.Duration {
+	if e.codel == nil {
+		return time.Second
+	}
+	return e.codel.RetryAfter(e.pool.QueueDepth())
+}
 
 // Hits returns the cache-hit count (tests and stats endpoints).
 func (e *Engine[V]) Hits() float64 { return e.hits.Value() }

@@ -4,10 +4,14 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
+
+	"resacc/internal/pressure"
 )
 
-// ErrOverloaded is returned when the wait queue is full and the work was
-// shed instead of admitted. cmd/rwrd maps it to HTTP 429 + Retry-After.
+// ErrOverloaded is returned when the work was shed instead of admitted —
+// either the wait queue is full, or the sojourn controller detected a
+// standing queue. cmd/rwrd maps it to HTTP 429 + Retry-After.
 var ErrOverloaded = errors.New("serve: engine overloaded, request shed")
 
 // ErrPoolClosed is returned by Submit/TrySubmit after Close.
@@ -15,15 +19,27 @@ var ErrPoolClosed = errors.New("serve: pool closed")
 
 // Pool is the admission controller: a fixed set of worker goroutines
 // draining a bounded queue. TrySubmit sheds immediately when the queue is
-// full (interactive traffic must fail fast under overload); Submit blocks
-// until there is room or the caller's context expires (batch fan-out is
-// already admitted as one request and should be paced, not shed).
+// full or the sojourn controller says the queue is standing (interactive
+// traffic must fail fast under overload); Submit blocks until there is room
+// or the caller's context expires (batch fan-out is already admitted as one
+// request and should be paced, not shed).
 type Pool struct {
-	queue   chan func()
+	queue   chan queued
+	done    chan struct{} // closed by Close to wake blocked Submits
 	wg      sync.WaitGroup
-	mu      sync.RWMutex // guards closed vs in-flight sends
+	sending sync.WaitGroup // in-flight queue sends; Close waits before close(queue)
+	mu      sync.Mutex
 	closed  bool
 	workers int
+	codel   *pressure.Codel  // nil = fixed-depth shedding only
+	now     func() time.Time // injectable clock for deterministic tests
+}
+
+// queued is an admitted task stamped with its enqueue time so the worker
+// can report the realized queue wait to the sojourn controller.
+type queued struct {
+	fn func()
+	at time.Time
 }
 
 // NewPool starts workers goroutines behind a queue of depth queueDepth
@@ -31,53 +47,95 @@ type Pool struct {
 // task per worker can always be parked even before the workers are
 // scheduled).
 func NewPool(workers, queueDepth int) *Pool {
+	return NewPoolSojourn(workers, queueDepth, nil)
+}
+
+// NewPoolSojourn is NewPool with a sojourn-time admission controller: every
+// dequeue feeds its queue wait to c, and TrySubmit sheds while c reports a
+// standing queue even when the depth-bounded queue still has room. A nil c
+// keeps the fixed-depth behaviour.
+func NewPoolSojourn(workers, queueDepth int, c *pressure.Codel) *Pool {
 	if workers <= 0 {
 		workers = 1
 	}
 	if queueDepth < 1 {
 		queueDepth = workers
 	}
-	p := &Pool{queue: make(chan func(), queueDepth), workers: workers}
+	p := &Pool{
+		queue:   make(chan queued, queueDepth),
+		done:    make(chan struct{}),
+		workers: workers,
+		codel:   c,
+		now:     time.Now,
+	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
-			for fn := range p.queue {
-				fn()
+			for q := range p.queue {
+				if p.codel != nil {
+					p.codel.Observe(p.now().Sub(q.at))
+				}
+				q.fn()
+				if p.codel != nil {
+					p.codel.Complete()
+				}
 			}
 		}()
 	}
 	return p
 }
 
-// TrySubmit enqueues fn if the queue has room; a full queue returns
-// ErrOverloaded without blocking.
-func (p *Pool) TrySubmit(fn func()) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+// enter registers an in-flight submission. It fails once the pool is
+// closed; while it holds, Close cannot close the queue channel under a
+// concurrent send.
+func (p *Pool) enter() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
+		return false
+	}
+	p.sending.Add(1)
+	return true
+}
+
+// TrySubmit enqueues fn if the queue has room and the sojourn controller is
+// not shedding; overload returns ErrOverloaded without blocking.
+func (p *Pool) TrySubmit(fn func()) error {
+	if !p.enter() {
 		return ErrPoolClosed
 	}
+	defer p.sending.Done()
+	if p.codel != nil && p.codel.Overloaded() {
+		p.codel.Shed()
+		return ErrOverloaded
+	}
 	select {
-	case p.queue <- fn:
+	case p.queue <- queued{fn: fn, at: p.now()}:
 		return nil
 	default:
+		if p.codel != nil {
+			p.codel.Shed()
+		}
 		return ErrOverloaded
 	}
 }
 
-// Submit enqueues fn, waiting for queue room until ctx expires.
+// Submit enqueues fn, waiting for queue room until ctx expires or the pool
+// closes. A Submit blocked on a full queue is woken by Close and returns
+// ErrPoolClosed, so graceful shutdown is bounded.
 func (p *Pool) Submit(ctx context.Context, fn func()) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
+	if !p.enter() {
 		return ErrPoolClosed
 	}
+	defer p.sending.Done()
 	select {
-	case p.queue <- fn:
+	case p.queue <- queued{fn: fn, at: p.now()}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	case <-p.done:
+		return ErrPoolClosed
 	}
 }
 
@@ -87,14 +145,19 @@ func (p *Pool) QueueDepth() int { return len(p.queue) }
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// Close rejects further submissions, then waits for the workers to drain
-// whatever was already admitted.
+// Close rejects further submissions, wakes any Submit blocked on a full
+// queue, then waits for the workers to drain whatever was already admitted.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	if !p.closed {
-		p.closed = true
-		close(p.queue)
-	}
+	already := p.closed
+	p.closed = true
 	p.mu.Unlock()
+	if already {
+		p.wg.Wait()
+		return
+	}
+	close(p.done)    // wake blocked Submits; they see ErrPoolClosed
+	p.sending.Wait() // no sends can be in flight past this point
+	close(p.queue)   // workers drain the backlog and exit
 	p.wg.Wait()
 }

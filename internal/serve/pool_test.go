@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resacc/internal/pressure"
+)
+
+// TestPoolCloseWakesBlockedSubmit is the regression test for the shutdown
+// stall: a Submit blocked on a full queue used to hold the read lock Close
+// needed, so Close could never complete. Closing must instead wake the
+// blocked submitter with ErrPoolClosed within a bounded time.
+func TestPoolCloseWakesBlockedSubmit(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	// Occupy the worker and fill the queue.
+	if err := p.Submit(context.Background(), func() { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	for p.QueueDepth() == 0 { // wait until the worker picked up the blocker
+		if err := p.TrySubmit(func() {}); err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for p.TrySubmit(func() {}) == nil { // top the queue off
+	}
+
+	subErr := make(chan error, 1)
+	go func() {
+		subErr <- p.Submit(context.Background(), func() {})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the Submit block on the full queue
+
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(block) // release the worker so the backlog can drain
+
+	select {
+	case err := <-subErr:
+		if !errors.Is(err, ErrPoolClosed) && err != nil {
+			t.Fatalf("blocked Submit returned %v, want ErrPoolClosed or nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit still blocked 2s after Close")
+	}
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return within 2s")
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(2, 4)
+	p.Close()
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("TrySubmit after Close = %v, want ErrPoolClosed", err)
+	}
+	if err := p.Submit(context.Background(), func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolCloseDrainsQueued(t *testing.T) {
+	p := NewPool(1, 8)
+	var ran atomic.Int32
+	block := make(chan struct{})
+	if err := p.Submit(context.Background(), func() { <-block; ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	queued := 0
+	for i := 0; i < 8; i++ {
+		if p.TrySubmit(func() { ran.Add(1) }) == nil {
+			queued++
+		}
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(block)
+	}()
+	p.Close()
+	if got := int(ran.Load()); got != queued+1 {
+		t.Fatalf("ran %d tasks after Close, want all %d admitted", got, queued+1)
+	}
+}
+
+func TestPoolSubmitContextCancel(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	p.Submit(context.Background(), func() { close(started); <-block })
+	<-started // the worker holds the blocker; the queue slot is free again
+	for p.TrySubmit(func() {}) == nil {
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Submit(ctx, func() {}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit with expired ctx = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestPoolSubmitCloseHammer races Submit/TrySubmit/QueueDepth against Close
+// under -race: no panics (send on closed channel), no deadlocks, and every
+// post-Close submission reports ErrPoolClosed.
+func TestPoolSubmitCloseHammer(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		p := NewPool(2, 2)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				defer cancel()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var err error
+					if ctx.Err() == nil {
+						err = p.Submit(ctx, func() { time.Sleep(50 * time.Microsecond) })
+					} else {
+						err = p.TrySubmit(func() {})
+					}
+					p.QueueDepth()
+					if errors.Is(err, ErrPoolClosed) {
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round%5) * time.Millisecond)
+		done := make(chan struct{})
+		go func() { p.Close(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close deadlocked under concurrent Submit")
+		}
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// TestPoolSojournShedding drives a pool through a standing-queue episode —
+// one slow worker behind a deep queue — and checks TrySubmit starts
+// shedding on sojourn (not depth: the queue never fills) and recovers when
+// the waits drop again.
+func TestPoolSojournShedding(t *testing.T) {
+	c := pressure.NewCodel(time.Millisecond, 20*time.Millisecond)
+	p := NewPoolSojourn(1, 64, c)
+	defer p.Close()
+
+	// Each task holds the worker 10ms, so the i-th of 10 queued tasks waits
+	// ~10i ms — far above the 1ms target, for well over one 20ms interval.
+	var done sync.WaitGroup
+	reached := make(chan struct{})
+	gate := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		done.Add(1)
+		last := i == 9
+		err := p.TrySubmit(func() {
+			defer done.Done()
+			if last {
+				close(reached)
+				<-gate
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-reached // the last dequeue observed a ~90ms sojourn; episode is live
+
+	if !c.Overloaded() {
+		t.Fatal("controller not overloaded after sustained high sojourns")
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("TrySubmit during standing queue = %v, want ErrOverloaded", err)
+	}
+	if c.Sheds() == 0 {
+		t.Fatal("shed not counted")
+	}
+	close(gate)
+	done.Wait()
+
+	// A fast dequeue ends the episode and admission resumes.
+	var ran atomic.Bool
+	done.Add(1)
+	c.Observe(0)
+	if err := p.TrySubmit(func() { ran.Store(true); done.Done() }); err != nil {
+		t.Fatalf("TrySubmit after recovery = %v", err)
+	}
+	done.Wait()
+	if !ran.Load() {
+		t.Fatal("recovered task did not run")
+	}
+}

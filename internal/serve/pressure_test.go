@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"resacc/internal/pressure"
+)
+
+// levelMonitor returns a monitor whose level tracks a settable load value,
+// re-evaluated on every call (negative Refresh).
+func levelMonitor(load *float64) *pressure.Monitor {
+	m := pressure.NewMonitor(pressure.MonitorConfig{Refresh: -1})
+	m.SetSignal("test", func() float64 { return *load })
+	return m
+}
+
+func TestEngineCriticalShedsMissesNotHits(t *testing.T) {
+	load := 0.0
+	e := New[int](Config{Workers: 1, Pressure: levelMonitor(&load)})
+	defer e.Close()
+	ctx := context.Background()
+
+	// Nominal: a miss computes and populates the cache.
+	if _, out, err := e.Do(ctx, key(1), false, value(1)); err != nil || out != OutcomeComputed {
+		t.Fatalf("nominal miss: out=%v err=%v", out, err)
+	}
+
+	load = 1.5 // Critical
+	// Cache hits keep serving under Critical pressure.
+	if v, out, err := e.Do(ctx, key(1), false, value(99)); err != nil || v != 1 || out != OutcomeHit {
+		t.Fatalf("critical hit: v=%d out=%v err=%v", v, out, err)
+	}
+	// Non-waiting misses shed at the door.
+	if _, _, err := e.Do(ctx, key(2), false, value(2)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("critical miss = %v, want ErrOverloaded", err)
+	}
+	if e.Shed() != 1 || e.shedCritical.Value() != 1 {
+		t.Fatalf("shed=%v critical=%v, want 1/1", e.Shed(), e.shedCritical.Value())
+	}
+	// Waiting (batch-paced) misses are still admitted.
+	if v, _, err := e.Do(ctx, key(3), true, value(3)); err != nil || v != 3 {
+		t.Fatalf("critical waiting miss: v=%d err=%v", v, err)
+	}
+
+	load = 0.0 // recovered
+	if _, out, err := e.Do(ctx, key(2), false, value(2)); err != nil || out != OutcomeComputed {
+		t.Fatalf("recovered miss: out=%v err=%v", out, err)
+	}
+}
+
+func TestEngineRetryAfter(t *testing.T) {
+	e := New[int](Config{Workers: 1})
+	defer e.Close()
+	if d := e.RetryAfter(); d < time.Second || d > pressure.MaxRetryAfter {
+		t.Fatalf("RetryAfter = %v, want within [1s, %v]", d, pressure.MaxRetryAfter)
+	}
+	// Sojourn control disabled: the floor.
+	d := New[int](Config{Workers: 1, SojournTarget: -1})
+	defer d.Close()
+	if d.Codel() != nil {
+		t.Fatal("codel present with SojournTarget < 0")
+	}
+	if got := d.RetryAfter(); got != time.Second {
+		t.Fatalf("disabled RetryAfter = %v, want 1s", got)
+	}
+}

@@ -18,6 +18,16 @@ type LiveOptions struct {
 	// MaxPending forces an immediate swap once this many coalesced edits
 	// are pending (≤ 0 = 1024).
 	MaxPending int
+	// MaxBacklog bounds the pending-edit backlog outright: an Apply batch
+	// that would push past it is rejected whole with ErrEditBacklog
+	// instead of growing the write queue without bound (≤ 0 =
+	// 4×MaxPending).
+	MaxBacklog int
+	// MinSwapGap throttles MaxPending-triggered inline swaps so a write
+	// storm cannot monopolise the writer with back-to-back snapshot
+	// builds; the MaxStaleness timer ignores the gap, so visibility stays
+	// bounded (≤ 0 = no throttle).
+	MinSwapGap time.Duration
 	// Tolerance is the absolute per-node score movement tolerated on
 	// cached results that survive a scoped swap (≤ 0 = ε·δ of the
 	// engine's parameters — at most one more unit of the error the
@@ -39,6 +49,12 @@ type LiveOptions struct {
 	// use it to replay the delta offline and demand bit-identity.
 	OnSwap func(g *Graph, added, removed [][2]int32)
 }
+
+// ErrEditBacklog is returned by Live.Apply when accepting the batch would
+// push the pending-edit backlog past LiveOptions.MaxBacklog. Nothing is
+// applied; callers should back off for Live.RetryAfter and resubmit.
+// Servers should map it to HTTP 429.
+var ErrEditBacklog = live.ErrBacklog
 
 // LiveApplyResult reports what one Live.Apply batch did.
 type LiveApplyResult = live.ApplyResult
@@ -74,10 +90,15 @@ func (e *Engine) StartLive(opts LiveOptions) (*Live, error) {
 	m := live.NewManager(e.Graph(), e.applyLiveSwap, live.Config{
 		MaxStaleness: opts.MaxStaleness,
 		MaxPending:   opts.MaxPending,
+		MaxBacklog:   opts.MaxBacklog,
+		MinSwapGap:   opts.MinSwapGap,
 		Affect:       affect,
 		Metrics:      opts.Metrics,
 		OnSwap:       opts.OnSwap,
 	})
+	// The pending-edit watermark becomes a pressure signal: a backlog at
+	// its bound is Critical, independently of queue sojourn or heap.
+	e.monitor.SetSignal("edit_backlog", m.BacklogFrac)
 	// Adopt the boot snapshot into the ownership bookkeeping so observers
 	// can attribute queries still pinned to it after the first swap. The
 	// ownership identity is the caller-id-space graph — the one query
@@ -100,6 +121,17 @@ func (l *Live) Apply(add, remove [][2]int32) (LiveApplyResult, error) {
 // whether a swap happened.
 func (l *Live) Flush() (bool, error) { return l.m.Flush() }
 
+// RetryAfter estimates how long a writer rejected with ErrEditBacklog
+// should back off: the time until the staleness deadline flushes the
+// backlog plus the observed swap cost, in whole seconds clamped to
+// [1s, 30s] — what an HTTP server should put in Retry-After next to the
+// 429.
+func (l *Live) RetryAfter() time.Duration { return l.m.RetryAfter() }
+
+// BacklogFrac returns the pending-edit backlog as a fraction of
+// MaxBacklog (1.0 = Apply is rejecting).
+func (l *Live) BacklogFrac() float64 { return l.m.BacklogFrac() }
+
 // Stats returns the write path's mutation counters.
 func (l *Live) Stats() LiveStats { return l.m.Stats() }
 
@@ -117,6 +149,7 @@ func (l *Live) Graph() *Graph { return l.m.Graph() }
 // keeps serving; a new write path may be attached afterwards.
 func (l *Live) Close() error {
 	err := l.m.Close()
+	l.e.monitor.SetSignal("edit_backlog", nil)
 	l.e.liveOn.Store(false)
 	return err
 }

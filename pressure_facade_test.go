@@ -1,0 +1,85 @@
+package resacc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestEnginePressureShedsAndRecovers drives the facade's pressure monitor
+// with an injected signal: Critical sheds fresh queries with ErrOverloaded
+// while cache hits keep serving, and dropping the signal restores service.
+func TestEnginePressureShedsAndRecovers(t *testing.T) {
+	e, _ := testEngine(t, EngineOptions{Workers: 1})
+	ctx := context.Background()
+
+	if _, err := e.Query(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.PressureLevel != "nominal" {
+		t.Fatalf("idle pressure level = %q, want nominal", st.PressureLevel)
+	}
+
+	e.Pressure().SetSignal("test_overload", func() float64 { return 2.0 })
+	if _, err := e.Query(ctx, 4); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("fresh query at Critical = %v, want ErrOverloaded", err)
+	}
+	if _, err := e.Query(ctx, 3); err != nil {
+		t.Fatalf("cached query at Critical = %v, want served", err)
+	}
+	if st := e.Stats(); st.PressureLevel != "critical" || st.PressureLoads["test_overload"] != 2.0 {
+		t.Fatalf("stats under load: level=%q loads=%v", st.PressureLevel, st.PressureLoads)
+	}
+
+	e.Pressure().SetSignal("test_overload", nil)
+	if _, err := e.Query(ctx, 4); err != nil {
+		t.Fatalf("query after recovery = %v, want served", err)
+	}
+}
+
+// TestEngineRetryAfterBounds checks the drain-derived hint is always a
+// whole-second value inside the clamp, even on a cold engine.
+func TestEngineRetryAfterBounds(t *testing.T) {
+	e, _ := testEngine(t, EngineOptions{Workers: 1})
+	if _, err := e.Query(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	d := e.RetryAfter()
+	if d < time.Second || d > 30*time.Second || d%time.Second != 0 {
+		t.Fatalf("RetryAfter = %v, want whole seconds in [1s, 30s]", d)
+	}
+}
+
+// TestLiveBacklogFacade checks the ErrEditBacklog export, the write-path
+// Retry-After, and that the edit_backlog pressure signal tracks the
+// attached write path and detaches with it.
+func TestLiveBacklogFacade(t *testing.T) {
+	e, _ := testEngine(t, EngineOptions{})
+	l, err := e.StartLive(LiveOptions{MaxStaleness: time.Hour, MaxPending: 100, MaxBacklog: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Apply([][2]int32{{0, 9}, {0, 10}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Apply([][2]int32{{0, 11}}, nil); !errors.Is(err, ErrEditBacklog) {
+		t.Fatalf("Apply past backlog = %v, want ErrEditBacklog", err)
+	}
+	if d := l.RetryAfter(); d < time.Second || d%time.Second != 0 {
+		t.Fatalf("write RetryAfter = %v, want whole seconds ≥ 1s", d)
+	}
+	if f := l.BacklogFrac(); f != 1.0 {
+		t.Fatalf("BacklogFrac = %v, want 1.0", f)
+	}
+	if st := e.Stats(); st.PressureLoads["edit_backlog"] != 1.0 {
+		t.Fatalf("edit_backlog signal = %v, want 1.0", st.PressureLoads["edit_backlog"])
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.PressureLoads["edit_backlog"] != 0 {
+		t.Fatalf("edit_backlog signal survived Close: %v", st.PressureLoads)
+	}
+}
