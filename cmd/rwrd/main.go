@@ -78,6 +78,10 @@ func main() {
 		queryTO    = flag.Duration("query-timeout", 30*time.Second, "per-request answer deadline")
 		maxBatch   = flag.Int("max-batch", 1024, "max sources per /v1/batch request")
 
+		hotMemMB   = flag.Int64("hot-mem-mb", 0, "hot-source walk-endpoint tier memory budget in MiB: a background warmer stores remedy walk endpoints for the hottest query sources so their cache-miss recomputes skip walk simulation (0 disables)")
+		hotMinQPS  = flag.Float64("hot-min-qps", 0, "minimum observed per-source query rate before the hot tier warms a source (0 = warm any tracked source, budget permitting; with -hot-mem-mb)")
+		hotWorkers = flag.Int("hot-warm-workers", 0, "hot-tier warmer build concurrency, kept small so warming does not steal query CPU (0 = 1; with -hot-mem-mb)")
+
 		sojournTgt = flag.Duration("sojourn-target", 0, "queue-wait target for adaptive admission: sustained waits above it shed with 429 (0 = 25ms, negative disables sojourn control)")
 		brownout   = flag.Duration("brownout", 2*time.Second, "tightened per-query deadline while pressure is Elevated, serving degraded 206 answers instead of queueing (0 disables)")
 		memLimitMB = flag.Int64("mem-limit-mb", 0, "soft heap limit feeding the pressure monitor (0 = no memory signal)")
@@ -115,18 +119,21 @@ func main() {
 		TraceBuffer: *traceBuf,
 		Pprof:       *withPprof,
 		Engine: resacc.EngineOptions{
-			Workers:       *workers,
-			WalkWorkers:   *walkWkrs,
-			PushWorkers:   *pushWkrs,
-			Relabel:       *relabel,
-			DenseSwitch:   *denseSw,
-			AliasWalks:    *aliasWalks,
-			QueueDepth:    *queueDepth,
-			SojournTarget: *sojournTgt,
-			MemSoftLimit:  *memLimitMB << 20,
-			CacheBytes:    *cacheMB << 20,
-			CacheTTL:      *cacheTTL,
-			CacheShards:   *cacheShard,
+			Workers:        *workers,
+			WalkWorkers:    *walkWkrs,
+			PushWorkers:    *pushWkrs,
+			Relabel:        *relabel,
+			DenseSwitch:    *denseSw,
+			AliasWalks:     *aliasWalks,
+			QueueDepth:     *queueDepth,
+			SojournTarget:  *sojournTgt,
+			MemSoftLimit:   *memLimitMB << 20,
+			CacheBytes:     *cacheMB << 20,
+			CacheTTL:       *cacheTTL,
+			CacheShards:    *cacheShard,
+			HotMemBytes:    *hotMemMB << 20,
+			HotMinQPS:      *hotMinQPS,
+			HotWarmWorkers: *hotWorkers,
 		},
 		QueryTimeout: *queryTO,
 		Brownout:     *brownout,

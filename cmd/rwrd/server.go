@@ -90,10 +90,19 @@ type server struct {
 	inflight *obs.Gauge
 	unhook   func()
 
+	// Hot-path series are resolved once at registration: the query hook and
+	// error paths fire per event, and a registry lookup there builds a
+	// variadic label slice per call — a measurable allocation on a path the
+	// engine otherwise keeps allocation-free.
 	phaseHist     map[string]*obs.Histogram
 	degradedBound *obs.Histogram
 	pushRounds    map[string]*obs.Counter
 	frontierHist  *obs.Histogram
+	queriesByStat map[string]*obs.Counter
+	reqCancels    map[string]*obs.Counter
+	queryCancels  map[string]*obs.Counter
+	walksHist     *obs.Histogram
+	hotReused     *obs.Histogram
 }
 
 func newServer(g *resacc.Graph, p resacc.Params, opts serverOpts) *server {
@@ -193,19 +202,27 @@ func (s *server) registerMetrics() {
 			"SSRWR query latency by phase (total = end-to-end wall time).",
 			obs.DefBuckets, "phase", phase)
 	}
+	s.queriesByStat = make(map[string]*obs.Counter)
 	for _, status := range []string{"ok", "error"} {
-		s.reg.Counter("rwr_queries_total",
+		s.queriesByStat[status] = s.reg.Counter("rwr_queries_total",
 			"SSRWR queries answered, by outcome.", "status", status)
 	}
+	s.reqCancels = make(map[string]*obs.Counter)
 	for _, kind := range []string{"deadline", "client_cancel"} {
-		s.reg.Counter("rwr_request_cancellations_total",
+		s.reqCancels[kind] = s.reg.Counter("rwr_request_cancellations_total",
 			"Requests that ended without a full answer, by cause.", "kind", kind)
 	}
+	s.queryCancels = make(map[string]*obs.Counter)
 	for _, phase := range []string{"hhopfwd", "omfwd", "remedy"} {
-		s.reg.Counter("rwr_query_cancellations_total",
+		s.queryCancels[phase] = s.reg.Counter("rwr_query_cancellations_total",
 			"Queries whose deadline interrupted a solver phase (the phase label).",
 			"phase", phase)
 	}
+	s.walksHist = s.reg.Histogram("rwr_query_walks",
+		"Remedy-phase random walks per query.", obs.ExpBuckets(1, 4, 16))
+	s.hotReused = s.reg.Histogram("rwr_query_hot_reused",
+		"Stored walk endpoints replayed per query by the hot-source tier.",
+		obs.ExpBuckets(1, 4, 16))
 	s.degradedBound = s.reg.Histogram("rwr_degraded_bound",
 		"Additive error bound of degraded (deadline-truncated) answers.",
 		obs.ExpBuckets(1e-6, 10, 8))
@@ -258,15 +275,16 @@ func (s *server) observeQuery(ev resacc.QueryEvent) {
 	if ev.Err != nil {
 		status = "error"
 	}
-	s.reg.Counter("rwr_queries_total", "", "status", status).Inc()
+	s.queriesByStat[status].Inc()
 	if ev.Err == nil {
 		s.phaseHist["total"].Observe(ev.Duration.Seconds())
 		s.phaseHist["hopfwd"].Observe(ev.Stats.HopFWD.Seconds())
 		s.phaseHist["omfwd"].Observe(ev.Stats.OMFWD.Seconds())
 		s.phaseHist["remedy"].Observe(ev.Stats.Remedy.Seconds())
-		s.reg.Histogram("rwr_query_walks",
-			"Remedy-phase random walks per query.",
-			obs.ExpBuckets(1, 4, 16)).Observe(float64(ev.Stats.Walks))
+		s.walksHist.Observe(float64(ev.Stats.Walks))
+		if ev.Stats.ReusedWalks > 0 {
+			s.hotReused.Observe(float64(ev.Stats.ReusedWalks))
+		}
 		if ev.Stats.HopRounds > 0 {
 			s.pushRounds["hhopfwd"].Add(float64(ev.Stats.HopRounds))
 		}
@@ -277,8 +295,9 @@ func (s *server) observeQuery(ev resacc.QueryEvent) {
 			s.frontierHist.Observe(float64(ev.Stats.MaxFrontier))
 		}
 		if ev.Stats.Degraded {
-			s.reg.Counter("rwr_query_cancellations_total", "",
-				"phase", ev.Stats.DegradedPhase.String()).Inc()
+			if c := s.queryCancels[ev.Stats.DegradedPhase.String()]; c != nil {
+				c.Inc()
+			}
 			s.degradedBound.Observe(ev.Stats.ResidualBound)
 		}
 	}
@@ -382,11 +401,11 @@ func (s *server) writeEngineError(w http.ResponseWriter, r *http.Request, err er
 		w.Header().Set("Retry-After", retrySecs(s.engine.RetryAfter()))
 		s.writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server overloaded, retry later"})
 	case errors.Is(err, context.Canceled):
-		s.reg.Counter("rwr_request_cancellations_total", "", "kind", "client_cancel").Inc()
+		s.reqCancels["client_cancel"].Inc()
 		s.log.Debug("request cancelled by client", "path", r.URL.Path)
 		w.WriteHeader(http.StatusRequestTimeout)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.reg.Counter("rwr_request_cancellations_total", "", "kind", "deadline").Inc()
+		s.reqCancels["deadline"].Inc()
 		s.writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": "query deadline exceeded"})
 	default:
 		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
@@ -421,7 +440,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if top.Degraded && top.Bound >= 1 {
 		// The deadline fired before any mass converted; there is nothing
 		// useful to serve.
-		s.reg.Counter("rwr_request_cancellations_total", "", "kind", "deadline").Inc()
+		s.reqCancels["deadline"].Inc()
 		s.writeJSON(w, http.StatusGatewayTimeout, map[string]string{
 			"error": "query deadline exceeded before any useful work completed"})
 		return
@@ -507,6 +526,22 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"draining":        s.draining.Load(),
 			"brownout_active": s.brownout > 0 && s.engine.Pressure().Level() >= pressure.Elevated,
 		},
+	}
+	if es.Hot != nil {
+		out["hotset"] = map[string]any{
+			"entries":       es.Hot.Entries,
+			"bytes":         es.Hot.Bytes,
+			"budget_bytes":  es.Hot.Budget,
+			"hits":          es.Hot.Hits,
+			"partial":       es.Hot.Partial,
+			"misses":        es.Hot.Misses,
+			"builds":        es.Hot.Builds,
+			"build_errors":  es.Hot.BuildErrors,
+			"evictions":     es.Hot.Evictions,
+			"rejected":      es.Hot.Rejected,
+			"tracked":       es.Hot.Tracked,
+			"last_build_ms": float64(es.Hot.LastBuild.Microseconds()) / 1000,
+		}
 	}
 	if s.quota != nil {
 		out["edit_quota"] = map[string]any{

@@ -58,10 +58,10 @@ func runLoad(ctx context.Context, cfg loadConfig) (*report, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			src := newSampler(cfg.n, cfg.skew, cfg.seed+int64(i))
-			jit := rand.New(rand.NewSource(cfg.seed + int64(i)*0x9e3779b9))
+			src := newSampler(cfg.n, cfg.skew, cfg.seed, i)
+			jit := rand.New(rand.NewSource(streamSeed(cfg.seed, i, streamJitter)))
 			edits := &editState{n: cfg.n, batch: cfg.editBatch,
-				rng: rand.New(rand.NewSource(cfg.seed + int64(i)*0x51ed2701))}
+				rng: rand.New(rand.NewSource(streamSeed(cfg.seed, i, streamEdits)))}
 			for ctx.Err() == nil {
 				write := cfg.writeMix > 0 && jit.Float64() < cfg.writeMix
 				t0 := time.Now()

@@ -8,9 +8,13 @@
 //	rwrload -addr http://localhost:8080 -zipf 0 -batch 32
 //
 // Sources are sampled Zipfian by default (-zipf 1.3), the skewed access
-// pattern that exercises the server's result cache and singleflight; pass
-// -zipf 0 for uniform, cache-hostile traffic. With -batch N each request
-// is a POST /v1/batch carrying N sources instead of one GET /v1/query.
+// pattern that exercises the server's result cache, singleflight, and
+// hot-source endpoint tier; pass -zipf 0 for uniform, cache-hostile
+// traffic. Which node ids form the Zipf head is a deterministic function
+// of -seed shared by every worker in both loop modes, so reruns with the
+// same seed hammer the same hot sources — a hot tier warmed by one run is
+// warm for the next. With -batch N each request is a POST /v1/batch
+// carrying N sources instead of one GET /v1/query.
 // Shed (429) and unavailable (503) answers are retried up to -retries
 // times with jittered exponential backoff, honouring the server's
 // Retry-After hint; the report counts retries separately from requests.
@@ -59,7 +63,7 @@ func main() {
 		k        = flag.Int("k", 10, "ranking depth per query")
 		batch    = flag.Int("batch", 0, "sources per request via POST /v1/batch (0 = GET /v1/query)")
 		nodes    = flag.Int("nodes", 0, "source id space (0 = discover from /v1/stats)")
-		seed     = flag.Int64("seed", 1, "sampler seed (worker i uses seed+i)")
+		seed     = flag.Int64("seed", 1, "base RNG seed: every worker stream and the Zipf hot-source id set derive from it, so reruns replay the same traffic")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
 		retries  = flag.Int("retries", 3, "retries per request on 429/503 (0 = fail fast)")
 		backoff  = flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, jittered, raised to Retry-After)")

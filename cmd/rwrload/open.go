@@ -56,10 +56,10 @@ func runOpenLoad(ctx context.Context, cfg openConfig) (*report, error) {
 	rep := newReport()
 	rep.slo = cfg.slo
 	start := time.Now()
-	arr := rand.New(rand.NewSource(cfg.seed))
-	src := newSampler(cfg.n, cfg.skew, cfg.seed+1)
+	arr := rand.New(rand.NewSource(streamSeed(cfg.seed, 0, streamArrival)))
+	src := newSampler(cfg.n, cfg.skew, cfg.seed, 0)
 	edits := &editState{n: cfg.n, batch: cfg.editBatch,
-		rng: rand.New(rand.NewSource(cfg.seed + 0x51ed2701))}
+		rng: rand.New(rand.NewSource(streamSeed(cfg.seed, 0, streamEdits)))}
 
 	sem := make(chan struct{}, cfg.maxInflight)
 	var wg sync.WaitGroup

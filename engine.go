@@ -102,6 +102,24 @@ type EngineOptions struct {
 	// switchover as a fraction of |E| (see core.Solver.DenseSwitch):
 	// 0 = the default (1/8), negative disables the sweep backend.
 	DenseSwitch float64
+	// HotMemBytes, when > 0, enables the traffic-adaptive hot-source
+	// walk-endpoint tier (see hotTier): a background warmer records remedy
+	// walk endpoints for the hottest query sources under this byte budget,
+	// and full queries for a warmed source replay the stored endpoints
+	// instead of simulating walks. Same ε·max(π, 1/n) guarantee, same
+	// determinism per source; materially lower latency on Zipfian heads.
+	// Ignored when Compute is set (no solver, no remedy phase to skip).
+	HotMemBytes int64
+	// HotMinQPS admits a source into the hot tier only while its observed
+	// arrival rate is at least this (≤ 0 admits every tracked source,
+	// budget permitting).
+	HotMinQPS float64
+	// HotWarmWorkers is the warmer's build concurrency (≤ 0 = 1). Builds
+	// run off the serve pool; keep this small so warming does not steal
+	// query CPU.
+	HotWarmWorkers int
+	// HotWarmInterval is the warm cycle period (≤ 0 = 2s).
+	HotWarmInterval time.Duration
 	// Metrics, when non-nil, receives the engine metric families (cache
 	// hits/misses/evictions, dedup joins, sheds, queue depth, cache
 	// size, cached-vs-computed latency). Note the registry type lives in
@@ -162,6 +180,10 @@ type Engine struct {
 	denseSwitch float64
 	relabel     bool
 	aliasWalks  bool
+
+	// hot is the traffic-adaptive walk-endpoint tier (nil when disabled —
+	// see EngineOptions.HotMemBytes).
+	hot *hotTier
 
 	// syncMu serialises SyncDynamic snapshot/swap pairs; dynVer is the
 	// last Dynamic.Version applied.
@@ -358,6 +380,10 @@ func NewEngine(g *Graph, p Params, opts EngineOptions) *Engine {
 	e.inner.Cache().SetGate(func(k serve.Key, en *engineEntry) bool {
 		return en.gen == e.snap.Load().Epoch() && k.Epoch == e.epoch.Load()
 	})
+	if opts.HotMemBytes > 0 && !e.custom {
+		e.hot = newHotTier(e, opts)
+		e.hot.warmer.Start()
+	}
 	return e
 }
 
@@ -418,9 +444,15 @@ func (e *Engine) WalkWorkers() int { return e.walkWorkers }
 // (0 = sequential drain).
 func (e *Engine) PushWorkers() int { return e.pushWorkers }
 
-// Close stops the engine's worker pool after draining admitted work.
-// Queries after Close fail.
-func (e *Engine) Close() { e.inner.Close() }
+// Close stops the engine's worker pool after draining admitted work, and
+// the hot tier's background warmer when one is running. Queries after
+// Close fail.
+func (e *Engine) Close() {
+	if e.hot != nil {
+		e.hot.warmer.Close()
+	}
+	e.inner.Close()
+}
 
 // Graph returns the current graph in the caller's id space. With
 // EngineOptions.Relabel the engine internally serves a degree-relabeled
@@ -456,6 +488,9 @@ func (e *Engine) Query(ctx context.Context, source int32) (*Result, error) {
 }
 
 func (e *Engine) queryFull(ctx context.Context, source int32, wait bool) (*Result, error) {
+	if h := e.hot; h != nil {
+		h.observe(source)
+	}
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindFull, source, 0), wait,
 		func(fctx context.Context) (*engineEntry, int64, error) {
 			snap := e.pin()
@@ -489,7 +524,20 @@ func (e *Engine) computeFull(fctx context.Context, snap *live.Snapshot, source i
 		return nil, err
 	}
 	if !e.custom {
-		return querySolverOn(fctx, g, e.eventGraph(snap), src, source, e.params, e.snapSolver(snap))
+		s := e.snapSolver(snap)
+		if h := e.hot; h != nil {
+			// The lookup demands an exact epoch match against the pinned
+			// snapshot, so a set surviving here was either built against
+			// this very snapshot or retargeted to it by a scoped swap that
+			// proved the source unaffected. Walk data is immutable; a
+			// concurrent drop cannot mutate what the query replays.
+			s.Endpoints = h.store.Lookup(source, snap.Epoch())
+		}
+		res, err := querySolverOn(fctx, g, e.eventGraph(snap), src, source, e.params, s)
+		if h := e.hot; h != nil && err == nil {
+			h.classify(s.Endpoints != nil, res.Stats.Walks)
+		}
+		return res, err
 	}
 	res, err := e.compute(fctx, g, src, e.params)
 	if err != nil {
@@ -511,6 +559,9 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, erro
 	}
 	if n := e.Graph().N(); k > n {
 		k = n
+	}
+	if h := e.hot; h != nil {
+		h.observe(source)
 	}
 	en, _, err := e.inner.Do(ctx, e.key(serve.KindTopK, source, int32(k)), false,
 		func(fctx context.Context) (*engineEntry, int64, error) {
@@ -536,10 +587,21 @@ func (e *Engine) QueryTopK(ctx context.Context, source int32, k int) (TopK, erro
 			} else {
 				// The snapshot solver's ScoreRemap translates each round's
 				// scores before ranking, so the ranked node ids are already
-				// caller-space.
-				tk, err := queryTopKSolverOn(fctx, g, e.eventGraph(snap), src, source, k, e.params, e.snapSolver(snap))
+				// caller-space. A hot endpoint set serves the adaptive
+				// rounds exactly as it serves a full query — walk endpoints
+				// start at the candidate node, not the source, and a set
+				// sized at the full budget covers every reduced-budget
+				// round (see queryTopKSolverOn).
+				s := e.snapSolver(snap)
+				if h := e.hot; h != nil {
+					s.Endpoints = h.store.Lookup(source, snap.Epoch())
+				}
+				tk, walks, err := queryTopKSolverOn(fctx, g, e.eventGraph(snap), src, source, k, e.params, s)
 				if err != nil {
 					return nil, 0, err
+				}
+				if h := e.hot; h != nil {
+					h.classify(s.Endpoints != nil, walks)
 				}
 				en = &engineEntry{ranked: tk.Ranked, level: tk.Level,
 					degraded: tk.Degraded, bound: tk.Bound, phase: tk.Phase}
@@ -673,7 +735,25 @@ func (e *Engine) applyLiveSwap(g *Graph, affected map[int32]struct{}, full bool,
 	e.wsPool.Refit(g.N())
 	if full {
 		e.epoch.Add(1)
-		return e.inner.Purge()
+		n := e.inner.Purge()
+		if e.hot != nil {
+			e.hot.store.Purge(gen)
+		}
+		return n
+	}
+	if e.hot != nil {
+		// Scoped swap: drop only the affected sources' endpoint sets and
+		// advance survivors to the new snapshot's epoch — the same ε·δ
+		// staleness tolerance that lets their cached results survive. A
+		// relabeling engine purges instead: each swap re-derives the
+		// internal id space, so a survivor's node/endpoint ids would be
+		// meaningless against the new snapshot. This must run even when
+		// affected is empty (the snapshot epoch changed regardless).
+		if e.relabel {
+			e.hot.store.Purge(gen)
+		} else {
+			e.hot.store.Retarget(gen, affected)
+		}
 	}
 	if len(affected) == 0 {
 		return 0
@@ -726,6 +806,12 @@ func (e *Engine) Invalidate() {
 	e.swapGen.Add(1)
 	e.epoch.Add(1)
 	e.inner.Purge()
+	if e.hot != nil {
+		// No snapshot swap happened, so the store's expected epoch stays at
+		// the published snapshot's — but the caller asked for everything to
+		// be recomputed, and the endpoint tier honours that wholesale.
+		e.hot.store.Purge(e.snap.Load().Epoch())
+	}
 	e.wsPool.Invalidate()
 }
 
@@ -818,6 +904,8 @@ type EngineStats struct {
 	// sojourn control is disabled.
 	Sojourn   time.Duration
 	DrainRate float64
+	// Hot describes the hot-source walk-endpoint tier; nil when disabled.
+	Hot *HotStats
 }
 
 // Stats returns current serving counters.
@@ -828,21 +916,26 @@ func (e *Engine) Stats() EngineStats {
 	if c := e.inner.Codel(); c != nil {
 		sojourn, drain = c.Sojourn(), c.DrainRate()
 	}
+	var hot *HotStats
+	if e.hot != nil {
+		hot = e.hot.stats()
+	}
 	return EngineStats{
+		Hot:           hot,
 		PressureLevel: lvl.String(),
 		PressureLoads: loads,
 		Sojourn:       sojourn,
 		DrainRate:     drain,
-		Hits:         e.inner.Hits(),
-		Misses:       e.inner.Misses(),
-		Joins:        e.inner.Joins(),
-		Shed:         e.inner.Shed(),
-		Panics:       e.inner.Panics(),
-		CacheEntries: e.inner.Cache().Len(),
-		CacheBytes:   e.inner.Cache().Bytes(),
-		QueueDepth:   e.inner.Pool().QueueDepth(),
-		Epoch:        e.epoch.Load(),
-		Swaps:        e.swapGen.Load(),
-		SnapshotRefs: e.snap.Load().Refs(),
+		Hits:          e.inner.Hits(),
+		Misses:        e.inner.Misses(),
+		Joins:         e.inner.Joins(),
+		Shed:          e.inner.Shed(),
+		Panics:        e.inner.Panics(),
+		CacheEntries:  e.inner.Cache().Len(),
+		CacheBytes:    e.inner.Cache().Bytes(),
+		QueueDepth:    e.inner.Pool().QueueDepth(),
+		Epoch:         e.epoch.Load(),
+		Swaps:         e.swapGen.Load(),
+		SnapshotRefs:  e.snap.Load().Refs(),
 	}
 }

@@ -1,0 +1,166 @@
+package resacc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"resacc/internal/hotset"
+	"resacc/internal/obs"
+)
+
+// hotTier is the engine's traffic-adaptive hot-source walk-endpoint tier:
+// a space-saving sketch over full-query sources, a byte-budgeted store of
+// per-source endpoint sets keyed to snapshot epochs, and a background
+// warmer that builds sets for the sketch's hot head off the serve pool.
+// When a full query's source has a set valid for the snapshot it pinned,
+// the remedy phase replays the stored endpoints instead of simulating
+// (FORA+'s reuse identity; see algo.RemedyWSHot) — on a Zipfian workload
+// the head's cache-miss recomputes skip the walk phase entirely.
+//
+// The tier serves full single-source queries only. Top-k refinement rounds
+// run at per-level precision scales whose walk demands a set built at the
+// query scale does not cover, and pair queries use the bidirectional
+// estimator, which has no remedy phase. A custom Compute bypasses the
+// solver, so engines with one never construct the tier.
+type hotTier struct {
+	store  *hotset.Store
+	sketch *hotset.Sketch
+	warmer *hotset.Warmer
+
+	hits    atomic.Uint64 // full reuse: remedy simulated nothing
+	partial atomic.Uint64 // set covered part of the demand
+	misses  atomic.Uint64 // full compute with no valid set
+}
+
+// newHotTier wires the tier over the engine. The build function pins the
+// published snapshot exactly like a query would, runs the push phases, and
+// records the remedy walk endpoints; the store's epoch discipline rejects
+// the build if a swap won the race.
+func newHotTier(e *Engine, opts EngineOptions) *hotTier {
+	h := &hotTier{
+		store:  hotset.NewStore(opts.HotMemBytes),
+		sketch: hotset.NewSketch(256),
+	}
+	build := func(source int32) (*hotset.Set, error) {
+		snap := e.pin()
+		defer snap.Release()
+		g := snap.Graph()
+		m := metaOf(snap)
+		src, err := ingressSource(m, g, source)
+		if err != nil {
+			return nil, err
+		}
+		set, err := e.snapSolver(snap).BuildEndpointSet(g, src, e.params, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Key the set by the caller-space source (the id queries arrive
+		// with); its node/endpoint ids stay in the snapshot's internal
+		// space, which the exact-epoch match at lookup time pins down.
+		set.Source = source
+		set.Epoch = snap.Epoch()
+		return set, nil
+	}
+	cfg := hotset.WarmerConfig{
+		Interval: opts.HotWarmInterval,
+		MinQPS:   opts.HotMinQPS,
+		Workers:  opts.HotWarmWorkers,
+	}
+	if reg := opts.Metrics; reg != nil {
+		buildSec := reg.Histogram("rwr_hot_build_seconds",
+			"Hot-tier endpoint set build latency.",
+			[]float64{.001, .005, .01, .05, .1, .5, 1, 5})
+		cfg.OnBuild = func(d time.Duration, err error) {
+			if err == nil {
+				buildSec.Observe(d.Seconds())
+			}
+		}
+	}
+	h.warmer = hotset.NewWarmer(h.store, h.sketch, build, cfg)
+	if reg := opts.Metrics; reg != nil {
+		h.registerMetrics(reg)
+	}
+	return h
+}
+
+// observe feeds one full-query arrival into the traffic sketch. Cache hits
+// count too — popularity is popularity, and the set must be warm before the
+// result cache's epoch-keyed entry expires under a swap. Allocation-free.
+func (h *hotTier) observe(source int32) { h.sketch.Observe(source) }
+
+// classify records the hit outcome of one full compute that ran with (or
+// without) an endpoint set attached.
+func (h *hotTier) classify(attached bool, walks int64) {
+	switch {
+	case !attached:
+		h.misses.Add(1)
+	case walks == 0:
+		h.hits.Add(1)
+	default:
+		h.partial.Add(1)
+	}
+}
+
+func (h *hotTier) registerMetrics(reg *obs.Registry) {
+	reg.CounterFunc("rwr_hot_hits_total",
+		"Full computes whose remedy phase fully reused a stored endpoint set.",
+		func() float64 { return float64(h.hits.Load()) })
+	reg.CounterFunc("rwr_hot_partial_total",
+		"Full computes that reused a stored set but had to sample a shortfall.",
+		func() float64 { return float64(h.partial.Load()) })
+	reg.CounterFunc("rwr_hot_misses_total",
+		"Full computes with no valid endpoint set for their snapshot.",
+		func() float64 { return float64(h.misses.Load()) })
+	reg.GaugeFunc("rwr_hot_store_bytes",
+		"Bytes of stored endpoint sets.",
+		func() float64 { return float64(h.store.Bytes()) })
+	reg.GaugeFunc("rwr_hot_store_entries",
+		"Stored endpoint sets.",
+		func() float64 { return float64(h.store.Len()) })
+	reg.CounterFunc("rwr_hot_builds_total",
+		"Successful warmer builds.",
+		func() float64 { return float64(h.warmer.Builds()) })
+	reg.CounterFunc("rwr_hot_build_errors_total",
+		"Failed or panicked warmer builds.",
+		func() float64 { return float64(h.warmer.BuildErrors()) })
+	reg.CounterFunc("rwr_hot_evictions_total",
+		"Endpoint sets evicted to fit the memory budget.",
+		func() float64 { return float64(h.store.Evictions()) })
+}
+
+// HotStats is a point-in-time snapshot of the hot tier's counters,
+// embedded in EngineStats when the tier is enabled.
+type HotStats struct {
+	// Entries / Bytes / Budget describe the endpoint store.
+	Entries int
+	Bytes   int64
+	Budget  int64
+	// Hits are full computes whose remedy phase simulated nothing; Partial
+	// reused a set but sampled a shortfall; Misses found no valid set.
+	// Cache hits never reach the tier and are not counted here.
+	Hits, Partial, Misses uint64
+	// Builds/BuildErrors/Evictions/Rejected are warmer and store lifetime
+	// counters; LastBuild is the most recent successful build's latency.
+	Builds, BuildErrors uint64
+	Evictions, Rejected uint64
+	LastBuild           time.Duration
+	// Tracked is the number of sources the traffic sketch currently follows.
+	Tracked int
+}
+
+func (h *hotTier) stats() *HotStats {
+	return &HotStats{
+		Entries:     h.store.Len(),
+		Bytes:       h.store.Bytes(),
+		Budget:      h.store.Budget(),
+		Hits:        h.hits.Load(),
+		Partial:     h.partial.Load(),
+		Misses:      h.misses.Load(),
+		Builds:      h.warmer.Builds(),
+		BuildErrors: h.warmer.BuildErrors(),
+		Evictions:   h.store.Evictions(),
+		Rejected:    h.store.Rejected(),
+		LastBuild:   h.warmer.LastBuild(),
+		Tracked:     h.sketch.Tracked(),
+	}
+}

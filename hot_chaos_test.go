@@ -1,0 +1,53 @@
+//go:build faultinject
+
+package resacc
+
+import (
+	"context"
+	"testing"
+
+	"resacc/internal/faultinject"
+)
+
+// TestChaosHotWarmPanicContained injects a panic into the warmer's build
+// path: the cycle must contain it (a warm build runs real solver code on a
+// background goroutine — an escaped panic would kill the process, not a
+// query), admit nothing, count a build error, and the very next clean cycle
+// must warm the source and serve it.
+func TestChaosHotWarmPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	g := GenerateBarabasiAlbert(400, 3, 5)
+	e := hotTestEngine(g, 16<<20)
+	defer e.Close()
+	ctx := context.Background()
+	const src = int32(3)
+	if _, err := e.Query(ctx, src); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Set("hotset.warm", func() { panic("injected warm-build panic") })
+	if built := e.hot.warmer.RunOnce(); built != 0 {
+		t.Fatalf("panicking cycle admitted %d sets", built)
+	}
+	if e.hot.warmer.BuildErrors() == 0 {
+		t.Fatal("contained panic not counted as a build error")
+	}
+	if n := e.hot.store.Len(); n != 0 {
+		t.Fatalf("panicking cycle left %d sets in the store", n)
+	}
+
+	// The fault cleared, the source is still hot in the sketch: the next
+	// cycle warms it and the tier serves as if nothing happened.
+	faultinject.Reset()
+	if built := e.hot.warmer.RunOnce(); built != 1 {
+		t.Fatalf("recovery cycle built %d sets, want 1", built)
+	}
+	e.inner.Purge()
+	res, err := e.Query(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.HotSet || res.Stats.Walks != 0 {
+		t.Fatalf("recovery query stats %+v, want full hot reuse", res.Stats)
+	}
+}

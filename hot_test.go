@@ -1,0 +1,424 @@
+package resacc
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resacc/internal/eval"
+)
+
+// hotTestEngine builds a deterministic engine with the hot tier enabled and
+// the background warm loop effectively parked (hour-long interval), so
+// tests drive warming explicitly via RunOnce.
+func hotTestEngine(g *Graph, budget int64) *Engine {
+	return NewEngine(g, DefaultParams(g), EngineOptions{
+		Workers: 1, WalkWorkers: 1,
+		HotMemBytes: budget, HotWarmInterval: time.Hour,
+	})
+}
+
+// TestEngineHotTierWarmsAndServes covers the serving path end to end: a
+// queried source enters the sketch, one warm cycle builds its endpoint set,
+// and the next cache-miss compute replays it — zero fresh walks, counters
+// moved, answer still within the ε·max(π, δ) bound vs power iteration.
+func TestEngineHotTierWarmsAndServes(t *testing.T) {
+	g := GenerateBarabasiAlbert(600, 3, 5)
+	e := hotTestEngine(g, 16<<20)
+	defer e.Close()
+	ctx := context.Background()
+	const src = int32(7)
+
+	if _, err := e.Query(ctx, src); err != nil { // cold: feeds the sketch, counts a miss
+		t.Fatal(err)
+	}
+	if built := e.hot.warmer.RunOnce(); built != 1 {
+		t.Fatalf("warm cycle built %d sets, want 1", built)
+	}
+	if !e.hot.store.Contains(src) {
+		t.Fatal("warmed source missing from the store")
+	}
+
+	// Drop the result cache only (the hot store survives) so the next query
+	// recomputes through the tier instead of serving the cached entry.
+	e.inner.Purge()
+	res, err := e.Query(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.HotSet {
+		t.Fatal("hot query did not attach the endpoint set")
+	}
+	if res.Stats.Walks != 0 {
+		t.Fatalf("hot query simulated %d walks, want 0 (full reuse)", res.Stats.Walks)
+	}
+	if res.Stats.ReusedWalks == 0 {
+		t.Fatal("hot query replayed no endpoints")
+	}
+
+	p := e.Params()
+	powerSolver, err := NewSolver(AlgPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := powerSolver.SingleSource(g, src, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := eval.MaxRelErrAbove(truth, res.Scores, p.Delta); rel > p.Epsilon {
+		t.Fatalf("hot answer rel err %v > ε=%v", rel, p.Epsilon)
+	}
+
+	// A cold source still takes the index-free path.
+	e.inner.Purge()
+	cold, err := e.Query(ctx, src+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.HotSet {
+		t.Fatal("unwarmed source served with an endpoint set")
+	}
+	if cold.Stats.Walks == 0 {
+		t.Fatal("cold query simulated no walks")
+	}
+
+	st := e.Stats()
+	if st.Hot == nil {
+		t.Fatal("EngineStats.Hot nil with the tier enabled")
+	}
+	if st.Hot.Hits != 1 || st.Hot.Builds != 1 || st.Hot.Entries != 1 {
+		t.Fatalf("hot stats %+v, want 1 hit / 1 build / 1 entry", st.Hot)
+	}
+	if st.Hot.Misses == 0 || st.Hot.Bytes <= 0 {
+		t.Fatalf("hot stats %+v, want recorded misses and positive bytes", st.Hot)
+	}
+}
+
+// TestEngineHotTopKServesFromTier covers the serving path rwrd's /v1/query
+// actually takes: QueryTopK must feed the traffic sketch, attach the
+// source's endpoint set to every adaptive refinement round, and classify a
+// walk-free query as a hit. A set sized at the full budget covers the
+// reduced-budget rounds (per-node demand scales down with NScale), so the
+// whole adaptive loop runs without simulating a single walk.
+func TestEngineHotTopKServesFromTier(t *testing.T) {
+	g := GenerateBarabasiAlbert(600, 3, 5)
+	e := hotTestEngine(g, 16<<20)
+	defer e.Close()
+	ctx := context.Background()
+	const src = int32(7)
+
+	cold, err := e.QueryTopK(ctx, src, 5) // feeds the sketch, counts a miss
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built := e.hot.warmer.RunOnce(); built != 1 {
+		t.Fatalf("warm cycle built %d sets, want 1", built)
+	}
+
+	e.inner.Purge()
+	before := e.Stats().Hot.Hits
+	hot, err := e.QueryTopK(ctx, src, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Hot.Hits; got != before+1 {
+		t.Fatalf("hot top-k classified %d hits, want %d (walk-free adaptive loop)", got, before+1)
+	}
+	if len(hot.Ranked) != len(cold.Ranked) {
+		t.Fatalf("hot top-k returned %d nodes, cold %d", len(hot.Ranked), len(cold.Ranked))
+	}
+	// The replayed estimate is the full-budget one while cold rounds ran
+	// reduced budgets, so scores (and close-call order) may differ — but
+	// both satisfy the guarantee, so the membership must agree on this
+	// hub-dominated graph.
+	if !sameMembers(hot.Ranked, cold.Ranked) {
+		t.Fatalf("hot top-k members %v != cold %v", hot.Ranked, cold.Ranked)
+	}
+}
+
+// TestEngineHotScopedSwapNeverServesStale is the epoch-discipline test: a
+// scoped live swap must drop exactly the affected sources' endpoint sets,
+// retarget survivors to the new snapshot, and the post-swap answer for an
+// edited source must reflect the edit (never a stale replay).
+func TestEngineHotScopedSwapNeverServesStale(t *testing.T) {
+	g := GenerateBarabasiAlbert(1500, 3, 9)
+	e := hotTestEngine(g, 32<<20)
+	defer e.Close()
+	l, err := e.StartLive(LiveOptions{MaxStaleness: time.Hour, Tolerance: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx := context.Background()
+	edit := tailEdit(g)
+	warm := []int32{0, 50, edit[0]}
+	for _, s := range warm {
+		if _, err := e.Query(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if built := e.hot.warmer.RunOnce(); built != len(warm) {
+		t.Fatalf("warm cycle built %d sets, want %d", built, len(warm))
+	}
+	before, err := e.Query(ctx, edit[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := l.Apply([][2]int32{edit}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if swapped, err := l.Flush(); err != nil || !swapped {
+		t.Fatalf("flush swapped=%v err=%v", swapped, err)
+	}
+	if ls := l.Stats(); ls.ScopedSwaps != 1 || ls.FullSwaps != 0 {
+		t.Fatalf("tail edit did not stay scoped: %+v", ls)
+	}
+
+	if e.hot.store.Contains(edit[0]) {
+		t.Fatal("affected source's endpoint set survived the scoped swap")
+	}
+	for _, s := range []int32{0, 50} {
+		if !e.hot.store.Contains(s) {
+			t.Fatalf("unaffected source %d's set dropped by the scoped swap", s)
+		}
+	}
+
+	// Recompute through the tier: survivors hit (retargeted to the new
+	// epoch), the edited source misses and sees the new edge.
+	e.inner.Purge()
+	kept, err := e.Query(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kept.Stats.HotSet {
+		t.Fatal("retargeted survivor not served to the unaffected source")
+	}
+	after, err := e.Query(ctx, edit[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Stats.HotSet {
+		t.Fatal("edited source served with a stale endpoint set")
+	}
+	if after.Scores[edit[1]] <= before.Scores[edit[1]] {
+		t.Fatalf("edit invisible after swap: before=%g after=%g",
+			before.Scores[edit[1]], after.Scores[edit[1]])
+	}
+}
+
+// TestEngineHotFullSwapAndInvalidatePurge: purge-class events (UpdateGraph,
+// Invalidate) must empty the endpoint store wholesale.
+func TestEngineHotFullSwapAndInvalidatePurge(t *testing.T) {
+	g := GenerateBarabasiAlbert(400, 3, 21)
+	e := hotTestEngine(g, 16<<20)
+	defer e.Close()
+	ctx := context.Background()
+
+	warmOne := func(src int32) {
+		if _, err := e.Query(ctx, src); err != nil {
+			t.Fatal(err)
+		}
+		e.hot.warmer.RunOnce()
+		if !e.hot.store.Contains(src) {
+			t.Fatalf("source %d not warmed", src)
+		}
+	}
+
+	warmOne(3)
+	e.Invalidate()
+	if n := e.hot.store.Len(); n != 0 {
+		t.Fatalf("Invalidate left %d endpoint sets", n)
+	}
+
+	warmOne(4)
+	e.UpdateGraph(GenerateBarabasiAlbert(400, 3, 22))
+	if n := e.hot.store.Len(); n != 0 {
+		t.Fatalf("UpdateGraph left %d endpoint sets", n)
+	}
+}
+
+// TestEngineHotLiveRaceHammer interleaves live edits (frequent scoped and
+// full swaps), warm cycles, and hot-head queries under -race. Every answer
+// must be a proper distribution, and at the end no stored set may key to
+// anything but the published snapshot's epoch and shape.
+func TestEngineHotLiveRaceHammer(t *testing.T) {
+	g := GenerateBarabasiAlbert(600, 3, 31)
+	n := int32(g.N())
+	e := NewEngine(g, DefaultParams(g), EngineOptions{
+		Workers: 2, WalkWorkers: 1,
+		HotMemBytes: 8 << 20, HotWarmInterval: time.Hour,
+	})
+	defer e.Close()
+	l, err := e.StartLive(LiveOptions{
+		MaxStaleness: 2 * time.Millisecond, MaxPending: 32, Tolerance: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var warmers, writers, readers sync.WaitGroup
+
+	// Warm cycles race against swaps on purpose: builds pinned to a
+	// superseded snapshot must be rejected by the store's epoch gate, never
+	// crash or admit stale data.
+	warmers.Add(1)
+	go func() {
+		defer warmers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.hot.warmer.RunOnce()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 120; i++ {
+				var add, rem [][2]int32
+				for j := 0; j < 3; j++ {
+					u, v := rng.Int31n(n), rng.Int31n(n)
+					if u == v {
+						continue
+					}
+					if rng.Intn(2) == 0 {
+						add = append(add, [2]int32{u, v})
+					} else {
+						rem = append(rem, [2]int32{u, v})
+					}
+				}
+				if _, err := l.Apply(add, rem); err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+			}
+		}(int64(w) + 1)
+	}
+
+	var hotServed atomic.Int64
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			ctx := context.Background()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Zipf-ish head: most traffic on 8 sources so the warmer has
+				// something to chase, with a cold tail mixed in.
+				src := rng.Int31n(8)
+				if rng.Intn(4) == 0 {
+					src = rng.Int31n(n)
+				}
+				res, err := e.Query(ctx, src)
+				if err != nil {
+					if err == ErrOverloaded {
+						continue
+					}
+					t.Errorf("query: %v", err)
+					return
+				}
+				if len(res.Scores) != int(n) {
+					t.Errorf("inconsistent snapshot: %d scores for n=%d", len(res.Scores), n)
+					return
+				}
+				// A stale replay double-counts walk mass; the score total
+				// catching >1 would be the smoking gun.
+				var mass float64
+				for _, sc := range res.Scores {
+					if sc < 0 {
+						t.Error("negative score")
+						return
+					}
+					mass += sc
+				}
+				if mass > 1.05 {
+					t.Errorf("score mass %g > 1 (stale endpoint replay?)", mass)
+					return
+				}
+				if res.Stats.HotSet {
+					hotServed.Add(1)
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	writers.Wait()
+	time.Sleep(10 * time.Millisecond) // let readers see post-final-swap state
+	close(stop)
+	warmers.Wait()
+	readers.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-mortem invariant: every surviving set must key to the published
+	// snapshot exactly — right epoch, right node count.
+	curEpoch := e.snap.Load().Epoch()
+	curN := e.snap.Load().Graph().N()
+	live := 0
+	for src := int32(0); src < n; src++ {
+		set := e.hot.store.Lookup(src, curEpoch)
+		if set == nil {
+			continue
+		}
+		live++
+		if set.Epoch != curEpoch || set.N != curN {
+			t.Fatalf("stored set for %d keyed to epoch=%d n=%d, published epoch=%d n=%d",
+				src, set.Epoch, set.N, curEpoch, curN)
+		}
+	}
+	if e.hot.store.Len() != live {
+		t.Fatalf("store holds %d sets but only %d lookup at the published epoch",
+			e.hot.store.Len(), live)
+	}
+	t.Logf("hammer: %d hot answers served, %d sets live at end, %d builds, %d rejected",
+		hotServed.Load(), live, e.hot.warmer.Builds(), e.hot.store.Rejected())
+}
+
+// TestHotSketchFeedAndCounterHooksAllocFree is the satellite-2 guard: the
+// per-query instrumentation a hot-tier engine adds — the sketch feed plus
+// hook fan-out to a counters-only subscriber — must not allocate. (The
+// solver's own zero-alloc contract, including replaying an attached set, is
+// pinned in internal/core's alloc tests.)
+func TestHotSketchFeedAndCounterHooksAllocFree(t *testing.T) {
+	g := GenerateBarabasiAlbert(200, 3, 5)
+	e := hotTestEngine(g, 1<<20)
+	defer e.Close()
+
+	var queries atomic.Int64
+	unhook := RegisterQueryHook(func(ev QueryEvent) {
+		if ev.Err == nil {
+			queries.Add(1)
+		}
+	})
+	defer unhook()
+
+	ev := QueryEvent{Graph: g, Source: 3, Start: time.Now(), Duration: time.Millisecond}
+	e.hot.observe(3) // admit the source into the sketch index first
+	allocs := testing.AllocsPerRun(200, func() {
+		e.hot.observe(3)
+		notifyQueryHooks(ev)
+	})
+	if allocs > 0 {
+		t.Fatalf("sketch feed + counter hooks allocate %.1f objects/run, want 0", allocs)
+	}
+	if queries.Load() == 0 {
+		t.Fatal("hook never ran")
+	}
+}

@@ -1,0 +1,99 @@
+package algo
+
+import (
+	"math"
+	"slices"
+
+	"resacc/internal/algo/alias"
+	"resacc/internal/graph"
+	"resacc/internal/hotset"
+	"resacc/internal/ws"
+)
+
+// RecordEndpoints runs the remedy phase's walk simulation over the residues
+// left in w — the workspace must have just finished the push phases for the
+// source being warmed — but records every walk endpoint into a compressed
+// multiset instead of folding it into the reserve, producing the stored
+// half of FORA+'s reuse identity for RemedyWSHot.
+//
+// Per candidate v it simulates ω(v) = ⌈boost·n_v⌉ walks, where n_v is the
+// query-time demand ⌈r(v)·n_r/r_sum⌉ (boost ≤ 0 means 1). Because the push
+// phases are deterministic per (graph, params, source), a later query at
+// the same params reproduces the same residues and therefore the same n_v,
+// so boost = 1 already covers the full demand and the query's remedy phase
+// is walk-free; boost > 1 buys headroom for scoped-swap survivors whose
+// residues drift slightly. MaxWalks does not cap the recording — the build
+// runs off the serve path and must cover the demand it was built for.
+//
+// Walks consume w.Rng reseeded to seed; with seed = the query's p.Seed and
+// the same tab, a full replay reproduces the query's own walk multiset
+// exactly. Caller fills in Source and Epoch on the returned set.
+func RecordEndpoints(g *graph.Graph, p Params, w *ws.Workspace, seed uint64, tab *alias.Table, boost float64) *hotset.Set {
+	if tab != nil && (tab.Alpha() != p.Alpha || tab.N() != g.N()) {
+		tab = nil
+	}
+	if boost <= 0 {
+		boost = 1
+	}
+	w.Cands = w.Cands[:0]
+	for _, v := range w.Dirty.Touched() {
+		if w.Residue[v] > 0 {
+			w.Cands = append(w.Cands, v)
+		}
+	}
+	slices.Sort(w.Cands)
+	var rsum float64
+	for _, v := range w.Cands {
+		rsum += w.Residue[v]
+	}
+	set := &hotset.Set{N: g.N(), Off: []int32{0}}
+	if rsum <= 0 {
+		return set
+	}
+	nr := rsum * p.WalkCoefficient() * p.EffectiveNScale()
+	if nr < 1 {
+		nr = 1
+	}
+	w.Rng.Reseed(seed)
+	var ends []int32
+	for _, v := range w.Cands {
+		rv := w.Residue[v]
+		nv := int64(math.Ceil(rv * nr / rsum))
+		if nv < 1 {
+			nv = 1
+		}
+		omega := int64(math.Ceil(boost * float64(nv)))
+		if omega < 1 {
+			omega = 1
+		}
+		ends = ends[:0]
+		for i := int64(0); i < omega; i++ {
+			var t int32
+			if tab != nil {
+				t = tab.Walk(v, &w.Rng)
+			} else {
+				t = Walk(g, v, p.Alpha, &w.Rng)
+			}
+			ends = append(ends, t)
+		}
+		// Run-length encode the sorted endpoints: walk endpoints cluster
+		// heavily around the source's neighbourhood, so distinct targets
+		// are typically far fewer than ω.
+		slices.Sort(ends)
+		set.Nodes = append(set.Nodes, v)
+		set.Omega = append(set.Omega, omega)
+		for j := 0; j < len(ends); {
+			k := j + 1
+			for k < len(ends) && ends[k] == ends[j] {
+				k++
+			}
+			set.Targets = append(set.Targets, ends[j])
+			set.Counts = append(set.Counts, int32(k-j))
+			j = k
+		}
+		set.Off = append(set.Off, int32(len(set.Targets)))
+		set.Walks += omega
+	}
+	AddWalks(set.Walks)
+	return set
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"resacc/internal/algo"
+	"resacc/internal/algo/power"
+	"resacc/internal/eval"
+	"resacc/internal/graph/gen"
+	"resacc/internal/ws"
+)
+
+// TestEndpointFullReuseSoundAndWalkFree pins the tentpole guarantee: a
+// query whose endpoint set was built at boost 1 against the same graph and
+// params replays stored endpoints for every remedy candidate — zero fresh
+// walks — and the replayed result still meets the ε·max(π, δ) bound vs
+// power-iteration ground truth.
+func TestEndpointFullReuseSoundAndWalkFree(t *testing.T) {
+	g := gen.ErdosRenyi(300, 1800, 7)
+	p := algo.DefaultParams(g)
+	p.Seed = 5
+	for _, src := range []int32{0, 3, 42} {
+		s := Solver{}
+		set, err := s.BuildEndpointSet(g, src, p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.Source != src || set.N != g.N() {
+			t.Fatalf("set identity %d/%d, want %d/%d", set.Source, set.N, src, g.N())
+		}
+		if set.Walks == 0 {
+			t.Fatalf("source %d: recorded zero walks", src)
+		}
+		s.Endpoints = set
+		w := ws.New(g.N())
+		st := s.QueryWS(g, src, p, w)
+		if !st.HotSet {
+			t.Fatalf("source %d: HotSet not reported", src)
+		}
+		if st.Walks != 0 {
+			t.Fatalf("source %d: %d fresh walks despite a boost-1 set (want full reuse)", src, st.Walks)
+		}
+		if st.ReusedWalks == 0 {
+			t.Fatalf("source %d: no endpoints replayed", src)
+		}
+		est := w.ExtractScores()
+		truth, err := power.GroundTruth(g, src, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := eval.MaxRelErrAbove(truth, est, p.Delta); rel > p.Epsilon {
+			t.Fatalf("source %d: full-reuse rel err %v > ε=%v", src, rel, p.Epsilon)
+		}
+	}
+}
+
+// TestEndpointPartialShortfallSound starves the set on purpose (boost < 1)
+// so the query must sample the shortfall: reused and fresh walks mix in the
+// same estimate, which must still meet the additive bound.
+func TestEndpointPartialShortfallSound(t *testing.T) {
+	g := gen.ErdosRenyi(300, 1800, 7)
+	p := algo.DefaultParams(g)
+	p.Seed = 5
+	s := Solver{}
+	set, err := s.BuildEndpointSet(g, 3, p, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Endpoints = set
+	w := ws.New(g.N())
+	st := s.QueryWS(g, 3, p, w)
+	if st.Walks == 0 {
+		t.Fatal("boost-0.3 set fully covered demand; shortfall path not exercised")
+	}
+	if st.ReusedWalks == 0 {
+		t.Fatal("no endpoints replayed despite an attached set")
+	}
+	est := w.ExtractScores()
+	truth, err := power.GroundTruth(g, 3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := eval.MaxRelErrAbove(truth, est, p.Delta); rel > p.Epsilon {
+		t.Fatalf("partial-reuse rel err %v > ε=%v", rel, p.Epsilon)
+	}
+}
+
+// TestEndpointReuseDeterministic: replay plus deterministic shortfall
+// sampling means two hot queries are bit-identical, for both the sequential
+// and the parallel remedy path.
+func TestEndpointReuseDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(300, 1800, 7)
+	p := algo.DefaultParams(g)
+	p.Seed = 9
+	for _, workers := range []int{1, 3} {
+		for _, boost := range []float64{1, 0.3} {
+			s := Solver{Workers: workers}
+			set, err := s.BuildEndpointSet(g, 3, p, boost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Endpoints = set
+			w1, w2 := ws.New(g.N()), ws.New(g.N())
+			s.QueryWS(g, 3, p, w1)
+			s.QueryWS(g, 3, p, w2)
+			a, b := w1.ExtractScores(), w2.ExtractScores()
+			for v := range a {
+				if math.Float64bits(a[v]) != math.Float64bits(b[v]) {
+					t.Fatalf("workers=%d boost=%g: scores[%d] %v vs %v", workers, boost, v, a[v], b[v])
+				}
+			}
+		}
+	}
+}
+
+// TestEndpointSetGraphMismatchFallsBack: a set sized for a different graph
+// must be ignored — the query samples everything fresh and stays sound.
+// (The serving engine's epoch discipline makes this unreachable; the solver
+// keeps its own backstop for direct library users.)
+func TestEndpointSetGraphMismatchFallsBack(t *testing.T) {
+	g := gen.ErdosRenyi(300, 1800, 7)
+	g2 := gen.ErdosRenyi(301, 1800, 8)
+	p := algo.DefaultParams(g)
+	p.Seed = 5
+	s := Solver{}
+	set, err := s.BuildEndpointSet(g, 3, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Endpoints = set
+	p2 := algo.DefaultParams(g2)
+	p2.Seed = 5
+	w := ws.New(g2.N())
+	st := s.QueryWS(g2, 3, p2, w)
+	if st.Walks == 0 {
+		t.Fatal("mismatched set was replayed")
+	}
+	if st.ReusedWalks != 0 {
+		t.Fatal("mismatched set contributed reused walks")
+	}
+	est := w.ExtractScores()
+	truth, err := power.GroundTruth(g2, 3, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := eval.MaxRelErrAbove(truth, est, p2.Delta); rel > p2.Epsilon {
+		t.Fatalf("fallback rel err %v > ε=%v", rel, p2.Epsilon)
+	}
+}
+
+// TestEndpointReuseSteadyStateAllocs extends the zero-alloc contract to the
+// hot path: replaying a stored set (full reuse and shortfall alike) must
+// not allocate on a warmed workspace.
+func TestEndpointReuseSteadyStateAllocs(t *testing.T) {
+	g := gen.ErdosRenyi(800, 4800, 11)
+	p := algo.DefaultParams(g)
+	p.Seed = 9
+	for _, boost := range []float64{1, 0.3} {
+		s := Solver{}
+		set, err := s.BuildEndpointSet(g, 5, p, boost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Endpoints = set
+		w := ws.New(g.N())
+		for i := 0; i < 3; i++ {
+			s.QueryWS(g, 5, p, w)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			s.QueryWS(g, 5, p, w)
+		})
+		if allocs > 0 {
+			t.Errorf("boost=%g: hot QueryWS allocates %.1f objects/run, want 0", boost, allocs)
+		}
+	}
+}

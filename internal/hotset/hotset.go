@@ -1,0 +1,67 @@
+// Package hotset is the traffic-adaptive hot-source endpoint tier: a
+// bounded-memory, epoch-keyed store of precomputed walk endpoints for the
+// sources that dominate a Zipfian workload, plus the traffic sketch and
+// background warmer that decide which sources those are.
+//
+// The idea is FORA+'s (Wang et al., arXiv:1908.10583) index side applied
+// selectively: the remedy phase's random walks are the dominant cost of a
+// cache-miss query, and a walk's only contribution is its endpoint. Record
+// the endpoints of ω_v walks from each residue node v once, and every later
+// query on the same snapshot can replay them — scaling each stored endpoint
+// by the query's *current* residue r(v)/n_v instead of sampling fresh walks
+// — with exactly the per-walk unbiasedness the ε·max(π,1/n) guarantee rests
+// on. When the current residue asks for more walks than ω_v supports (after
+// a scoped live swap retargets a surviving set), only the shortfall is
+// sampled fresh.
+//
+// Cold sources never touch the tier, keeping the paper's index-free
+// contract: no build cost, no memory, identical latency. The tier is pure
+// opportunistic acceleration for the Zipfian head, bounded by a byte budget
+// and invalidated through the same epoch discipline as the result cache.
+package hotset
+
+// Set is one source's precomputed walk endpoints: for each walk-start node
+// v (a node that held positive residue after the push phases), the number
+// of walks recorded (ω_v) and their endpoints as a run-length-compressed
+// multiset. Sets are immutable after construction except for Epoch, which
+// only the owning Store mutates (under its lock) when a scoped snapshot
+// swap retargets survivors.
+type Set struct {
+	// Source is the query source this set answers, in the id space of the
+	// serving boundary (caller ids — the Store is keyed the same way the
+	// result cache is).
+	Source int32
+	// Epoch is the snapshot generation the endpoints are valid for. A set
+	// is only ever consulted when Epoch matches the epoch of the snapshot
+	// the query pinned; scoped swaps advance survivors' epochs, everything
+	// else drops them.
+	Epoch uint64
+	// N is the node count of the graph the set was built on — a structural
+	// backstop (a set can never be applied across a node-set change).
+	N int
+
+	// Nodes lists the walk-start nodes in ascending order; Omega[i] is the
+	// number of walks recorded from Nodes[i]. Off[i]:Off[i+1] delimits
+	// Nodes[i]'s endpoints in Targets/Counts: endpoint Targets[j] occurred
+	// Counts[j] times (Σ Counts[j] over the range == Omega[i]).
+	Nodes   []int32
+	Omega   []int64
+	Off     []int32
+	Targets []int32
+	Counts  []int32
+
+	// Walks is Σ Omega — the total recorded walks, what one build cost.
+	Walks int64
+}
+
+// Bytes is the set's approximate memory footprint, the unit of the store's
+// budget accounting.
+func (s *Set) Bytes() int64 {
+	const overhead = 128 // struct, slice headers, map entry
+	return overhead +
+		int64(len(s.Nodes))*4 + int64(len(s.Omega))*8 + int64(len(s.Off))*4 +
+		int64(len(s.Targets))*4 + int64(len(s.Counts))*4
+}
+
+// Len returns the number of walk-start nodes covered.
+func (s *Set) Len() int { return len(s.Nodes) }

@@ -1,0 +1,182 @@
+package hotset
+
+import (
+	"sort"
+	"sync"
+)
+
+// Sketch is a space-saving top-k frequency sketch (Metwally et al.) over
+// query sources. It tracks at most its capacity of distinct sources; a new
+// source arriving at a full sketch replaces the current minimum, inheriting
+// its count as the new entry's error bound — the classic guarantee that any
+// source with true frequency above total/capacity is tracked.
+//
+// Observe is allocation-free and mutex-guarded: the serving engine calls it
+// once per query arrival (cache hits included — popularity is popularity),
+// so it must cost nanoseconds on the tracked path. A miss at a full sketch
+// pays an O(capacity) victim scan and index rebuild; those are the cold
+// tail's queries, which are about to pay a full multi-millisecond
+// computation anyway.
+type Sketch struct {
+	mu     sync.Mutex
+	keys   []int32  // tracked sources, slot-indexed
+	counts []uint64 // estimated frequency per slot
+	errs   []uint64 // overestimation bound per slot (count it inherited)
+	used   int
+	total  uint64
+
+	// slots is the open-addressed index over keys: slots[h] holds a slot
+	// number or -1. Sized at ≥ 2× capacity so probes stay short; rebuilt
+	// wholesale on eviction instead of tombstoned.
+	slots []int32
+	mask  uint32
+}
+
+// Entry is one tracked source in a Sketch snapshot.
+type Entry struct {
+	Source int32
+	Count  uint64
+	// Err bounds the overestimation: the true frequency since the last
+	// decay lies in [Count-Err, Count].
+	Err uint64
+}
+
+// NewSketch returns a sketch tracking up to capacity sources (minimum 8).
+func NewSketch(capacity int) *Sketch {
+	if capacity < 8 {
+		capacity = 8
+	}
+	tbl := 1
+	for tbl < 2*capacity {
+		tbl <<= 1
+	}
+	s := &Sketch{
+		keys:   make([]int32, capacity),
+		counts: make([]uint64, capacity),
+		errs:   make([]uint64, capacity),
+		slots:  make([]int32, tbl),
+		mask:   uint32(tbl - 1),
+	}
+	for i := range s.slots {
+		s.slots[i] = -1
+	}
+	return s
+}
+
+func hashSource(src int32) uint32 {
+	h := uint32(src) * 0x9e3779b1
+	return h ^ h>>16
+}
+
+// Observe records one query arrival for src. It never allocates.
+func (s *Sketch) Observe(src int32) {
+	s.mu.Lock()
+	s.total++
+	p := hashSource(src) & s.mask
+	for s.slots[p] != -1 {
+		if i := s.slots[p]; s.keys[i] == src {
+			s.counts[i]++
+			s.mu.Unlock()
+			return
+		}
+		p = (p + 1) & s.mask
+	}
+	if s.used < len(s.keys) {
+		i := s.used
+		s.used++
+		s.keys[i], s.counts[i], s.errs[i] = src, 1, 0
+		s.slots[p] = int32(i)
+		s.mu.Unlock()
+		return
+	}
+	// Full: replace the minimum-count entry, inheriting its count as the
+	// newcomer's error bound (space-saving update), then rebuild the index.
+	m := 0
+	for i := 1; i < s.used; i++ {
+		if s.counts[i] < s.counts[m] {
+			m = i
+		}
+	}
+	s.keys[m], s.errs[m] = src, s.counts[m]
+	s.counts[m]++
+	s.rebuildIndex()
+	s.mu.Unlock()
+}
+
+// rebuildIndex re-derives the open-addressed index from keys[:used].
+// Callers hold mu.
+func (s *Sketch) rebuildIndex() {
+	for i := range s.slots {
+		s.slots[i] = -1
+	}
+	for i := 0; i < s.used; i++ {
+		p := hashSource(s.keys[i]) & s.mask
+		for s.slots[p] != -1 {
+			p = (p + 1) & s.mask
+		}
+		s.slots[p] = int32(i)
+	}
+}
+
+// Decay halves every tracked count and error bound, so the sketch tracks
+// recent traffic rather than all-time totals — the "traffic-adaptive" half
+// of the tier. Entries decayed to zero stay tracked (they are the first
+// eviction victims).
+func (s *Sketch) Decay() {
+	s.mu.Lock()
+	for i := 0; i < s.used; i++ {
+		s.counts[i] >>= 1
+		s.errs[i] >>= 1
+	}
+	s.total >>= 1
+	s.mu.Unlock()
+}
+
+// Total returns the observation count (halved by each Decay alongside the
+// per-source counts, so share-of-total stays meaningful).
+func (s *Sketch) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Tracked returns how many distinct sources are currently tracked.
+func (s *Sketch) Tracked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// TopInto appends every tracked entry to dst (reusing its capacity) and
+// returns it sorted by descending count, ties by ascending source id. The
+// caller owns dst; with cap(dst) ≥ capacity the call does not allocate.
+func (s *Sketch) TopInto(dst []Entry) []Entry {
+	s.mu.Lock()
+	dst = dst[:0]
+	for i := 0; i < s.used; i++ {
+		dst = append(dst, Entry{Source: s.keys[i], Count: s.counts[i], Err: s.errs[i]})
+	}
+	s.mu.Unlock()
+	sort.Slice(dst, func(a, b int) bool {
+		if dst[a].Count != dst[b].Count {
+			return dst[a].Count > dst[b].Count
+		}
+		return dst[a].Source < dst[b].Source
+	})
+	return dst
+}
+
+// Count returns src's tracked count (0 if untracked) — a ranking signal
+// for the store's eviction decisions.
+func (s *Sketch) Count(src int32) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := hashSource(src) & s.mask
+	for s.slots[p] != -1 {
+		if i := s.slots[p]; s.keys[i] == src {
+			return s.counts[i]
+		}
+		p = (p + 1) & s.mask
+	}
+	return 0
+}

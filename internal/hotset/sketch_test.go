@@ -1,0 +1,131 @@
+package hotset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSketchTracksHeavyHitters(t *testing.T) {
+	s := NewSketch(16)
+	r := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(r, 1.5, 1, 9999)
+	for i := 0; i < 100000; i++ {
+		s.Observe(int32(z.Uint64()))
+	}
+	top := s.TopInto(nil)
+	if len(top) != 16 {
+		t.Fatalf("tracked %d, want 16", len(top))
+	}
+	// The true head of a 1.5-skew Zipf is ids 0..3 by a wide margin; all
+	// must be tracked with the top ranks.
+	inTop := map[int32]bool{}
+	for _, e := range top[:8] {
+		inTop[e.Source] = true
+	}
+	for id := int32(0); id < 4; id++ {
+		if !inTop[id] {
+			t.Fatalf("heavy hitter %d missing from top 8: %+v", id, top[:8])
+		}
+	}
+	if top[0].Count < top[1].Count {
+		t.Fatalf("TopInto not sorted: %+v", top[:2])
+	}
+}
+
+func TestSketchEvictionAndErrorBound(t *testing.T) {
+	s := NewSketch(8)
+	for i := int32(0); i < 8; i++ {
+		for j := int32(0); j <= i; j++ {
+			s.Observe(i) // counts 1..8
+		}
+	}
+	// A newcomer must evict the minimum (source 0, count 1) and inherit
+	// its count as error.
+	s.Observe(100)
+	if got := s.Count(100); got != 2 {
+		t.Fatalf("newcomer count %d, want 2 (inherited 1 + 1)", got)
+	}
+	if got := s.Count(0); got != 0 {
+		t.Fatalf("evicted source still tracked with count %d", got)
+	}
+	top := s.TopInto(nil)
+	for _, e := range top {
+		if e.Source == 100 && e.Err != 1 {
+			t.Fatalf("newcomer err %d, want 1", e.Err)
+		}
+	}
+	if s.Tracked() != 8 {
+		t.Fatalf("tracked %d, want 8", s.Tracked())
+	}
+}
+
+func TestSketchDecay(t *testing.T) {
+	s := NewSketch(8)
+	for i := 0; i < 10; i++ {
+		s.Observe(1)
+	}
+	s.Decay()
+	if got := s.Count(1); got != 5 {
+		t.Fatalf("decayed count %d, want 5", got)
+	}
+	if got := s.Total(); got != 5 {
+		t.Fatalf("decayed total %d, want 5", got)
+	}
+}
+
+func TestSketchIndexConsistencyUnderChurn(t *testing.T) {
+	// Randomized churn cross-checked against a straightforward reference
+	// model of space-saving: same capacity, same tie-breaks unnecessary —
+	// we only verify that every tracked key is findable and counts match
+	// the slot arrays (index integrity after rebuilds).
+	s := NewSketch(32)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		s.Observe(int32(r.Intn(500)))
+	}
+	top := s.TopInto(nil)
+	if len(top) != 32 {
+		t.Fatalf("tracked %d, want 32", len(top))
+	}
+	for _, e := range top {
+		if got := s.Count(e.Source); got != e.Count {
+			t.Fatalf("index lookup of %d returned %d, snapshot says %d", e.Source, got, e.Count)
+		}
+	}
+}
+
+func TestSketchObserveAllocFree(t *testing.T) {
+	s := NewSketch(64)
+	// Mixed workload: tracked hits, insertions, and full-sketch evictions.
+	var i int32
+	avg := testing.AllocsPerRun(2000, func() {
+		s.Observe(i % 200)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", avg)
+	}
+}
+
+func TestSketchConcurrentObserve(t *testing.T) {
+	s := NewSketch(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				s.Observe(int32((i + w) % 300))
+				if i%1000 == 0 {
+					s.TopInto(nil)
+					s.Decay()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Tracked() != 64 {
+		t.Fatalf("tracked %d, want 64", s.Tracked())
+	}
+}

@@ -1,0 +1,171 @@
+package hotset
+
+import "sync"
+
+// Store holds endpoint sets under a byte budget, keyed by source, with the
+// same epoch discipline as the serving engine's result cache: a set is
+// served only when its epoch matches the epoch of the snapshot the query
+// pinned, scoped snapshot swaps retarget unaffected survivors to the new
+// epoch, and everything else (purge-class swaps, relabeled snapshots, full
+// invalidations) drops sets wholesale.
+//
+// The store also tracks the epoch it *expects* new sets to carry — the
+// epoch of the currently published snapshot. Put rejects sets built against
+// any other snapshot, which closes the race where a warmer build pins
+// snapshot E, a swap publishes E+1 and retargets the store, and the stale
+// build lands afterwards: its epoch no longer matches and it is refused.
+type Store struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	epoch  uint64
+	m      map[int32]*Set
+
+	evictions uint64
+	rejected  uint64
+}
+
+// NewStore returns a store bounded to budget bytes of endpoint sets,
+// expecting sets built at epoch 0 (the boot snapshot's generation).
+func NewStore(budget int64) *Store {
+	return &Store{budget: budget, m: make(map[int32]*Set)}
+}
+
+// Lookup returns the endpoint set for source iff one is stored and valid
+// for exactly the given snapshot epoch; nil otherwise. The returned set's
+// walk data is immutable — safe to use for the whole query even if a
+// concurrent swap retargets or drops the set meanwhile (the query is
+// answering against the snapshot it pinned either way).
+func (st *Store) Lookup(source int32, epoch uint64) *Set {
+	st.mu.Lock()
+	s := st.m[source]
+	if s == nil || s.Epoch != epoch {
+		st.mu.Unlock()
+		return nil
+	}
+	st.mu.Unlock()
+	return s
+}
+
+// Put inserts s, evicting colder sets to fit the budget. rank orders
+// eviction victims (higher = hotter, keep longer); the newcomer is rejected
+// rather than admitted when fitting it would require evicting a set ranked
+// at least as hot. Returns false when s was rejected: built against the
+// wrong epoch (a swap won the race), too large for the whole budget, or
+// colder than everything it would displace.
+func (st *Store) Put(s *Set, rank func(int32) uint64) bool {
+	sb := s.Bytes()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s.Epoch != st.epoch || sb > st.budget {
+		st.rejected++
+		return false
+	}
+	if old := st.m[s.Source]; old != nil {
+		st.bytes -= old.Bytes()
+		delete(st.m, s.Source)
+	}
+	newRank := rank(s.Source)
+	for st.bytes+sb > st.budget {
+		victim, vrank, found := int32(0), uint64(0), false
+		for src := range st.m {
+			r := rank(src)
+			if !found || r < vrank {
+				victim, vrank, found = src, r, true
+			}
+		}
+		if !found || vrank >= newRank {
+			st.rejected++
+			return false
+		}
+		st.bytes -= st.m[victim].Bytes()
+		delete(st.m, victim)
+		st.evictions++
+	}
+	st.m[s.Source] = s
+	st.bytes += sb
+	return true
+}
+
+// Retarget applies a scoped snapshot swap: sets whose source is in drop
+// (the swap's affected region) are removed, every other survivor's epoch
+// advances to the new snapshot's, and the store's expected epoch follows.
+// Survivors answer the new epoch under the same ε·δ staleness tolerance
+// that lets cached results survive a scoped swap: the swap machinery
+// already proved their scores cannot have moved past the tolerance, and
+// the reuse estimator only ever scales endpoints by the query's own fresh
+// residues.
+func (st *Store) Retarget(to uint64, drop map[int32]struct{}) {
+	st.mu.Lock()
+	from := st.epoch
+	for src, s := range st.m {
+		_, affected := drop[src]
+		if affected || s.Epoch != from {
+			st.bytes -= s.Bytes()
+			delete(st.m, src)
+			continue
+		}
+		s.Epoch = to
+	}
+	st.epoch = to
+	st.mu.Unlock()
+}
+
+// Purge drops every set and moves the expected epoch to the given value —
+// the path for purge-class swaps, relabeled snapshots (internal ids change
+// per swap) and full invalidations.
+func (st *Store) Purge(to uint64) {
+	st.mu.Lock()
+	clear(st.m)
+	st.bytes = 0
+	st.epoch = to
+	st.mu.Unlock()
+}
+
+// Contains reports whether source has a stored set valid for the store's
+// current expected epoch (the warmer's "already warm" check).
+func (st *Store) Contains(source int32) bool {
+	st.mu.Lock()
+	s := st.m[source]
+	ok := s != nil && s.Epoch == st.epoch
+	st.mu.Unlock()
+	return ok
+}
+
+// Bytes returns the stored sets' summed footprint.
+func (st *Store) Bytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bytes
+}
+
+// Budget returns the configured byte budget.
+func (st *Store) Budget() int64 { return st.budget }
+
+// Len returns the number of stored sets.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// Epoch returns the epoch the store currently expects of new sets.
+func (st *Store) Epoch() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.epoch
+}
+
+// Evictions and Rejected return the lifetime budget-eviction and
+// rejected-put counts.
+func (st *Store) Evictions() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evictions
+}
+
+func (st *Store) Rejected() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.rejected
+}

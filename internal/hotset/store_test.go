@@ -1,0 +1,278 @@
+package hotset
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeSet builds a set with a deterministic footprint for budget tests.
+func fakeSet(source int32, epoch uint64, nodes int) *Set {
+	s := &Set{Source: source, Epoch: epoch, N: 1000,
+		Off: make([]int32, nodes+1)}
+	for i := 0; i < nodes; i++ {
+		s.Nodes = append(s.Nodes, int32(i))
+		s.Omega = append(s.Omega, 4)
+		s.Targets = append(s.Targets, int32(i), int32(i+1))
+		s.Counts = append(s.Counts, 2, 2)
+		s.Off[i+1] = int32(2 * (i + 1))
+		s.Walks += 4
+	}
+	return s
+}
+
+func flatRank(uint64) func(int32) uint64 {
+	return func(int32) uint64 { return 1 }
+}
+
+func TestStoreEpochGating(t *testing.T) {
+	st := NewStore(1 << 20)
+	set := fakeSet(5, 0, 10)
+	if !st.Put(set, flatRank(1)) {
+		t.Fatal("put at matching epoch rejected")
+	}
+	if st.Lookup(5, 0) == nil {
+		t.Fatal("lookup at matching epoch missed")
+	}
+	if st.Lookup(5, 1) != nil {
+		t.Fatal("lookup at wrong epoch served a set")
+	}
+	if st.Lookup(6, 0) != nil {
+		t.Fatal("lookup of unknown source served a set")
+	}
+	// A build against a superseded snapshot must be refused.
+	stale := fakeSet(7, 3, 10)
+	if st.Put(stale, flatRank(1)) {
+		t.Fatal("put of wrong-epoch set accepted")
+	}
+	if st.Rejected() == 0 {
+		t.Fatal("rejected counter not incremented")
+	}
+}
+
+func TestStoreRetargetDropsAffectedAndStragglers(t *testing.T) {
+	st := NewStore(1 << 20)
+	st.Put(fakeSet(1, 0, 5), flatRank(1))
+	st.Put(fakeSet(2, 0, 5), flatRank(1))
+	st.Put(fakeSet(3, 0, 5), flatRank(1))
+	st.Retarget(1, map[int32]struct{}{2: {}})
+	if st.Lookup(2, 1) != nil || st.Lookup(2, 0) != nil {
+		t.Fatal("affected source survived the scoped swap")
+	}
+	if st.Lookup(1, 1) == nil || st.Lookup(3, 1) == nil {
+		t.Fatal("unaffected survivor was not retargeted to the new epoch")
+	}
+	if st.Lookup(1, 0) != nil {
+		t.Fatal("survivor still answers the old epoch")
+	}
+	if st.Epoch() != 1 {
+		t.Fatalf("store epoch %d, want 1", st.Epoch())
+	}
+	if st.Len() != 2 {
+		t.Fatalf("len %d, want 2", st.Len())
+	}
+}
+
+func TestStorePurge(t *testing.T) {
+	st := NewStore(1 << 20)
+	st.Put(fakeSet(1, 0, 5), flatRank(1))
+	st.Purge(9)
+	if st.Len() != 0 || st.Bytes() != 0 {
+		t.Fatalf("purge left %d sets / %d bytes", st.Len(), st.Bytes())
+	}
+	if st.Epoch() != 9 {
+		t.Fatalf("epoch %d, want 9", st.Epoch())
+	}
+	if !st.Put(fakeSet(2, 9, 5), flatRank(1)) {
+		t.Fatal("put at post-purge epoch rejected")
+	}
+}
+
+func TestStoreBudgetEvictsColder(t *testing.T) {
+	one := fakeSet(1, 0, 10)
+	per := one.Bytes()
+	st := NewStore(2*per + per/2) // room for two sets
+	rank := func(src int32) uint64 { return uint64(src) * 10 }
+	if !st.Put(fakeSet(1, 0, 10), rank) || !st.Put(fakeSet(2, 0, 10), rank) {
+		t.Fatal("initial puts rejected")
+	}
+	// Hotter newcomer evicts the coldest (source 1).
+	if !st.Put(fakeSet(3, 0, 10), rank) {
+		t.Fatal("hotter newcomer rejected")
+	}
+	if st.Lookup(1, 0) != nil {
+		t.Fatal("coldest set not evicted")
+	}
+	if st.Evictions() != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions())
+	}
+	// Colder newcomer (rank 0) must be rejected, not admitted.
+	cold := fakeSet(0, 0, 10)
+	if st.Put(cold, rank) {
+		t.Fatal("colder newcomer displaced a hotter set")
+	}
+	if st.Lookup(2, 0) == nil || st.Lookup(3, 0) == nil {
+		t.Fatal("hot sets lost")
+	}
+	// Oversized set can never fit.
+	if st.Put(fakeSet(9, 0, 10000), rank) {
+		t.Fatal("set larger than the whole budget admitted")
+	}
+	if got, want := st.Bytes(), 2*per; got != want {
+		t.Fatalf("bytes %d, want %d", got, want)
+	}
+}
+
+func TestStoreReplaceSameSource(t *testing.T) {
+	st := NewStore(1 << 20)
+	st.Put(fakeSet(1, 0, 5), flatRank(1))
+	bigger := fakeSet(1, 0, 50)
+	if !st.Put(bigger, flatRank(1)) {
+		t.Fatal("replacement rejected")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("len %d, want 1", st.Len())
+	}
+	if st.Bytes() != bigger.Bytes() {
+		t.Fatalf("bytes %d, want %d (replacement accounting)", st.Bytes(), bigger.Bytes())
+	}
+}
+
+func TestWarmerBuildsHotHead(t *testing.T) {
+	st := NewStore(1 << 20)
+	sk := NewSketch(32)
+	built := map[int32]int{}
+	w := NewWarmer(st, sk, func(src int32) (*Set, error) {
+		built[src]++
+		return fakeSet(src, 0, 3), nil
+	}, WarmerConfig{TopK: 4})
+	for i := 0; i < 100; i++ {
+		sk.Observe(7)
+		sk.Observe(8)
+		if i%10 == 0 {
+			sk.Observe(int32(100 + i))
+		}
+	}
+	if n := w.RunOnce(); n != 4 {
+		t.Fatalf("first cycle built %d, want 4 (TopK)", n)
+	}
+	if !st.Contains(7) || !st.Contains(8) {
+		t.Fatal("hot head not warmed")
+	}
+	// Second cycle: already warm, nothing to do.
+	if n := w.RunOnce(); n != 0 {
+		t.Fatalf("second cycle built %d, want 0", n)
+	}
+	if built[7] != 1 {
+		t.Fatalf("source 7 rebuilt %d times", built[7])
+	}
+	if w.Builds() != 4 {
+		t.Fatalf("builds %d, want 4", w.Builds())
+	}
+}
+
+func TestWarmerMinQPSGate(t *testing.T) {
+	st := NewStore(1 << 20)
+	sk := NewSketch(32)
+	w := NewWarmer(st, sk, func(src int32) (*Set, error) {
+		return fakeSet(src, 0, 3), nil
+	}, WarmerConfig{MinQPS: 1e12}) // impossible rate: nothing admits
+	sk.Observe(1)
+	w.RunOnce() // first cycle never admits under a rate gate
+	sk.Observe(1)
+	if n := w.RunOnce(); n != 0 {
+		t.Fatalf("built %d below the rate threshold, want 0", n)
+	}
+	if st.Len() != 0 {
+		t.Fatal("store not empty")
+	}
+}
+
+func TestWarmerMinQPSAdmits(t *testing.T) {
+	st := NewStore(1 << 20)
+	sk := NewSketch(32)
+	w := NewWarmer(st, sk, func(src int32) (*Set, error) {
+		return fakeSet(src, 0, 3), nil
+	}, WarmerConfig{MinQPS: 0.001})
+	sk.Observe(1)
+	w.RunOnce()
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 50; i++ {
+		sk.Observe(1)
+	}
+	if n := w.RunOnce(); n != 1 {
+		t.Fatalf("built %d, want 1", n)
+	}
+}
+
+func TestWarmerBuildErrorAndStaleEpochRejection(t *testing.T) {
+	st := NewStore(1 << 20)
+	sk := NewSketch(32)
+	fail := errors.New("boom")
+	w := NewWarmer(st, sk, func(src int32) (*Set, error) {
+		if src == 1 {
+			return nil, fail
+		}
+		return fakeSet(src, 99, 3), nil // wrong epoch: swap won the race
+	}, WarmerConfig{})
+	sk.Observe(1)
+	sk.Observe(2)
+	if n := w.RunOnce(); n != 0 {
+		t.Fatalf("admitted %d, want 0", n)
+	}
+	if w.BuildErrors() != 1 {
+		t.Fatalf("build errors %d, want 1", w.BuildErrors())
+	}
+	if st.Rejected() == 0 {
+		t.Fatal("stale-epoch build was not rejected by the store")
+	}
+}
+
+func TestWarmerPanicContainment(t *testing.T) {
+	st := NewStore(1 << 20)
+	sk := NewSketch(32)
+	var observed error
+	w := NewWarmer(st, sk, func(src int32) (*Set, error) {
+		panic("chaos")
+	}, WarmerConfig{OnBuild: func(_ time.Duration, err error) { observed = err }})
+	sk.Observe(1)
+	if n := w.RunOnce(); n != 0 {
+		t.Fatalf("admitted %d after panic, want 0", n)
+	}
+	if w.BuildErrors() != 1 {
+		t.Fatalf("build errors %d, want 1", w.BuildErrors())
+	}
+	if observed == nil {
+		t.Fatal("OnBuild hook did not see the contained panic")
+	}
+}
+
+func TestWarmerStartClose(t *testing.T) {
+	st := NewStore(1 << 20)
+	sk := NewSketch(8)
+	w := NewWarmer(st, sk, func(src int32) (*Set, error) {
+		return fakeSet(src, 0, 1), nil
+	}, WarmerConfig{Interval: time.Millisecond})
+	sk.Observe(3)
+	w.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for !st.Contains(3) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	w.Close()
+	if !st.Contains(3) {
+		t.Fatal("background warmer never built the hot source")
+	}
+	w.Close() // idempotent
+}
+
+func TestWarmerCloseWithoutStart(t *testing.T) {
+	w := NewWarmer(NewStore(1), NewSketch(8), nil, WarmerConfig{})
+	done := make(chan struct{})
+	go func() { w.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Close without Start hung")
+	}
+}

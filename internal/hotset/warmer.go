@@ -1,0 +1,236 @@
+package hotset
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resacc/internal/crash"
+	"resacc/internal/faultinject"
+)
+
+// BuildFunc produces the endpoint set for one source against the currently
+// published snapshot, with Source, Epoch and N filled in. The serving
+// engine injects it (the build runs the same push phases a query would,
+// then records walk endpoints instead of discarding them).
+type BuildFunc func(source int32) (*Set, error)
+
+// WarmerConfig tunes the background warmer.
+type WarmerConfig struct {
+	// Interval is the cycle period (≤ 0 = 2s).
+	Interval time.Duration
+	// DecayEvery halves the traffic sketch every this many cycles (≤ 0 =
+	// 8), bounding how long dead traffic keeps a source looking hot.
+	DecayEvery int
+	// MinQPS is the admission threshold: a source is warmed only while its
+	// observed arrival rate is at least this (≤ 0 admits every tracked
+	// source, budget permitting).
+	MinQPS float64
+	// Workers is the build concurrency per cycle (≤ 0 = 1). Builds run off
+	// the serve pool; more than one or two workers steals query CPU.
+	Workers int
+	// TopK caps how many sketch leaders are considered per cycle (≤ 0 =
+	// 32).
+	TopK int
+	// OnBuild, when non-nil, observes every finished build (latency plus
+	// error, nil on success) — the metrics hook.
+	OnBuild func(d time.Duration, err error)
+}
+
+// Warmer periodically scans the traffic sketch and builds endpoint sets
+// for the hot head, admitting them into the store under its budget. It is
+// the only writer of the store's sets; queries only read.
+type Warmer struct {
+	store  *Store
+	sketch *Sketch
+	build  BuildFunc
+	cfg    WarmerConfig
+
+	// prev holds each tracked source's count at the previous cycle, so a
+	// cycle can turn sketch counts into per-source arrival rates.
+	prev     map[int32]uint64
+	lastScan time.Time
+	scratch  []Entry
+	cycles   int
+
+	builds    atomic.Uint64
+	buildErrs atomic.Uint64
+	lastNS    atomic.Int64 // last successful build latency
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewWarmer wires a warmer over store/sketch with the injected build
+// function. Call Start to run it in the background, or RunOnce for
+// deterministic driving (tests, benchmarks).
+func NewWarmer(store *Store, sketch *Sketch, build BuildFunc, cfg WarmerConfig) *Warmer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.DecayEvery <= 0 {
+		cfg.DecayEvery = 8
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 32
+	}
+	return &Warmer{
+		store: store, sketch: sketch, build: build, cfg: cfg,
+		prev: make(map[int32]uint64),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+}
+
+// Start launches the background warm loop. Safe to call once.
+func (w *Warmer) Start() {
+	w.startOnce.Do(func() { go w.loop() })
+}
+
+// Close stops the background loop and waits for it to exit. Safe to call
+// whether or not Start ran.
+func (w *Warmer) Close() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	w.startOnce.Do(func() { close(w.done) }) // never started: nothing to wait for
+	<-w.done
+}
+
+func (w *Warmer) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.RunOnce()
+		}
+	}
+}
+
+// RunOnce performs one warm cycle: snapshot the sketch, estimate per-source
+// arrival rates from the count deltas since the previous cycle, and build
+// endpoint sets for admitted sources that are not already warm. Returns how
+// many sets were built and admitted. Exported so tests and benchmarks can
+// drive warming deterministically.
+func (w *Warmer) RunOnce() int {
+	now := time.Now()
+	dt := now.Sub(w.lastScan).Seconds()
+	first := w.lastScan.IsZero()
+	w.lastScan = now
+
+	w.cycles++
+	if w.cycles%w.cfg.DecayEvery == 0 {
+		w.sketch.Decay()
+		// Counts just halved under us; halve the reference points too so
+		// the next cycle's deltas stay non-negative and rate-meaningful.
+		for src, c := range w.prev {
+			w.prev[src] = c >> 1
+		}
+	}
+
+	w.scratch = w.sketch.TopInto(w.scratch)
+	entries := w.scratch
+	rank := make(map[int32]uint64, len(entries))
+	next := make(map[int32]uint64, len(entries))
+	for _, e := range entries {
+		rank[e.Source] = e.Count
+		next[e.Source] = e.Count
+	}
+
+	lead := entries
+	if len(lead) > w.cfg.TopK {
+		lead = lead[:w.cfg.TopK]
+	}
+	var cands []int32
+	for _, e := range lead {
+		if w.cfg.MinQPS > 0 {
+			if first || dt <= 0 {
+				continue // no rate estimate yet; admit next cycle
+			}
+			// Saturating delta: a source evicted and re-admitted since the
+			// last cycle can carry an inherited count below its old one.
+			var delta uint64
+			if p := w.prev[e.Source]; e.Count > p {
+				delta = e.Count - p
+			}
+			if float64(delta)/dt < w.cfg.MinQPS {
+				continue
+			}
+		}
+		if w.store.Contains(e.Source) {
+			continue
+		}
+		cands = append(cands, e.Source)
+	}
+	w.prev = next
+
+	if len(cands) == 0 {
+		return 0
+	}
+	rankOf := func(src int32) uint64 { return rank[src] }
+	workers := w.cfg.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := wk; i < len(cands); i += workers {
+				if w.buildOne(cands[i], rankOf) {
+					admitted.Add(1)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return int(admitted.Load())
+}
+
+// buildOne builds and admits one source's set, containing panics: a build
+// runs real solver code in a background goroutine, and an escaped panic
+// there would kill the whole process, not just a query.
+func (w *Warmer) buildOne(src int32, rank func(int32) uint64) (admitted bool) {
+	start := time.Now()
+	var err error
+	defer func() {
+		if v := recover(); v != nil {
+			err = crash.Capture("hotset: warm build", v)
+		}
+		if w.cfg.OnBuild != nil {
+			w.cfg.OnBuild(time.Since(start), err)
+		}
+		if err != nil {
+			w.buildErrs.Add(1)
+		}
+	}()
+	faultinject.Hit("hotset.warm")
+	var set *Set
+	set, err = w.build(src)
+	if err != nil {
+		return false
+	}
+	w.builds.Add(1)
+	w.lastNS.Store(time.Since(start).Nanoseconds())
+	return w.store.Put(set, rank)
+}
+
+// Builds returns the lifetime successful build count.
+func (w *Warmer) Builds() uint64 { return w.builds.Load() }
+
+// BuildErrors returns the lifetime failed/panicked build count.
+func (w *Warmer) BuildErrors() uint64 { return w.buildErrs.Load() }
+
+// LastBuild returns the latency of the most recent successful build.
+func (w *Warmer) LastBuild() time.Duration { return time.Duration(w.lastNS.Load()) }

@@ -34,6 +34,12 @@ cd "$(dirname "$0")/.."
 out=${1:-BENCH_resacc.json}
 filter='^BenchmarkQueryTable3/(dblp-s|webstan-s)/(resacc|fora)$|^BenchmarkForwardPush$|^BenchmarkHHopFWDPhase(NoSweep)?$|^BenchmarkQueryPooledRepeat(Alias)?$|^BenchmarkPushParallel/workers=(1|2|4|8)$|^BenchmarkLiveWriteMix/(scoped|purge)$'
 microfilter='^BenchmarkRandomWalk(Alias)?$'
+# The Zipf pair row feeds a ratio gate and needs enough iterations to
+# cycle the 16-source rotation many times; at 10 iterations it only
+# touches sources 0..9 and the ratio is rotation-biased. The pair
+# sub-benchmark interleaves one hot and one cold query per iteration
+# (reported as hot-ns/op / cold-ns/op) so host speed drift cancels.
+zipffilter='^BenchmarkQueryZipfHot/pair$'
 
 tmp=$(mktemp)
 ref=$(mktemp)
@@ -47,6 +53,7 @@ fi
 
 go test -run '^$' -bench "$filter" -benchmem -benchtime 10x -count=5 . | tee "$tmp" 1>&2
 go test -run '^$' -bench "$microfilter" -benchmem -benchtime 5000x -count=5 . | tee -a "$tmp" 1>&2
+go test -run '^$' -bench "$zipffilter" -benchmem -benchtime 1s -count=5 . | tee -a "$tmp" 1>&2
 
 {
 	printf '{\n  "baseline": %s,\n  "current": {\n' \
@@ -93,6 +100,34 @@ go test -run '^$' -bench "$microfilter" -benchmem -benchtime 5000x -count=5 . | 
 	printf '  }\n}\n'
 } > "$out"
 echo "wrote $out" 1>&2
+
+# Hot-tier ratio gate: the pair row's hot-ns/op and cold-ns/op come from
+# interleaved queries in the same measurement window, so host noise
+# cancels — no committed reference or tolerance widening needed. Hot
+# drifting to within 10% of cold means the endpoint tier stopped reusing
+# walks (see BenchmarkQueryZipfHot); the plain ns/op gate would never
+# catch that, the row is allowlisted against host jitter.
+if [ "${BENCH_GATE:-on}" != "off" ]; then
+	awk '
+	/"name": "BenchmarkQueryZipfHot\/pair"/ {
+		if (match($0, /"hot_ns_per_op": [0-9.eE+-]+/))
+			hot = substr($0, RSTART + 17, RLENGTH - 17) + 0
+		if (match($0, /"cold_ns_per_op": [0-9.eE+-]+/))
+			cold = substr($0, RSTART + 18, RLENGTH - 18) + 0
+	}
+	END {
+		if (hot <= 0 || cold <= 0) {
+			print "benchjson: hot-tier gate: Zipf pair row missing, skipping" > "/dev/stderr"
+			exit 0
+		}
+		if (hot > 0.9 * cold) {
+			printf "benchjson: FAIL hot-tier gate: hot %.0f ns/op is %.0f%% of cold %.0f ns/op (limit 90%% — endpoint reuse not engaging)\n", \
+				hot, hot / cold * 100, cold > "/dev/stderr"
+			exit 1
+		}
+		printf "benchjson: hot-tier gate passed: hot/cold = %.2f\n", hot / cold > "/dev/stderr"
+	}' "$out"
+fi
 
 if [ "${BENCH_GATE:-on}" = "off" ]; then
 	echo "benchjson: regression gate disabled (BENCH_GATE=off)" 1>&2
